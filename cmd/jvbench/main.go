@@ -1,0 +1,195 @@
+// Command jvbench regenerates the paper's evaluation: every figure from
+// the analytical model, the measured counterparts on the cluster
+// simulator, and the Table 1 data-set summary.
+//
+// Usage:
+//
+//	jvbench [-exp all|table1|fig7..fig14|storage|buffering|skew|network]
+//	        [-measured] [-maxl 128] [-scale 100] [-a 128] [-csv dir]
+//
+// -measured additionally runs the simulator for figures that have a
+// measured counterpart (7, 8, 9, 10, 11); figure 14 and the extension
+// experiments are always measured. -maxl caps the node-count axis (larger
+// sweeps take longer); -scale is the divisor applied to Table 1's row
+// counts for figure 14; -csv also writes every result table as CSV for
+// plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"joinview/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, table1, fig7..fig14, storage, buffering, skew, network")
+	measured := flag.Bool("measured", false, "also run the measured (simulator) variants of figs 7-11")
+	maxL := flag.Int("maxl", 128, "largest node count to sweep")
+	scale := flag.Int("scale", 100, "Table 1 scale divisor for fig14 (100 = 1,500 customers)")
+	deltaA := flag.Int("a", 128, "tuples inserted into customer for fig14")
+	csvDir := flag.String("csv", "", "also write each result table as CSV into this directory")
+	flag.Parse()
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "jvbench:", err)
+			os.Exit(1)
+		}
+	}
+	csvOut = *csvDir
+	if err := run(*exp, *measured, *maxL, *scale, *deltaA); err != nil {
+		fmt.Fprintln(os.Stderr, "jvbench:", err)
+		os.Exit(1)
+	}
+}
+
+// csvOut, when set, receives one CSV file per result grid.
+var csvOut string
+
+func run(exp string, measured bool, maxL, scale, deltaA int) error {
+	ls := capLs(experiments.DefaultLs, maxL)
+	smallLs := capLs([]int{2, 4, 8}, maxL)
+	show := func(g experiments.Grid) {
+		fmt.Println(g.Render())
+		if csvOut == "" {
+			return
+		}
+		path := filepath.Join(csvOut, g.Slug()+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jvbench: csv:", err)
+			return
+		}
+		if err := g.WriteCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, "jvbench: csv:", err)
+		}
+		f.Close()
+	}
+	showMeasured := func(f func() (experiments.Grid, error)) error {
+		start := time.Now()
+		g, err := f()
+		if err != nil {
+			return err
+		}
+		show(g)
+		fmt.Printf("(measured in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	want := func(name string) bool { return exp == "all" || exp == name }
+
+	if want("table1") {
+		show(experiments.Table1(scale))
+	}
+	if want("fig7") {
+		show(experiments.Fig7Model())
+		if measured {
+			if err := showMeasured(func() (experiments.Grid, error) { return experiments.Fig7Measured(ls) }); err != nil {
+				return err
+			}
+		}
+	}
+	if want("fig8") {
+		show(experiments.Fig8Model())
+		if measured {
+			ns := []int{1, 2, 4, 8, 16, 32, 64}
+			if err := showMeasured(func() (experiments.Grid, error) { return experiments.Fig8Measured(min(32, maxL), ns) }); err != nil {
+				return err
+			}
+		}
+	}
+	if want("fig9") {
+		show(experiments.Fig9Model())
+		if measured {
+			if err := showMeasured(func() (experiments.Grid, error) { return experiments.Fig9Measured(ls) }); err != nil {
+				return err
+			}
+		}
+	}
+	if want("fig10") {
+		show(experiments.Fig10Model())
+		if measured {
+			if err := showMeasured(func() (experiments.Grid, error) { return experiments.Fig10Measured(smallLs) }); err != nil {
+				return err
+			}
+		}
+	}
+	if want("fig11") {
+		show(experiments.Fig11Model())
+		if measured {
+			as := []int{1, 10, 100, 400, 1000, 2000}
+			if err := showMeasured(func() (experiments.Grid, error) {
+				return experiments.Fig11Measured(min(128, maxL), as)
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	if want("fig12") {
+		show(experiments.Fig12Model())
+	}
+	if want("fig13") {
+		show(experiments.Fig13Predicted(smallLs))
+	}
+	if want("storage") {
+		if err := showMeasured(func() (experiments.Grid, error) {
+			return experiments.StorageTradeoff(min(8, maxL), experiments.PaperN)
+		}); err != nil {
+			return err
+		}
+	}
+	if want("buffering") {
+		if err := showMeasured(func() (experiments.Grid, error) {
+			return experiments.BufferingEffect(min(8, maxL), 2000, 200)
+		}); err != nil {
+			return err
+		}
+	}
+	if want("network") {
+		if err := showMeasured(func() (experiments.Grid, error) {
+			return experiments.NetworkSensitivity(min(8, maxL), 200, 100*time.Microsecond)
+		}); err != nil {
+			return err
+		}
+	}
+	if want("skew") {
+		if err := showMeasured(func() (experiments.Grid, error) {
+			return experiments.SkewSensitivity(min(16, maxL), 512, 1.5)
+		}); err != nil {
+			return err
+		}
+	}
+	if want("fig14") {
+		start := time.Now()
+		results, err := experiments.Fig14Measured(smallLs, scale, deltaA)
+		if err != nil {
+			return err
+		}
+		show(experiments.Fig14Grid(results))
+		fmt.Printf("(measured in %v; includes the global-index method Teradata could not run)\n\n",
+			time.Since(start).Round(time.Millisecond))
+	}
+	switch exp {
+	case "all", "table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "storage", "skew", "buffering", "network":
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}
+
+func capLs(ls []int, maxL int) []int {
+	var out []int
+	for _, l := range ls {
+		if l <= maxL {
+			out = append(out, l)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{1}
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+-- Demo script for jvshell: the paper's §3.3 setup in miniature.
+-- Run with: go run ./cmd/jvshell -f cmd/jvshell/demo.sql
+--
+-- Afterwards try:  \tables   \storage   \explain jv1 customer 128
+--                  \metrics  \check jv2
+
+create table customer (custkey bigint, acctbal double) partition on custkey;
+create table orders (orderkey bigint, custkey bigint, totalprice double) partition on orderkey;
+create table lineitem (orderkey bigint, partkey bigint, suppkey bigint,
+                       extendedprice double, discount double) partition on partkey;
+
+-- §3.3 step 1: non-clustered indexes on the join attributes.
+create index ix_orders_custkey on orders (custkey);
+create index ix_lineitem_orderkey on lineitem (orderkey);
+
+insert into customer values (0, 711.56), (1, 121.65), (2, 7498.12);
+insert into orders values
+    (0, 0, 100.0), (1, 1, 200.0), (2, 2, 300.0), (3, 3, 400.0), (4, 4, 500.0);
+insert into lineitem values
+    (0, 10, 1, 9.5, 0.01), (0, 11, 2, 8.5, 0.02),
+    (1, 12, 3, 7.5, 0.03), (1, 13, 4, 6.5, 0.04),
+    (2, 14, 5, 5.5, 0.05), (3, 15, 6, 4.5, 0.06);
+
+-- The paper's JV1 under the auxiliary-relation method (creates and
+-- backfills orders_1 automatically) ...
+create view jv1 as
+    select c.custkey, c.acctbal, o.orderkey, o.totalprice
+    from orders o, customer c
+    where c.custkey = o.custkey
+    partition on c.custkey
+    using auxrel;
+
+-- ... and JV2, the three-way join, under the global-index method the
+-- paper's Teradata installation could not run.
+create view jv2 as
+    select c.custkey, c.acctbal, o.orderkey, o.totalprice, l.discount, l.extendedprice
+    from orders o, customer c, lineitem l
+    where c.custkey = o.custkey and o.orderkey = l.orderkey
+    partition on c.custkey
+    using globalindex;
+
+-- An aggregate join view: per-customer order count and revenue.
+create view revenue as
+    select c.custkey, count(*), sum(o.totalprice)
+    from customer c, orders o
+    where c.custkey = o.custkey
+    group by c.custkey
+    partition on c.custkey
+    using auxrel;
+
+-- The §3.3 update: new customers, each matching one existing order.
+insert into customer values (3, 2866.83), (4, 794.47);
+
+select * from jv1;
+select * from jv2;
+select * from revenue;

@@ -1,0 +1,202 @@
+// Command jvshell is an interactive SQL shell over the parallel-RDBMS
+// simulator. It accepts the SQL subset the paper's experiments use
+// (CREATE TABLE / INDEX / GLOBAL INDEX / AUXILIARY RELATION / VIEW,
+// INSERT, DELETE, UPDATE, SELECT) plus shell commands:
+//
+//	\metrics           show per-node I/O counters and message totals
+//	\reset             zero the counters
+//	\check <view>      verify view v against a recomputed join
+//	\explain <view> <table> [n]   show the maintenance plan for an
+//	                   n-tuple update of the table (default 1)
+//	\tables            list tables, auxiliary structures and views
+//	\storage           show the space footprint of every stored object
+//	\quit              exit
+//
+// Usage: jvshell [-nodes 4] [-channels] [-f script.sql]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"joinview"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 4, "number of data-server nodes")
+	channels := flag.Bool("channels", false, "run nodes as goroutines with channel transport")
+	script := flag.String("f", "", "run a SQL script file before the interactive prompt")
+	flag.Parse()
+
+	db, err := joinview.Open(joinview.Options{Nodes: *nodes, UseChannels: *channels})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jvshell:", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	if *script != "" {
+		data, err := os.ReadFile(*script)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jvshell:", err)
+			os.Exit(1)
+		}
+		runSQL(db, string(data))
+	}
+
+	session := db.NewSession()
+	fmt.Printf("joinview shell — %d-node parallel RDBMS simulator (\\quit to exit)\n", *nodes)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := "jv> "
+	for {
+		fmt.Print(prompt)
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if handleMeta(db, trimmed) {
+				return
+			}
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			prompt = "  > "
+			continue
+		}
+		stmt := buf.String()
+		buf.Reset()
+		prompt = "jv> "
+		runSession(session, stmt)
+	}
+}
+
+// handleMeta executes a shell command; it returns true to exit.
+func handleMeta(db *joinview.DB, cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case "\\quit", "\\q":
+		return true
+	case "\\metrics":
+		m := db.Metrics()
+		total := m.Total()
+		fmt.Printf("total I/Os: %d   max node I/Os: %d   messages: %d\n",
+			m.TotalIOs(), m.MaxNodeIOs(), m.Net.Messages)
+		fmt.Printf("searches: %d  fetches: %d  inserts: %d  deletes: %d  scan pages: %d  sort pages: %d\n",
+			total.Searches, total.Fetches, total.Inserts, total.Deletes, total.ScanPages, total.SortPages)
+		for i, nc := range m.Node {
+			fmt.Printf("  node %d: %d I/Os\n", i, nc.IOs())
+		}
+	case "\\reset":
+		db.ResetMetrics()
+		fmt.Println("counters reset")
+	case "\\check":
+		if len(fields) < 2 {
+			fmt.Println("usage: \\check <view>")
+			break
+		}
+		if err := db.CheckViewConsistency(fields[1]); err != nil {
+			fmt.Println("INCONSISTENT:", err)
+		} else {
+			fmt.Printf("view %s is consistent with its definition\n", fields[1])
+		}
+	case "\\explain":
+		if len(fields) < 3 {
+			fmt.Println("usage: \\explain <view> <table> [delta-size]")
+			break
+		}
+		n := 1
+		if len(fields) > 3 {
+			fmt.Sscanf(fields[3], "%d", &n)
+		}
+		out, err := db.Cluster().ExplainMaintenance(fields[1], fields[2], n)
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Print(out)
+	case "\\tables":
+		cat := db.Cluster().Catalog()
+		for _, name := range cat.Tables() {
+			t, _ := cat.Table(name)
+			fmt.Printf("table %s (%v) partition on %s\n", name, t.Schema.Names(), t.PartitionCol)
+			for _, ar := range cat.AuxRelsFor(name) {
+				fmt.Printf("  auxrel %s on %s (%v)\n", ar.Name, ar.PartitionCol, ar.Cols)
+			}
+			for _, gi := range cat.GlobalIndexesFor(name) {
+				kind := "non-clustered"
+				if gi.DistClustered {
+					kind = "clustered"
+				}
+				fmt.Printf("  global index %s on %s (distributed %s)\n", gi.Name, gi.Col, kind)
+			}
+		}
+		for _, name := range cat.Views() {
+			v, _ := cat.View(name)
+			shape := "join view"
+			if v.IsAggregate() {
+				shape = "aggregate join view"
+			}
+			fmt.Printf("%s %s over %v using %s\n", shape, name, v.Tables, v.Strategy)
+		}
+	case "\\storage":
+		rep, err := db.StorageReport()
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Printf("%-24s %-12s %8s %6s %5s\n", "name", "kind", "rows", "pages", "cols")
+		for _, e := range rep.Entries {
+			fmt.Printf("%-24s %-12s %8d %6d %5d\n", e.Name, e.Kind, e.Rows, e.Pages, e.Cols)
+		}
+		fmt.Printf("auxiliary-structure overhead: %d rows (%d values)\n", rep.Overhead(), rep.OverheadValues())
+	default:
+		fmt.Println("commands: \\metrics \\reset \\check <view> \\explain <view> <table> [n] \\tables \\storage \\quit")
+	}
+	return false
+}
+
+func runSQL(db *joinview.DB, stmt string) {
+	results, err := db.ExecScript(stmt)
+	printResults(results, err)
+}
+
+// runSession executes through the session so BEGIN/COMMIT/ROLLBACK work.
+func runSession(s *joinview.Session, stmt string) {
+	results, err := s.ExecScript(stmt)
+	printResults(results, err)
+}
+
+func printResults(results []*joinview.Result, err error) {
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, r := range results {
+		switch {
+		case r.Columns != nil:
+			fmt.Println(strings.Join(r.Columns, " | "))
+			for _, row := range r.Rows {
+				cells := make([]string, len(row))
+				for i, v := range row {
+					cells[i] = v.GoString()
+				}
+				fmt.Println(strings.Join(cells, " | "))
+			}
+			fmt.Printf("(%d rows)\n", len(r.Rows))
+		case r.Message != "":
+			fmt.Println(r.Message)
+		default:
+			fmt.Printf("(%d rows affected)\n", r.Count)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module joinview
+
+go 1.22

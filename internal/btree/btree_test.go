@@ -1,0 +1,241 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"joinview/internal/types"
+)
+
+func key(i int64) []byte  { return types.EncodeKey(types.Int(i)) }
+func val(s string) []byte { return []byte(s) }
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Error("empty tree Len != 0")
+	}
+	if tr.Contains(key(1)) {
+		t.Error("empty tree Contains true")
+	}
+	if got := tr.Get(key(1)); got != nil {
+		t.Errorf("empty tree Get = %v", got)
+	}
+	if tr.Delete(key(1), nil) {
+		t.Error("delete from empty tree returned true")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Error(err)
+	}
+	if tr.Height() != 1 {
+		t.Error("empty tree height != 1")
+	}
+}
+
+func TestInsertGet(t *testing.T) {
+	tr := New()
+	for i := int64(0); i < 1000; i++ {
+		tr.Insert(key(i), val(fmt.Sprintf("v%d", i)))
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 1000; i++ {
+		got := tr.Get(key(i))
+		if len(got) != 1 || string(got[0]) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("Get(%d) = %q", i, got)
+		}
+	}
+	if tr.Contains(key(1000)) {
+		t.Error("Contains(1000) should be false")
+	}
+	if tr.Height() < 2 {
+		t.Error("1000 entries should split the root")
+	}
+}
+
+func TestDuplicateKeysInsertionOrder(t *testing.T) {
+	tr := New()
+	const dups = 200 // force duplicates across leaf splits
+	for i := 0; i < dups; i++ {
+		tr.Insert(key(42), val(fmt.Sprintf("d%03d", i)))
+	}
+	tr.Insert(key(41), val("before"))
+	tr.Insert(key(43), val("after"))
+	got := tr.Get(key(42))
+	if len(got) != dups {
+		t.Fatalf("Get returned %d duplicates, want %d", len(got), dups)
+	}
+	for i, v := range got {
+		if string(v) != fmt.Sprintf("d%03d", i) {
+			t.Fatalf("duplicate %d = %q: insertion order not preserved", i, v)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteSpecificValue(t *testing.T) {
+	tr := New()
+	tr.Insert(key(1), val("a"))
+	tr.Insert(key(1), val("b"))
+	tr.Insert(key(1), val("c"))
+	if !tr.Delete(key(1), val("b")) {
+		t.Fatal("Delete(1,b) failed")
+	}
+	got := tr.Get(key(1))
+	if len(got) != 2 || string(got[0]) != "a" || string(got[1]) != "c" {
+		t.Fatalf("after delete: %q", got)
+	}
+	if tr.Delete(key(1), val("b")) {
+		t.Error("second Delete(1,b) should fail")
+	}
+	if !tr.Delete(key(1), nil) {
+		t.Fatal("Delete(1,nil) failed")
+	}
+	if len(tr.Get(key(1))) != 1 {
+		t.Error("nil-value delete should remove exactly one entry")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteAcrossLeaves(t *testing.T) {
+	tr := New()
+	const dups = 300
+	for i := 0; i < dups; i++ {
+		tr.Insert(key(7), val(fmt.Sprintf("x%03d", i)))
+	}
+	// Delete a value that lives in a later leaf of the duplicate run.
+	if !tr.Delete(key(7), val(fmt.Sprintf("x%03d", dups-1))) {
+		t.Fatal("delete of last duplicate failed")
+	}
+	if tr.Len() != dups-1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New()
+	for i := int64(0); i < 100; i += 2 {
+		tr.Insert(key(i), val(fmt.Sprint(i)))
+	}
+	var got []string
+	tr.Ascend(key(11), func(k, v []byte) bool {
+		got = append(got, string(v))
+		return len(got) < 3
+	})
+	want := []string{"12", "14", "16"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ascend = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestScanOrder(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(1))
+	perm := rng.Perm(2000)
+	for _, i := range perm {
+		tr.Insert(key(int64(i)), val(fmt.Sprint(i)))
+	}
+	var prev []byte
+	n := 0
+	tr.Scan(func(k, v []byte) bool {
+		if prev != nil && bytes.Compare(prev, k) > 0 {
+			t.Fatal("scan out of order")
+		}
+		prev = append(prev[:0], k...)
+		n++
+		return true
+	})
+	if n != 2000 {
+		t.Fatalf("scan visited %d entries", n)
+	}
+}
+
+// Property: after any interleaving of inserts and deletes, the tree's
+// contents match a reference multimap and all structural invariants hold.
+func TestRandomOpsMatchReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New()
+		ref := map[int64][]string{}
+		for op := 0; op < 800; op++ {
+			k := int64(rng.Intn(50)) // small domain -> many duplicates
+			if rng.Intn(3) > 0 || len(ref[k]) == 0 {
+				v := fmt.Sprintf("s%d-o%d", seed, op)
+				tr.Insert(key(k), val(v))
+				ref[k] = append(ref[k], v)
+			} else {
+				i := rng.Intn(len(ref[k]))
+				v := ref[k][i]
+				if !tr.Delete(key(k), val(v)) {
+					t.Logf("delete (%d,%s) failed", k, v)
+					return false
+				}
+				ref[k] = append(ref[k][:i], ref[k][i+1:]...)
+			}
+		}
+		if err := tr.Validate(); err != nil {
+			t.Log(err)
+			return false
+		}
+		total := 0
+		for k, vs := range ref {
+			total += len(vs)
+			got := tr.Get(key(k))
+			if len(got) != len(vs) {
+				t.Logf("key %d: tree has %d values, ref has %d", k, len(got), len(vs))
+				return false
+			}
+			sortedGot := make([]string, len(got))
+			for i, g := range got {
+				sortedGot[i] = string(g)
+			}
+			sortedRef := append([]string(nil), vs...)
+			sort.Strings(sortedGot)
+			sort.Strings(sortedRef)
+			for i := range sortedRef {
+				if sortedGot[i] != sortedRef[i] {
+					return false
+				}
+			}
+		}
+		return tr.Len() == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tr := New()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(key(int64(i)), val("x"))
+	}
+}
+
+func BenchmarkPointLookup(b *testing.B) {
+	tr := New()
+	for i := int64(0); i < 100000; i++ {
+		tr.Insert(key(i), val("x"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(key(int64(i % 100000)))
+	}
+}

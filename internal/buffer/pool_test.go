@@ -1,0 +1,120 @@
+package buffer
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func key(frag string, page uint64) PageKey {
+	return PageKey{Frag: frag, NS: NSRow, Page: page}
+}
+
+func TestHitMissEvict(t *testing.T) {
+	p := New(2)
+	if p.Touch(key("a", 1)) {
+		t.Error("first access must miss")
+	}
+	if !p.Touch(key("a", 1)) {
+		t.Error("second access must hit")
+	}
+	p.Touch(key("a", 2))
+	p.Touch(key("a", 3)) // evicts page 1 (LRU)
+	if p.Touch(key("a", 1)) {
+		t.Error("evicted page must miss")
+	}
+	s := p.Stats()
+	if s.Hits != 1 || s.Misses != 4 || s.Evictions != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.PhysicalIOs() != 4 {
+		t.Errorf("physical = %d", s.PhysicalIOs())
+	}
+}
+
+func TestLRUOrderOnHit(t *testing.T) {
+	p := New(2)
+	p.Touch(key("a", 1))
+	p.Touch(key("a", 2))
+	p.Touch(key("a", 1)) // 1 becomes MRU
+	p.Touch(key("a", 3)) // evicts 2
+	if !p.Touch(key("a", 1)) {
+		t.Error("page 1 should have survived")
+	}
+	if p.Touch(key("a", 2)) {
+		t.Error("page 2 should have been evicted")
+	}
+}
+
+func TestNamespaceAndFragDistinguish(t *testing.T) {
+	p := New(10)
+	p.Touch(PageKey{Frag: "a", NS: NSRow, Page: 1})
+	if p.Touch(PageKey{Frag: "a", NS: NSKey, Page: 1}) {
+		t.Error("different namespace must be a different page")
+	}
+	if p.Touch(PageKey{Frag: "b", NS: NSRow, Page: 1}) {
+		t.Error("different fragment must be a different page")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	p := New(10)
+	p.Touch(key("a", 1))
+	p.Touch(key("b", 1))
+	p.Invalidate("a")
+	if p.Resident() != 1 {
+		t.Errorf("resident = %d", p.Resident())
+	}
+	if p.Touch(key("a", 1)) {
+		t.Error("invalidated page must miss")
+	}
+	if !p.Touch(key("b", 1)) {
+		t.Error("other fragment must stay cached")
+	}
+}
+
+func TestNilPool(t *testing.T) {
+	var p *Pool
+	if p.Touch(key("a", 1)) {
+		t.Error("nil pool never hits")
+	}
+	if p.Resident() != 0 || p.Stats() != (Stats{}) {
+		t.Error("nil pool reports zero state")
+	}
+	p.Invalidate("a")
+	p.ResetStats()
+	if New(0) != nil {
+		t.Error("zero capacity should return nil")
+	}
+}
+
+func TestResetStatsKeepsCache(t *testing.T) {
+	p := New(4)
+	p.Touch(key("a", 1))
+	p.ResetStats()
+	if !p.Touch(key("a", 1)) {
+		t.Error("cache must survive ResetStats")
+	}
+	if s := p.Stats(); s.Hits != 1 || s.Misses != 0 {
+		t.Errorf("stats after reset = %+v", s)
+	}
+}
+
+// Property: resident never exceeds capacity, and hits+misses equals the
+// number of touches.
+func TestPoolInvariants(t *testing.T) {
+	f := func(pages []uint8, cap8 uint8) bool {
+		capacity := int(cap8%16) + 1
+		p := New(capacity)
+		for _, pg := range pages {
+			p.Touch(key("f", uint64(pg%32)))
+			if p.Resident() > capacity {
+				return false
+			}
+		}
+		s := p.Stats()
+		return s.Hits+s.Misses == int64(len(pages))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,246 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"joinview/internal/catalog"
+	"joinview/internal/expr"
+	"joinview/internal/types"
+)
+
+// aggViewDef is an aggregate join view over the TPC-R pair: per-customer
+// order count and total price (the companion-work shape).
+func aggViewDef(name string, s catalog.Strategy) *catalog.View {
+	return &catalog.View{
+		Name:   name,
+		Tables: []string{"customer", "orders"},
+		Joins: []catalog.JoinPred{
+			{Left: "customer", LeftCol: "custkey", Right: "orders", RightCol: "custkey"},
+		},
+		Out: []catalog.OutCol{{Table: "customer", Col: "custkey"}},
+		Aggs: []catalog.AggSpec{
+			{Func: "count"},
+			{Func: "sum", Table: "orders", Col: "totalprice"},
+		},
+		PartitionTable: "customer", PartitionCol: "custkey",
+		Strategy: s,
+	}
+}
+
+// refAgg recomputes the aggregate view by brute force.
+func refAgg(t *testing.T, c *Cluster) map[int64][2]float64 {
+	t.Helper()
+	customers, _ := c.TableRows("customer")
+	orders, _ := c.TableRows("orders")
+	out := map[int64][2]float64{}
+	for _, cu := range customers {
+		for _, o := range orders {
+			if cu[0].I == o[1].I {
+				e := out[cu[0].I]
+				e[0]++         // count
+				e[1] += o[2].F // sum(totalprice)
+				out[cu[0].I] = e
+			}
+		}
+	}
+	return out
+}
+
+func checkAggView(t *testing.T, c *Cluster, name string) {
+	t.Helper()
+	rows, err := c.ViewRows(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refAgg(t, c)
+	if len(rows) != len(want) {
+		t.Fatalf("view %s has %d groups, want %d", name, len(rows), len(want))
+	}
+	for _, r := range rows {
+		// Schema: customer.custkey, count, sum(orders.totalprice).
+		key := r[0].I
+		w, ok := want[key]
+		if !ok {
+			t.Fatalf("unexpected group %d", key)
+		}
+		if r[1].I != int64(w[0]) {
+			t.Errorf("group %d count = %d, want %g", key, r[1].I, w[0])
+		}
+		if r[2].F != w[1] {
+			t.Errorf("group %d sum = %g, want %g", key, r[2].F, w[1])
+		}
+	}
+	if err := c.CheckViewConsistency(name); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggViewSchemaAndBackfill(t *testing.T) {
+	c := newTPCR(t, 4, 8, 3, 1)
+	v := aggViewDef("av", catalog.StrategyNaive)
+	if err := c.CreateView(v); err != nil {
+		t.Fatal(err)
+	}
+	names := v.Schema.Names()
+	if len(names) != 3 || names[0] != "customer.custkey" || names[1] != "count" || names[2] != "sum(orders.totalprice)" {
+		t.Fatalf("agg schema = %v", names)
+	}
+	if !v.IsAggregate() || v.CountIndex() != 1 {
+		t.Errorf("IsAggregate/CountIndex wrong: %d", v.CountIndex())
+	}
+	checkAggView(t, c, "av")
+	// 8 customers, 3 orders each -> 8 groups with count 3.
+	rows, _ := c.ViewRows("av")
+	if len(rows) != 8 || rows[0][1].I != 3 {
+		t.Fatalf("backfill groups = %v", rows)
+	}
+}
+
+func TestAggViewMaintenanceAllStrategies(t *testing.T) {
+	for _, strat := range allStrategies {
+		strat := strat
+		t.Run(strat.String(), func(t *testing.T) {
+			c := newTPCR(t, 4, 6, 2, 1)
+			if err := c.CreateView(aggViewDef("av", strat)); err != nil {
+				t.Fatal(err)
+			}
+			// New customer matching nothing: no group.
+			noErr(t, c.Insert("customer", []types.Tuple{cust(100, 1)}))
+			// Orders for existing and new customers: counts fold in.
+			noErr(t, c.Insert("orders", []types.Tuple{
+				ord(500, 0, 10), ord(501, 0, 20), ord(502, 100, 5),
+			}))
+			checkAggView(t, c, "av")
+			// Deleting one order decrements; deleting the only order of a
+			// group removes the group.
+			_, err := c.Delete("orders", expr.Cmp{Op: expr.EQ, L: expr.Col{Name: "orderkey"}, R: expr.Const{V: types.Int(502)}})
+			noErr(t, err)
+			checkAggView(t, c, "av")
+			rows, _ := c.ViewRows("av")
+			for _, r := range rows {
+				if r[0].I == 100 {
+					t.Error("empty group should have been removed")
+				}
+			}
+			// Deleting a customer removes its whole group.
+			_, err = c.Delete("customer", expr.Cmp{Op: expr.EQ, L: expr.Col{Name: "custkey"}, R: expr.Const{V: types.Int(0)}})
+			noErr(t, err)
+			checkAggView(t, c, "av")
+			// Updating a measure re-folds sums.
+			_, err = c.Update("orders", map[string]types.Value{"totalprice": types.Float(1)},
+				expr.Cmp{Op: expr.LT, L: expr.Col{Name: "orderkey"}, R: expr.Const{V: types.Int(3)}})
+			noErr(t, err)
+			checkAggView(t, c, "av")
+			// Updating a join key moves counts between groups.
+			_, err = c.Update("orders", map[string]types.Value{"custkey": types.Int(1)},
+				expr.Cmp{Op: expr.EQ, L: expr.Col{Name: "custkey"}, R: expr.Const{V: types.Int(2)}})
+			noErr(t, err)
+			checkAggView(t, c, "av")
+		})
+	}
+}
+
+func TestAggViewTransactionRollback(t *testing.T) {
+	c := newTPCR(t, 4, 4, 2, 1)
+	if err := c.CreateView(aggViewDef("av", catalog.StrategyAuxRel)); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := c.ViewRows("av")
+	tx := c.Begin()
+	noErr(t, tx.Insert("orders", []types.Tuple{ord(700, 1, 50)}))
+	if _, err := tx.Delete("customer", expr.Cmp{Op: expr.EQ, L: expr.Col{Name: "custkey"}, R: expr.Const{V: types.Int(2)}}); err != nil {
+		t.Fatal(err)
+	}
+	noErr(t, tx.Rollback())
+	checkAggView(t, c, "av")
+	after, _ := c.ViewRows("av")
+	if len(after) != len(before) {
+		t.Errorf("groups after rollback = %d, want %d", len(after), len(before))
+	}
+}
+
+func TestAggViewValidation(t *testing.T) {
+	c := newTPCR(t, 2, 2, 1, 1)
+	// avg is rejected.
+	v := aggViewDef("bad1", catalog.StrategyNaive)
+	v.Aggs = []catalog.AggSpec{{Func: "avg", Table: "orders", Col: "totalprice"}}
+	if err := c.CreateView(v); err == nil {
+		t.Error("avg should be rejected (not self-maintainable)")
+	}
+	// sum over a string column is rejected (needs a schema with one).
+	v2 := aggViewDef("bad2", catalog.StrategyNaive)
+	v2.Aggs = []catalog.AggSpec{{Func: "sum", Table: "orders", Col: "ghost"}}
+	if err := c.CreateView(v2); err == nil {
+		t.Error("sum over unknown column should fail")
+	}
+	// count with a column is rejected.
+	v3 := aggViewDef("bad3", catalog.StrategyNaive)
+	v3.Aggs = []catalog.AggSpec{{Func: "count", Table: "orders", Col: "orderkey"}}
+	if err := c.CreateView(v3); err == nil {
+		t.Error("count with a column should fail")
+	}
+	// Aggregate view without GROUP BY columns is rejected.
+	v4 := aggViewDef("bad4", catalog.StrategyNaive)
+	v4.Out = nil
+	if err := c.CreateView(v4); err == nil {
+		t.Error("aggregate view without group columns should fail")
+	}
+	// Missing count is auto-added.
+	v5 := aggViewDef("av5", catalog.StrategyNaive)
+	v5.Aggs = []catalog.AggSpec{{Func: "sum", Table: "orders", Col: "totalprice"}}
+	if err := c.CreateView(v5); err != nil {
+		t.Fatal(err)
+	}
+	if v5.CountIndex() < 0 {
+		t.Error("count aggregate should have been appended")
+	}
+	// sum over a table outside FROM.
+	v6 := aggViewDef("bad6", catalog.StrategyNaive)
+	v6.Aggs = []catalog.AggSpec{{Func: "sum", Table: "lineitem", Col: "extendedprice"}}
+	if err := c.CreateView(v6); err == nil {
+		t.Error("sum over a table outside FROM should fail")
+	}
+}
+
+func TestAggViewRandomizedStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long randomized test")
+	}
+	c := newTPCR(t, 4, 6, 2, 1)
+	for i, strat := range allStrategies {
+		if err := c.CreateView(aggViewDef(fmt.Sprintf("av%d", i), strat)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := newRand(99)
+	nextOK := int64(1000)
+	for step := 0; step < 40; step++ {
+		switch rng.Intn(4) {
+		case 0:
+			nextOK++
+			noErr(t, c.Insert("orders", []types.Tuple{ord(nextOK, int64(rng.Intn(10)), float64(rng.Intn(50)))}))
+		case 1:
+			noErr(t, c.Insert("customer", []types.Tuple{cust(int64(rng.Intn(12)), 1)}))
+		case 2:
+			_, err := c.Delete("orders", expr.Cmp{Op: expr.EQ, L: expr.Col{Name: "custkey"}, R: expr.Const{V: types.Int(int64(rng.Intn(10)))}})
+			noErr(t, err)
+		case 3:
+			_, err := c.Update("orders", map[string]types.Value{"custkey": types.Int(int64(rng.Intn(8)))},
+				expr.Cmp{Op: expr.EQ, L: expr.Col{Name: "orderkey"}, R: expr.Const{V: types.Int(int64(rng.Intn(20)))}})
+			noErr(t, err)
+		}
+		if step%10 == 9 {
+			for i := range allStrategies {
+				if err := c.CheckViewConsistency(fmt.Sprintf("av%d", i)); err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+			}
+		}
+	}
+	for i := range allStrategies {
+		if err := c.CheckViewConsistency(fmt.Sprintf("av%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,289 @@
+// Package cluster assembles the parallel RDBMS: L data-server nodes, a
+// hash-partitioning map, an interconnect, the catalog, statistics and the
+// view-maintenance machinery. It exposes the DDL/DML surface the
+// experiments and the public joinview package drive.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"joinview/internal/buffer"
+	"joinview/internal/catalog"
+	"joinview/internal/hashpart"
+	"joinview/internal/maintain"
+	"joinview/internal/netsim"
+	"joinview/internal/node"
+	"joinview/internal/stats"
+	"joinview/internal/storage"
+	"joinview/internal/types"
+)
+
+// Config parameterizes a cluster.
+type Config struct {
+	// Nodes is the number of data-server nodes L (required, >= 1).
+	Nodes int
+	// PageRows is tuples per page (storage.DefaultPageRows if zero);
+	// page counts feed the scan/sort cost accounting.
+	PageRows int
+	// MemPages is the per-node sort memory M in pages (default 10, the
+	// paper's value).
+	MemPages int
+	// UseChannels selects the goroutine-per-node channel transport
+	// instead of the deterministic in-process transport.
+	UseChannels bool
+	// Algo is the default join algorithm for maintenance probes
+	// (node.AlgoAuto applies the §3.2 index/sort-merge crossover).
+	Algo node.Algo
+	// BufferPages attaches a per-node buffer pool of that many pages
+	// (0 disables caching simulation). With a pool, Metrics additionally
+	// reports physical I/O (misses), reproducing the §3.3 buffering
+	// effect the paper observed on Teradata.
+	BufferPages int
+	// NetLatency delays every inter-node message by this wall-clock
+	// duration (channel transport only): the SEND cost the analytical
+	// model deliberately neglects, made tunable.
+	NetLatency time.Duration
+}
+
+// Cluster is a running parallel RDBMS instance.
+type Cluster struct {
+	cfg   Config
+	cat   *catalog.Catalog
+	st    *stats.Stats
+	part  *hashpart.Partitioner
+	nodes []*node.DataNode
+	tr    netsim.Transport
+	env   maintain.Env
+
+	// mu serializes DML statements at the coordinator, standing in for
+	// the paper's transaction-level locking; individual statements still
+	// fan out across nodes in parallel under the channel transport.
+	mu sync.Mutex
+}
+
+// New builds a cluster. It returns an error for a non-positive node count.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 node, got %d", cfg.Nodes)
+	}
+	if cfg.PageRows <= 0 {
+		cfg.PageRows = storage.DefaultPageRows
+	}
+	if cfg.MemPages <= 0 {
+		cfg.MemPages = 10
+	}
+	c := &Cluster{
+		cfg:  cfg,
+		cat:  catalog.New(),
+		st:   stats.New(),
+		part: hashpart.New(cfg.Nodes),
+	}
+	handlers := make([]netsim.Handler, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		n := node.New(i, cfg.MemPages)
+		if cfg.BufferPages > 0 {
+			n.SetBufferPages(cfg.BufferPages)
+		}
+		c.nodes = append(c.nodes, n)
+		handlers[i] = n.Handler()
+	}
+	switch {
+	case cfg.UseChannels:
+		c.tr = netsim.NewChanLatency(handlers, cfg.NetLatency)
+	case cfg.NetLatency > 0:
+		return nil, fmt.Errorf("cluster: NetLatency requires the channel transport (UseChannels)")
+	default:
+		c.tr = netsim.NewDirect(handlers)
+	}
+	c.env = maintain.Env{T: c.tr, Part: c.part, Cat: c.cat}
+	return c, nil
+}
+
+// Close releases transport resources.
+func (c *Cluster) Close() { c.tr.Close() }
+
+// Catalog exposes the metadata store (read-mostly; DDL goes through the
+// Create* methods).
+func (c *Cluster) Catalog() *catalog.Catalog { return c.cat }
+
+// Stats exposes the statistics store.
+func (c *Cluster) Stats() *stats.Stats { return c.st }
+
+// NumNodes returns L.
+func (c *Cluster) NumNodes() int { return c.cfg.Nodes }
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Transport exposes the interconnect (message statistics, primarily).
+func (c *Cluster) Transport() netsim.Transport { return c.tr }
+
+// broadcast sends a request to every node, failing on the first error.
+func (c *Cluster) broadcast(req any) error {
+	_, err := c.tr.Broadcast(netsim.Coordinator, req)
+	return err
+}
+
+// call sends a request to one node.
+func (c *Cluster) call(to int, req any) (any, error) {
+	return c.tr.Call(netsim.Coordinator, to, req)
+}
+
+// Metrics is a point-in-time reading of the cluster's cost counters.
+type Metrics struct {
+	// Node has one I/O counter snapshot per data-server node.
+	Node []storage.Counts
+	// Pool has one buffer-pool snapshot per node (zeros when pools are
+	// disabled).
+	Pool []buffer.Stats
+	// Net is the interconnect's message statistics.
+	Net netsim.Stats
+}
+
+// TotalIOs is the paper's total workload TW: I/Os summed over all nodes.
+func (m Metrics) TotalIOs() int64 {
+	var sum int64
+	for _, c := range m.Node {
+		sum += c.IOs()
+	}
+	return sum
+}
+
+// MaxNodeIOs is the paper's response-time proxy: the maximum per-node I/O
+// count (work the slowest node must complete).
+func (m Metrics) MaxNodeIOs() int64 {
+	var mx int64
+	for _, c := range m.Node {
+		if v := c.IOs(); v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// PhysicalIOs sums buffer-pool misses over all nodes: the I/O a cached
+// system actually performs. Zero when pools are disabled.
+func (m Metrics) PhysicalIOs() int64 {
+	var sum int64
+	for _, p := range m.Pool {
+		sum += p.Misses
+	}
+	return sum
+}
+
+// PoolHits sums buffer-pool hits over all nodes.
+func (m Metrics) PoolHits() int64 {
+	var sum int64
+	for _, p := range m.Pool {
+		sum += p.Hits
+	}
+	return sum
+}
+
+// Total sums the per-node counters.
+func (m Metrics) Total() storage.Counts {
+	var t storage.Counts
+	for _, c := range m.Node {
+		t = t.Add(c)
+	}
+	return t
+}
+
+// Sub subtracts an earlier snapshot, node by node.
+func (m Metrics) Sub(o Metrics) Metrics {
+	out := Metrics{
+		Node: make([]storage.Counts, len(m.Node)),
+		Pool: make([]buffer.Stats, len(m.Pool)),
+	}
+	for i := range m.Node {
+		out.Node[i] = m.Node[i].Sub(o.Node[i])
+	}
+	for i := range m.Pool {
+		out.Pool[i] = buffer.Stats{
+			Hits:      m.Pool[i].Hits - o.Pool[i].Hits,
+			Misses:    m.Pool[i].Misses - o.Pool[i].Misses,
+			Evictions: m.Pool[i].Evictions - o.Pool[i].Evictions,
+		}
+	}
+	out.Net = netsim.Stats{
+		Messages:   m.Net.Messages - o.Net.Messages,
+		LocalCalls: m.Net.LocalCalls - o.Net.LocalCalls,
+	}
+	return out
+}
+
+// Metrics reads all node meters and the transport counters. Meters are
+// atomic, so this is safe alongside the channel transport.
+func (c *Cluster) Metrics() Metrics {
+	m := Metrics{
+		Node: make([]storage.Counts, len(c.nodes)),
+		Pool: make([]buffer.Stats, len(c.nodes)),
+		Net:  c.tr.Stats(),
+	}
+	for i, n := range c.nodes {
+		m.Node[i] = n.Meter().Snapshot()
+		m.Pool[i] = n.PoolStatsSnapshot()
+	}
+	return m
+}
+
+// ResetMetrics zeroes every node meter, pool counter and the transport
+// counters (cached pages stay resident — warm-cache windows measure the
+// buffering effect). Experiments call it after DDL/loading so measurement
+// windows start clean.
+func (c *Cluster) ResetMetrics() {
+	for _, n := range c.nodes {
+		n.Meter().Reset()
+		n.ResetPoolStats()
+	}
+	c.tr.ResetStats()
+}
+
+// RefreshStats recomputes exact statistics for the named table from its
+// stored fragments (row count, per-column distinct counts).
+func (c *Cluster) RefreshStats(table string) error {
+	t, err := c.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	rows, err := c.gather(table)
+	if err != nil {
+		return err
+	}
+	ts, err := stats.Collect(t.Schema, rows)
+	if err != nil {
+		return err
+	}
+	c.st.Set(table, ts)
+	return nil
+}
+
+// gather collects every tuple of a fragment across all nodes, unmetered
+// (verification, statistics, backfill input).
+func (c *Cluster) gather(frag string) ([]types.Tuple, error) {
+	resps, err := c.tr.Broadcast(netsim.Coordinator, node.AllRows{Frag: frag})
+	if err != nil {
+		return nil, err
+	}
+	var out []types.Tuple
+	for _, r := range resps {
+		out = append(out, r.(node.RowsResult).Tuples...)
+	}
+	return out, nil
+}
+
+// TableRows returns every stored tuple of a base relation or auxiliary
+// relation, unmetered.
+func (c *Cluster) TableRows(name string) ([]types.Tuple, error) {
+	return c.gather(name)
+}
+
+// ViewRows returns the materialized content of a view, unmetered.
+func (c *Cluster) ViewRows(name string) ([]types.Tuple, error) {
+	if _, err := c.cat.View(name); err != nil {
+		return nil, err
+	}
+	return c.gather(name)
+}

@@ -1,0 +1,466 @@
+package cluster
+
+import (
+	"fmt"
+
+	"joinview/internal/catalog"
+	"joinview/internal/cost"
+	"joinview/internal/expr"
+	"joinview/internal/maintain"
+	"joinview/internal/netsim"
+	"joinview/internal/node"
+	"joinview/internal/plan"
+	"joinview/internal/storage"
+	"joinview/internal/txn"
+	"joinview/internal/types"
+)
+
+// located ties a base tuple to its storage position, for global-index
+// entries and undo.
+type located struct {
+	node  int
+	row   storage.RowID
+	tuple types.Tuple
+}
+
+// Insert runs one insert transaction against a base table: route and store
+// the tuples, update every auxiliary relation and global index of the
+// table, then propagate the delta into every join view on the table using
+// the view's maintenance strategy. On any error all applied work is rolled
+// back.
+func (c *Cluster) Insert(table string, tuples []types.Tuple) error {
+	if len(tuples) == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	t, err := c.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	var tx txn.Txn
+	if err := c.insertLocked(&tx, t, tuples); err != nil {
+		if rbErr := tx.Rollback(); rbErr != nil {
+			return fmt.Errorf("%w (rollback also failed: %v)", err, rbErr)
+		}
+		return err
+	}
+	tx.Commit()
+	c.bumpRows(table, int64(len(tuples)))
+	return nil
+}
+
+func (c *Cluster) insertLocked(tx *txn.Txn, t *catalog.Table, tuples []types.Tuple) error {
+	// 1. Base relation: route each tuple to its home node.
+	locs, err := c.insertBase(tx, t, tuples)
+	if err != nil {
+		return err
+	}
+	// 2. Auxiliary relations of the updated table ("update auxiliary
+	// relation AR_A; (cheap)").
+	if err := c.updateAuxRels(tx, t, tuples, maintain.OpInsert, nil); err != nil {
+		return err
+	}
+	// 3. Global indexes of the updated table ("update global index GI_A;
+	// (cheap)").
+	if err := c.updateGlobalIndexes(tx, t, locs, maintain.OpInsert); err != nil {
+		return err
+	}
+	// 4. Join views ("update join view JV").
+	return c.propagateToViews(tx, t, tuples, maintain.OpInsert)
+}
+
+// insertBase routes tuples by the partition attribute and stores them,
+// returning each tuple's storage location.
+func (c *Cluster) insertBase(tx *txn.Txn, t *catalog.Table, tuples []types.Tuple) ([]located, error) {
+	pi := t.Schema.MustColIndex(t.PartitionCol)
+	bucketTuples := make([][]types.Tuple, c.cfg.Nodes)
+	bucketIdx := make([][]int, c.cfg.Nodes)
+	for i, tup := range tuples {
+		if err := t.Schema.Validate(tup); err != nil {
+			return nil, fmt.Errorf("cluster: insert into %q: %w", t.Name, err)
+		}
+		n := c.part.NodeFor(tup[pi])
+		bucketTuples[n] = append(bucketTuples[n], tup)
+		bucketIdx[n] = append(bucketIdx[n], i)
+	}
+	locs := make([]located, len(tuples))
+	for n, bucket := range bucketTuples {
+		if len(bucket) == 0 {
+			continue
+		}
+		resp, err := c.call(n, node.Insert{Frag: t.Name, Tuples: bucket})
+		if err != nil {
+			return nil, err
+		}
+		rows := resp.(node.InsertResult).Rows
+		n := n
+		rowsCopy := append([]storage.RowID(nil), rows...)
+		tx.OnRollback(func() error {
+			_, err := c.call(n, node.DeleteRows{Frag: t.Name, Rows: rowsCopy})
+			return err
+		})
+		for bi, row := range rows {
+			locs[bucketIdx[n][bi]] = located{node: n, row: row, tuple: bucket[bi]}
+		}
+	}
+	return locs, nil
+}
+
+// updateAuxRels propagates a base delta into every auxiliary relation of
+// the table. For deletes, victims are matched by value (bag semantics).
+func (c *Cluster) updateAuxRels(tx *txn.Txn, t *catalog.Table, tuples []types.Tuple, op maintain.Op, _ []located) error {
+	for _, ar := range c.cat.AuxRelsFor(t.Name) {
+		projected, err := projectForAuxRel(t, ar, tuples)
+		if err != nil {
+			return err
+		}
+		buckets, err := c.part.Spread(ar.Schema, ar.PartitionCol, projected)
+		if err != nil {
+			return err
+		}
+		for n, bucket := range buckets {
+			if len(bucket) == 0 {
+				continue
+			}
+			n, bucket := n, bucket
+			arName := ar.Name
+			partCol := ar.PartitionCol
+			if op == maintain.OpInsert {
+				resp, err := c.call(n, node.Insert{Frag: arName, Tuples: bucket})
+				if err != nil {
+					return err
+				}
+				rows := append([]storage.RowID(nil), resp.(node.InsertResult).Rows...)
+				tx.OnRollback(func() error {
+					_, err := c.call(n, node.DeleteRows{Frag: arName, Rows: rows})
+					return err
+				})
+			} else {
+				resp, err := c.call(n, node.DeleteMatch{Frag: arName, HintCol: partCol, Tuples: bucket})
+				if err != nil {
+					return err
+				}
+				deleted := resp.(node.DeleteResult).Tuples
+				tx.OnRollback(func() error {
+					_, err := c.call(n, node.Insert{Frag: arName, Tuples: deleted})
+					return err
+				})
+			}
+		}
+	}
+	return nil
+}
+
+// updateGlobalIndexes maintains every global index of the updated table.
+// Message accounting uses the base tuple's home node as the source: the
+// entry travels from where the tuple landed to the index's home node.
+func (c *Cluster) updateGlobalIndexes(tx *txn.Txn, t *catalog.Table, locs []located, op maintain.Op) error {
+	for _, gi := range c.cat.GlobalIndexesFor(t.Name) {
+		ci := t.Schema.MustColIndex(gi.Col)
+		for _, loc := range locs {
+			val := loc.tuple[ci]
+			home := c.part.NodeFor(val)
+			g := storage.GlobalRowID{Node: int32(loc.node), Row: loc.row}
+			giName := gi.Name
+			if op == maintain.OpInsert {
+				if _, err := c.tr.Call(loc.node, home, node.GIInsert{GI: giName, Val: val, G: g}); err != nil {
+					return err
+				}
+				tx.OnRollback(func() error {
+					_, err := c.tr.Call(netsim.Coordinator, home, node.GIDelete{GI: giName, Val: val, G: g})
+					return err
+				})
+			} else {
+				resp, err := c.tr.Call(loc.node, home, node.GIDelete{GI: giName, Val: val, G: g})
+				if err != nil {
+					return err
+				}
+				if !resp.(node.GIDeleted).OK {
+					return fmt.Errorf("cluster: global index %q missing entry for %v (out of sync)", giName, val)
+				}
+				tx.OnRollback(func() error {
+					_, err := c.tr.Call(netsim.Coordinator, home, node.GIInsert{GI: giName, Val: val, G: g})
+					return err
+				})
+			}
+		}
+	}
+	return nil
+}
+
+// propagateToViews computes and applies the view delta for every join view
+// on the updated table.
+func (c *Cluster) propagateToViews(tx *txn.Txn, t *catalog.Table, tuples []types.Tuple, op maintain.Op) error {
+	for _, v := range c.cat.ViewsOn(t.Name) {
+		strat, err := c.ResolveStrategy(v, t.Name, len(tuples))
+		if err != nil {
+			return err
+		}
+		p, err := plan.Build(c.cat, c.st, v, t.Name, strat)
+		if err != nil {
+			return err
+		}
+		delta, _, err := maintain.ComputeViewDelta(c.env, p, tuples, c.cfg.Algo)
+		if err != nil {
+			return err
+		}
+		if err := maintain.ApplyToView(c.env, v, delta, op); err != nil {
+			return err
+		}
+		v, delta := v, delta
+		undoOp := maintain.OpDelete
+		if op == maintain.OpDelete {
+			undoOp = maintain.OpInsert
+		}
+		tx.OnRollback(func() error {
+			return maintain.ApplyToView(c.env, v, delta, undoOp)
+		})
+	}
+	return nil
+}
+
+// Delete removes every tuple of the table matching pred, maintaining all
+// auxiliary structures and views, and returns the deleted tuples.
+func (c *Cluster) Delete(table string, pred expr.Expr) ([]types.Tuple, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	deleted, err := c.deleteLocked(table, pred)
+	if err != nil {
+		return nil, err
+	}
+	c.bumpRows(table, -int64(len(deleted)))
+	return deleted, nil
+}
+
+func (c *Cluster) deleteLocked(table string, pred expr.Expr) ([]types.Tuple, error) {
+	t, err := c.cat.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	victims, locs, err := c.findVictims(table, pred)
+	if err != nil {
+		return nil, err
+	}
+	if len(victims) == 0 {
+		return nil, nil
+	}
+	var tx txn.Txn
+	if err := c.applyDelete(&tx, t, victims, locs); err != nil {
+		if rbErr := tx.Rollback(); rbErr != nil {
+			return nil, fmt.Errorf("%w (rollback also failed: %v)", err, rbErr)
+		}
+		return nil, err
+	}
+	tx.Commit()
+	return victims, nil
+}
+
+// findVictims locates the tuples matching pred at every node (a scan; the
+// paper's model does not charge victim location, but a real system reads
+// the relation).
+func (c *Cluster) findVictims(table string, pred expr.Expr) ([]types.Tuple, []located, error) {
+	resps, err := c.tr.Broadcast(netsim.Coordinator, node.FindMatching{Frag: table, Pred: pred})
+	if err != nil {
+		return nil, nil, err
+	}
+	var locs []located
+	var victims []types.Tuple
+	for n, r := range resps {
+		rr := r.(node.RowsResult)
+		for i := range rr.Rows {
+			locs = append(locs, located{node: n, row: rr.Rows[i], tuple: rr.Tuples[i]})
+			victims = append(victims, rr.Tuples[i])
+		}
+	}
+	return victims, locs, nil
+}
+
+// applyDelete removes the located victims from the base relation and
+// propagates the delta through every auxiliary structure and view,
+// registering compensations on tx.
+func (c *Cluster) applyDelete(tx *txn.Txn, t *catalog.Table, victims []types.Tuple, locs []located) error {
+	// 1. Delete from the base relation.
+	byNode := map[int][]storage.RowID{}
+	for _, loc := range locs {
+		byNode[loc.node] = append(byNode[loc.node], loc.row)
+	}
+	for n, rows := range byNode {
+		resp, err := c.call(n, node.DeleteRows{Frag: t.Name, Rows: rows})
+		if err != nil {
+			return err
+		}
+		delTuples := resp.(node.DeleteResult).Tuples
+		n := n
+		tx.OnRollback(func() error {
+			_, err := c.call(n, node.Insert{Frag: t.Name, Tuples: delTuples})
+			return err
+		})
+	}
+	// 2. Auxiliary relations.
+	if err := c.updateAuxRels(tx, t, victims, maintain.OpDelete, locs); err != nil {
+		return err
+	}
+	// 3. Global indexes.
+	if err := c.updateGlobalIndexes(tx, t, locs, maintain.OpDelete); err != nil {
+		return err
+	}
+	// 4. Views.
+	return c.propagateToViews(tx, t, victims, maintain.OpDelete)
+}
+
+// Update modifies every tuple matching pred by applying the set map
+// (column -> new value), implemented as the paper treats updates: a delete
+// of the old tuples followed by an insert of the new ones, all inside one
+// transaction scope. It returns the number of tuples updated.
+func (c *Cluster) Update(table string, set map[string]types.Value, pred expr.Expr) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, err := c.cat.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	for col := range set {
+		if t.Schema.ColIndex(col) < 0 {
+			return 0, fmt.Errorf("cluster: update %q: unknown column %q", table, col)
+		}
+	}
+	victims, err := c.deleteLocked(table, pred)
+	if err != nil {
+		return 0, err
+	}
+	if len(victims) == 0 {
+		return 0, nil
+	}
+	replacement := make([]types.Tuple, len(victims))
+	for i, v := range victims {
+		nt := v.Clone()
+		for col, val := range set {
+			nt[t.Schema.MustColIndex(col)] = val
+		}
+		replacement[i] = nt
+	}
+	var tx txn.Txn
+	if err := c.insertLocked(&tx, t, replacement); err != nil {
+		// Restore the deleted tuples, then unwind the partial insert.
+		rbErr := tx.Rollback()
+		var restore txn.Txn
+		if insErr := c.insertLocked(&restore, t, victims); insErr == nil {
+			restore.Commit()
+		}
+		if rbErr != nil {
+			return 0, fmt.Errorf("%w (rollback also failed: %v)", err, rbErr)
+		}
+		return 0, err
+	}
+	tx.Commit()
+	return len(victims), nil
+}
+
+// ResolveStrategy returns the maintenance method for one update of
+// deltaSize tuples: the view's fixed strategy, or — for StrategyAuto — the
+// cheapest by the multiway analytical model, considering only strategies
+// whose auxiliary structures exist (the hybrid chooser from the paper's
+// conclusion).
+func (c *Cluster) ResolveStrategy(v *catalog.View, table string, deltaSize int) (catalog.Strategy, error) {
+	if s := v.StrategyFor(table); s != catalog.StrategyAuto {
+		return s, nil
+	}
+	type option struct {
+		strat catalog.Strategy
+		cost  float64
+	}
+	var opts []option
+	for _, strat := range []catalog.Strategy{catalog.StrategyAuxRel, catalog.StrategyGlobalIndex, catalog.StrategyNaive} {
+		p, err := plan.Build(c.cat, c.st, v, table, strat)
+		if err != nil {
+			continue // structures missing: strategy unavailable
+		}
+		steps := make([]cost.ChainStep, len(p.Steps))
+		for i, s := range p.Steps {
+			steps[i] = cost.ChainStep{Fanout: s.Fanout, Clustered: s.FragClusteredOnCol}
+		}
+		// Minimize total workload (the paper's TW): the operational
+		// warehouse goal is throughput across the update stream, and TW
+		// exposes the naive method's all-node work that response time
+		// alone would hide.
+		var est float64
+		switch strat {
+		case catalog.StrategyNaive:
+			est = cost.TotalNaive(c.cfg.Nodes, deltaSize, steps)
+		case catalog.StrategyAuxRel:
+			est = cost.TotalAuxRel(c.cfg.Nodes, deltaSize, steps, len(c.cat.AuxRelsFor(table)))
+		case catalog.StrategyGlobalIndex:
+			est = cost.TotalGlobalIndex(c.cfg.Nodes, deltaSize, steps, len(c.cat.GlobalIndexesFor(table)))
+		}
+		opts = append(opts, option{strat: strat, cost: est})
+	}
+	if len(opts) == 0 {
+		return 0, fmt.Errorf("cluster: view %q has no feasible maintenance strategy for table %q", v.Name, table)
+	}
+	best := opts[0]
+	for _, o := range opts[1:] {
+		if o.cost < best.cost {
+			best = o
+		}
+	}
+	return best.strat, nil
+}
+
+// ExplainMaintenance renders the maintenance plan a view would execute for
+// an update of the named table — EXPLAIN for the maintenance path.
+func (c *Cluster) ExplainMaintenance(viewName, table string, deltaSize int) (string, error) {
+	v, err := c.cat.View(viewName)
+	if err != nil {
+		return "", err
+	}
+	strat, err := c.ResolveStrategy(v, table, deltaSize)
+	if err != nil {
+		return "", err
+	}
+	p, err := plan.Build(c.cat, c.st, v, table, strat)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("strategy: %s\n%s", strat, p.Describe()), nil
+}
+
+// ComputeViewDeltaOnly runs just the "compute the changes to the view"
+// step for a hypothetical delta, without touching the base relation, the
+// auxiliary structures or the view — the exact measurement of the paper's
+// §3.3 experiment, which timed the delta_customer ⋈ orders [⋈ lineitem]
+// SELECT in isolation. It returns the number of join tuples the delta
+// would produce and the I/O/message cost of computing them.
+func (c *Cluster) ComputeViewDeltaOnly(viewName, table string, tuples []types.Tuple, strat catalog.Strategy) (int, Metrics, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, err := c.cat.View(viewName)
+	if err != nil {
+		return 0, Metrics{}, err
+	}
+	p, err := plan.Build(c.cat, c.st, v, table, strat)
+	if err != nil {
+		return 0, Metrics{}, err
+	}
+	before := c.Metrics()
+	delta, _, err := maintain.ComputeViewDelta(c.env, p, tuples, c.cfg.Algo)
+	if err != nil {
+		return 0, Metrics{}, err
+	}
+	return len(delta), c.Metrics().Sub(before), nil
+}
+
+// bumpRows keeps the row-count statistic roughly current between explicit
+// RefreshStats calls.
+func (c *Cluster) bumpRows(table string, delta int64) {
+	ts, ok := c.st.Get(table)
+	if !ok {
+		return
+	}
+	ts.Rows += delta
+	if ts.Rows < 0 {
+		ts.Rows = 0
+	}
+	c.st.Set(table, ts)
+}

@@ -1,0 +1,196 @@
+package cluster
+
+import (
+	"testing"
+
+	"joinview/internal/catalog"
+	"joinview/internal/types"
+)
+
+func jv1Spec() QuerySpec {
+	return QuerySpec{
+		Tables: []string{"customer", "orders"},
+		Joins: []catalog.JoinPred{
+			{Left: "customer", LeftCol: "custkey", Right: "orders", RightCol: "custkey"},
+		},
+		Out: []catalog.OutCol{
+			{Table: "customer", Col: "custkey"}, {Table: "customer", Col: "acctbal"},
+			{Table: "orders", Col: "orderkey"}, {Table: "orders", Col: "totalprice"},
+		},
+	}
+}
+
+func TestQueryJoinMatchesView(t *testing.T) {
+	c := newTPCR(t, 4, 10, 2, 2)
+	if err := c.CreateView(jv1Def("jv1", catalog.StrategyNaive)); err != nil {
+		t.Fatal(err)
+	}
+	rows, schema, err := c.QueryJoin(jv1Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.Len() != 4 || schema.Names()[0] != "customer.custkey" {
+		t.Errorf("schema = %v", schema.Names())
+	}
+	want, err := c.ViewRows("jv1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bagEqual(rows, want); err != nil {
+		t.Fatalf("query vs view: %v (%d vs %d rows)", err, len(rows), len(want))
+	}
+	// Temps are dropped: a second run succeeds identically.
+	rows2, _, err := c.QueryJoin(jv1Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows2) != len(rows) {
+		t.Errorf("second run = %d rows", len(rows2))
+	}
+}
+
+func TestQueryJoinThreeWay(t *testing.T) {
+	c := newTPCR(t, 4, 6, 2, 3)
+	spec := QuerySpec{
+		Tables: []string{"customer", "orders", "lineitem"},
+		Joins: []catalog.JoinPred{
+			{Left: "customer", LeftCol: "custkey", Right: "orders", RightCol: "custkey"},
+			{Left: "orders", LeftCol: "orderkey", Right: "lineitem", RightCol: "orderkey"},
+		},
+		Out: []catalog.OutCol{
+			{Table: "customer", Col: "custkey"},
+			{Table: "orders", Col: "orderkey"},
+			{Table: "lineitem", Col: "extendedprice"},
+		},
+	}
+	rows, _, err := c.QueryJoin(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 customers × 2 orders × 3 lineitems = 36.
+	if len(rows) != 36 {
+		t.Fatalf("query returned %d rows, want 36", len(rows))
+	}
+}
+
+func TestQueryJoinReusesAuxRel(t *testing.T) {
+	c := newTPCR(t, 4, 10, 2, 1)
+	// Without an AR: the orders side must shuffle.
+	c.ResetMetrics()
+	if _, _, err := c.QueryJoin(jv1Spec()); err != nil {
+		t.Fatal(err)
+	}
+	withoutAR := c.Metrics().Total().Inserts
+	// Create a full-width AR on orders.custkey; the query reuses it as
+	// the pre-partitioned copy, eliminating the orders shuffle writes.
+	if err := c.CreateAuxRel(&catalog.AuxRel{Name: "orders_copy", Table: "orders", PartitionCol: "custkey"}); err != nil {
+		t.Fatal(err)
+	}
+	c.ResetMetrics()
+	rows, _, err := c.QueryJoin(jv1Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	withAR := c.Metrics().Total().Inserts
+	if withAR >= withoutAR {
+		t.Errorf("AR reuse should cut shuffle inserts: %d vs %d", withAR, withoutAR)
+	}
+	if len(rows) != 20 { // 10 customers × 2 orders
+		t.Errorf("rows = %d, want 20", len(rows))
+	}
+}
+
+func TestQueryJoinFullWidthDefaultProjection(t *testing.T) {
+	c := newTPCR(t, 2, 3, 1, 1)
+	spec := jv1Spec()
+	spec.Out = nil
+	rows, schema, err := c.QueryJoin(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// customer(2) + orders(3) columns.
+	if schema.Len() != 5 {
+		t.Errorf("schema = %v", schema.Names())
+	}
+	if len(rows) != 3 {
+		t.Errorf("rows = %d", len(rows))
+	}
+}
+
+func TestQueryJoinCyclic(t *testing.T) {
+	c := triangleCluster(t, catalog.StrategyNaive)
+	rows, _, err := c.QueryJoin(QuerySpec{
+		Tables: []string{"ta", "tb", "tc"},
+		Joins: []catalog.JoinPred{
+			{Left: "ta", LeftCol: "x", Right: "tb", RightCol: "x"},
+			{Left: "tb", LeftCol: "y", Right: "tc", RightCol: "y"},
+			{Left: "tc", LeftCol: "z", Right: "ta", RightCol: "z"},
+		},
+		Out: []catalog.OutCol{
+			{Table: "ta", Col: "pk"}, {Table: "tb", Col: "pk"}, {Table: "tc", Col: "pk"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refTriangle(t, c)
+	if err := bagEqual(rows, want); err != nil {
+		t.Fatalf("cyclic query: %v", err)
+	}
+}
+
+func TestQueryJoinErrors(t *testing.T) {
+	c := newTPCR(t, 2, 2, 1, 1)
+	if _, _, err := c.QueryJoin(QuerySpec{}); err == nil {
+		t.Error("empty query should fail")
+	}
+	if _, _, err := c.QueryJoin(QuerySpec{Tables: []string{"ghost"}}); err == nil {
+		t.Error("unknown table should fail")
+	}
+	if _, _, err := c.QueryJoin(QuerySpec{Tables: []string{"customer", "lineitem"}}); err == nil {
+		t.Error("disconnected join should fail")
+	}
+	if _, _, err := c.QueryJoin(QuerySpec{
+		Tables: []string{"customer", "orders"},
+		Joins:  []catalog.JoinPred{{Left: "customer", LeftCol: "custkey", Right: "orders", RightCol: "custkey"}},
+		Out:    []catalog.OutCol{{Table: "customer", Col: "ghost"}},
+	}); err == nil {
+		t.Error("bad projection should fail")
+	}
+}
+
+// The economics of materialization: scanning the maintained view costs far
+// less than recomputing the join, which is the reason the warehouse pays
+// the maintenance costs this whole study is about.
+func TestViewScanBeatsQueryJoin(t *testing.T) {
+	c := newTPCR(t, 4, 20, 2, 1)
+	if err := c.CreateView(jv1Def("jv1", catalog.StrategyAuxRel)); err != nil {
+		t.Fatal(err)
+	}
+	c.ResetMetrics()
+	viaQuery, _, err := c.QueryJoin(jv1Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queryIOs := c.Metrics().TotalIOs()
+	c.ResetMetrics()
+	viaView, err := c.ScanFragmentMetered("jv1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	viewIOs := c.Metrics().TotalIOs()
+	if err := bagEqual(viaQuery, viaView); err != nil {
+		t.Fatalf("query and view disagree: %v", err)
+	}
+	if viewIOs >= queryIOs {
+		t.Errorf("view scan (%d I/Os) should beat the join query (%d I/Os)", viewIOs, queryIOs)
+	}
+}
+
+func TestSortQualifiedHelper(t *testing.T) {
+	rows := []types.Tuple{{types.Int(2)}, {types.Int(1)}}
+	sortQualified(rows)
+	if rows[0][0].I != 1 {
+		t.Error("sortQualified failed")
+	}
+}

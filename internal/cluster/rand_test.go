@@ -1,0 +1,6 @@
+package cluster
+
+import "math/rand"
+
+// newRand gives the randomized tests a seeded source so failures reproduce.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

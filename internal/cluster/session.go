@@ -1,0 +1,231 @@
+package cluster
+
+import (
+	"fmt"
+
+	"joinview/internal/catalog"
+	"joinview/internal/expr"
+	"joinview/internal/node"
+	"joinview/internal/txn"
+	"joinview/internal/types"
+)
+
+// Txn is an open multi-statement transaction — the paper's "begin
+// transaction; update base relation; update auxiliary relation; update
+// join view; end transaction" scope, widened to several statements.
+//
+// Each statement applies atomically (a failing statement is fully undone
+// and reported, leaving the transaction open). Rollback undoes every
+// applied statement in reverse with *logical* compensation: the inverse
+// statement runs through the full maintenance pipeline, so auxiliary
+// relations, global indexes and views stay consistent even when later
+// statements in the same transaction moved the affected tuples. Isolation
+// is statement-level: other sessions observe applied statements
+// immediately (the paper's locking protocols for stronger isolation are
+// companion work; its experiments run one transaction at a time).
+type Txn struct {
+	c    *Cluster
+	u    txn.Txn
+	done bool
+}
+
+// Begin opens a transaction.
+func (c *Cluster) Begin() *Txn {
+	return &Txn{c: c}
+}
+
+func (t *Txn) check() error {
+	if t.done {
+		return fmt.Errorf("cluster: transaction already finished")
+	}
+	return nil
+}
+
+// Insert runs one insert statement inside the transaction.
+func (t *Txn) Insert(table string, tuples []types.Tuple) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	if len(tuples) == 0 {
+		return nil
+	}
+	t.c.mu.Lock()
+	defer t.c.mu.Unlock()
+	tab, err := t.c.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	return t.insertLockedStmt(tab, tuples)
+}
+
+// Delete runs one delete statement inside the transaction, returning the
+// deleted tuples.
+func (t *Txn) Delete(table string, pred expr.Expr) ([]types.Tuple, error) {
+	if err := t.check(); err != nil {
+		return nil, err
+	}
+	t.c.mu.Lock()
+	defer t.c.mu.Unlock()
+	return t.deleteLockedStmt(table, pred)
+}
+
+func (t *Txn) deleteLockedStmt(table string, pred expr.Expr) ([]types.Tuple, error) {
+	deleted, err := t.c.deleteLocked(table, pred)
+	if err != nil {
+		return nil, err
+	}
+	if len(deleted) == 0 {
+		return nil, nil
+	}
+	t.c.bumpRows(table, -int64(len(deleted)))
+	tab, err := t.c.cat.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	victims := append([]types.Tuple(nil), deleted...)
+	t.u.OnRollback(func() error {
+		// Logical inverse: re-insert the victims through the full
+		// maintenance pipeline.
+		var undo txn.Txn
+		if err := t.c.insertLocked(&undo, tab, victims); err != nil {
+			rbErr := undo.Rollback()
+			if rbErr != nil {
+				return fmt.Errorf("%w (compensation rollback also failed: %v)", err, rbErr)
+			}
+			return err
+		}
+		undo.Commit()
+		t.c.bumpRows(table, int64(len(victims)))
+		return nil
+	})
+	return deleted, nil
+}
+
+// Update runs one update statement inside the transaction (delete + insert
+// of the modified tuples), returning the affected count.
+func (t *Txn) Update(table string, set map[string]types.Value, pred expr.Expr) (int, error) {
+	if err := t.check(); err != nil {
+		return 0, err
+	}
+	t.c.mu.Lock()
+	defer t.c.mu.Unlock()
+	tab, err := t.c.cat.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	for col := range set {
+		if tab.Schema.ColIndex(col) < 0 {
+			return 0, fmt.Errorf("cluster: update %q: unknown column %q", table, col)
+		}
+	}
+	mark := t.u.Mark()
+	victims, err := t.deleteLockedStmt(table, pred)
+	if err != nil {
+		return 0, err
+	}
+	if len(victims) == 0 {
+		return 0, nil
+	}
+	replacement := make([]types.Tuple, len(victims))
+	for i, v := range victims {
+		nt := v.Clone()
+		for col, val := range set {
+			nt[tab.Schema.MustColIndex(col)] = val
+		}
+		replacement[i] = nt
+	}
+	if err := t.insertLockedStmt(tab, replacement); err != nil {
+		// Undo the delete half so the statement is atomic.
+		if rbErr := t.u.RollbackTo(mark); rbErr != nil {
+			return 0, fmt.Errorf("%w (statement rollback also failed: %v)", err, rbErr)
+		}
+		return 0, err
+	}
+	return len(victims), nil
+}
+
+// insertLockedStmt is the insert body shared by Insert and Update (mu
+// already held).
+func (t *Txn) insertLockedStmt(tab *catalog.Table, tuples []types.Tuple) error {
+	var stmt txn.Txn
+	if err := t.c.insertLocked(&stmt, tab, tuples); err != nil {
+		if rbErr := stmt.Rollback(); rbErr != nil {
+			return fmt.Errorf("%w (statement rollback also failed: %v)", err, rbErr)
+		}
+		return err
+	}
+	stmt.Commit()
+	t.c.bumpRows(tab.Name, int64(len(tuples)))
+	inserted := append([]types.Tuple(nil), tuples...)
+	t.u.OnRollback(func() error {
+		if err := t.c.deleteTuplesLocked(tab, inserted); err != nil {
+			return err
+		}
+		t.c.bumpRows(tab.Name, -int64(len(inserted)))
+		return nil
+	})
+	return nil
+}
+
+// Commit finalizes the transaction; its effects stay.
+func (t *Txn) Commit() error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	t.done = true
+	t.u.Commit()
+	return nil
+}
+
+// Rollback undoes every applied statement in reverse order.
+func (t *Txn) Rollback() error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	t.done = true
+	t.c.mu.Lock()
+	defer t.c.mu.Unlock()
+	return t.u.Rollback()
+}
+
+// Active reports whether the transaction can still accept statements.
+func (t *Txn) Active() bool { return !t.done }
+
+// deleteTuplesLocked removes one stored instance per given tuple through
+// the full maintenance pipeline (value-addressed delete; mu already held).
+func (c *Cluster) deleteTuplesLocked(tab *catalog.Table, tuples []types.Tuple) error {
+	// Route each tuple to its home node and locate one instance there.
+	buckets, err := c.part.Spread(tab.Schema, tab.PartitionCol, tuples)
+	if err != nil {
+		return err
+	}
+	var victims []types.Tuple
+	var locs []located
+	for n, bucket := range buckets {
+		if len(bucket) == 0 {
+			continue
+		}
+		resp, err := c.call(n, node.LocateMatch{Frag: tab.Name, HintCol: tab.PartitionCol, Tuples: bucket})
+		if err != nil {
+			return err
+		}
+		rr := resp.(node.RowsResult)
+		if len(rr.Rows) != len(bucket) {
+			return fmt.Errorf("cluster: compensation found %d of %d tuples in %q at node %d",
+				len(rr.Rows), len(bucket), tab.Name, n)
+		}
+		for i := range rr.Rows {
+			victims = append(victims, rr.Tuples[i])
+			locs = append(locs, located{node: n, row: rr.Rows[i], tuple: rr.Tuples[i]})
+		}
+	}
+	var undo txn.Txn
+	if err := c.applyDelete(&undo, tab, victims, locs); err != nil {
+		if rbErr := undo.Rollback(); rbErr != nil {
+			return fmt.Errorf("%w (compensation rollback also failed: %v)", err, rbErr)
+		}
+		return err
+	}
+	undo.Commit()
+	return nil
+}

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"testing"
+
+	"joinview/internal/catalog"
+	"joinview/internal/expr"
+	"joinview/internal/types"
+)
+
+func TestTxnCommitAndRollback(t *testing.T) {
+	c := newTPCR(t, 4, 6, 2, 1)
+	if err := c.CreateView(jv1Def("jv1", catalog.StrategyAuxRel)); err != nil {
+		t.Fatal(err)
+	}
+	baseRows, _ := c.TableRows("customer")
+	viewRows, _ := c.ViewRows("jv1")
+
+	// Committed transaction: effects persist.
+	tx := c.Begin()
+	if !tx.Active() {
+		t.Fatal("fresh txn should be active")
+	}
+	noErr(t, tx.Insert("customer", []types.Tuple{cust(100, 1)}))
+	noErr(t, tx.Insert("orders", []types.Tuple{ord(900, 100, 2)}))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if tx.Active() {
+		t.Error("committed txn should be inactive")
+	}
+	if err := c.CheckViewConsistency("jv1"); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := c.ViewRows("jv1")
+	if len(after) != len(viewRows)+1 {
+		t.Fatalf("view rows = %d, want %d", len(after), len(viewRows)+1)
+	}
+
+	// Rolled-back transaction: no trace, across all structures.
+	tx = c.Begin()
+	noErr(t, tx.Insert("customer", []types.Tuple{cust(200, 1)}))
+	if _, err := tx.Delete("orders", expr.Cmp{Op: expr.EQ, L: expr.Col{Name: "orderkey"}, R: expr.Const{V: types.Int(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Update("customer", map[string]types.Value{"acctbal": types.Float(-9)}, expr.True); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckAllStructures(); err != nil {
+		t.Fatal(err)
+	}
+	final, _ := c.TableRows("customer")
+	if len(final) != len(baseRows)+1 { // +1 from the committed txn above
+		t.Errorf("customer rows = %d, want %d", len(final), len(baseRows)+1)
+	}
+	for _, row := range final {
+		if row[1].F == -9 {
+			t.Error("rolled-back update leaked")
+		}
+	}
+}
+
+func TestTxnStatementAtomicityProgrammatic(t *testing.T) {
+	c := newTPCR(t, 2, 4, 1, 1)
+	tx := c.Begin()
+	noErr(t, tx.Insert("customer", []types.Tuple{cust(300, 1)}))
+	// A failing statement leaves prior statements intact and the txn open.
+	if err := tx.Insert("customer", []types.Tuple{{types.Int(1)}}); err == nil {
+		t.Fatal("bad arity should fail")
+	}
+	if !tx.Active() {
+		t.Fatal("txn should survive a failed statement")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := c.TableRows("customer")
+	found := false
+	for _, r := range rows {
+		if r[0].I == 300 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("good statement lost")
+	}
+}
+
+func TestTxnAfterFinish(t *testing.T) {
+	c := newTPCR(t, 2, 2, 1, 1)
+	tx := c.Begin()
+	noErr(t, tx.Commit())
+	if err := tx.Insert("customer", nil); err == nil {
+		t.Error("insert after commit should fail")
+	}
+	if _, err := tx.Delete("customer", expr.True); err == nil {
+		t.Error("delete after commit should fail")
+	}
+	if _, err := tx.Update("customer", nil, expr.True); err == nil {
+		t.Error("update after commit should fail")
+	}
+	if err := tx.Commit(); err == nil {
+		t.Error("double commit should fail")
+	}
+	if err := tx.Rollback(); err == nil {
+		t.Error("rollback after commit should fail")
+	}
+	// Empty insert in an open txn is a no-op.
+	tx2 := c.Begin()
+	noErr(t, tx2.Insert("customer", nil))
+	noErr(t, tx2.Rollback())
+}
+
+func TestTxnUnknownObjects(t *testing.T) {
+	c := newTPCR(t, 2, 2, 1, 1)
+	tx := c.Begin()
+	if err := tx.Insert("ghost", []types.Tuple{{}}); err == nil {
+		t.Error("insert into missing table should fail")
+	}
+	if _, err := tx.Delete("ghost", expr.True); err == nil {
+		t.Error("delete from missing table should fail")
+	}
+	if _, err := tx.Update("ghost", nil, expr.True); err == nil {
+		t.Error("update of missing table should fail")
+	}
+	if _, err := tx.Update("customer", map[string]types.Value{"zzz": types.Int(1)}, expr.True); err == nil {
+		t.Error("update of missing column should fail")
+	}
+	noErr(t, tx.Rollback())
+}

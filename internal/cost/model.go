@@ -1,0 +1,208 @@
+// Package cost implements the paper's analytical model (§3.1–§3.2): total
+// workload and response time of the naive, auxiliary-relation and
+// global-index maintenance methods, under both the index-nested-loops and
+// sort-merge join algorithms. The figure generators in series.go reproduce
+// Figures 7–13 from these formulas, and Advise implements the cost-based
+// method chooser the paper's conclusion proposes.
+//
+// Unit costs follow §3.1: SEARCH = 1 I/O, FETCH = 1 I/O, INSERT = 2 I/Os;
+// SEND is excluded from I/O totals ("the time spent on SEND is much
+// smaller than the time spent on SEARCH, FETCH, and INSERT").
+package cost
+
+import "joinview/internal/catalog"
+
+// I/O unit costs (§3.1).
+const (
+	IOSearch = 1
+	IOFetch  = 1
+	IOInsert = 2
+)
+
+// Model carries the parameters of the two-relation analysis: a join view
+// JV = A ⋈ B partitioned on an attribute of A, with tuples inserted into A.
+type Model struct {
+	// L is the number of data server nodes.
+	L int
+	// N is the number of join tuples generated per inserted tuple (the
+	// fan-out of the join into B).
+	N int
+	// K is the number of nodes the matching B tuples reside at; zero
+	// means the paper's default min(N, L).
+	K int
+	// BPages is the size of base relation B in pages (total; each node
+	// holds BPages/L under the uniform-distribution assumption 2).
+	BPages int
+	// MemPages is the sort memory M in pages.
+	MemPages int
+}
+
+// k resolves K, defaulting to min(N, L) (§3.2 "K=min(N,L)").
+func (m Model) k() int {
+	if m.K > 0 {
+		return m.K
+	}
+	return min(m.N, m.L)
+}
+
+// BiPages is the per-node share of B in pages (assumption 2).
+func (m Model) BiPages() int { return ceilDiv(m.BPages, m.L) }
+
+// Total workload (§3.1.1): I/Os summed over all nodes per inserted tuple.
+
+// TWNaive is the naive method's total workload per inserted tuple:
+// L searches plus, for a non-clustered index J_B, N fetches.
+func (m Model) TWNaive(clusteredIdx bool) int {
+	tw := m.L * IOSearch
+	if !clusteredIdx {
+		tw += m.N * IOFetch
+	}
+	return tw
+}
+
+// TWAuxRel is the auxiliary-relation method's total workload per inserted
+// tuple: one INSERT into AR_A plus one SEARCH of AR_B — the constant 3.
+func (m Model) TWAuxRel() int { return IOInsert + IOSearch }
+
+// TWGlobalIndex is the global-index method's total workload per inserted
+// tuple: INSERT into GI_A + SEARCH of GI_B + N fetches (distributed
+// non-clustered) or K page fetches (distributed clustered).
+func (m Model) TWGlobalIndex(distClustered bool) int {
+	tw := IOInsert + IOSearch
+	if distClustered {
+		tw += m.k() * IOFetch
+	} else {
+		tw += m.N * IOFetch
+	}
+	return tw
+}
+
+// Algo selects the join algorithm for the response-time model.
+type Algo uint8
+
+// Join algorithm choices for the model.
+const (
+	// AlgoIndex forces index nested loops.
+	AlgoIndex Algo = iota
+	// AlgoSortMerge forces the sort-merge algorithm.
+	AlgoSortMerge
+	// AlgoBest picks the cheaper of the two per method ("the algorithm
+	// of choice", Figures 11–12).
+	AlgoBest
+)
+
+// Response time (§3.2): maximum per-node I/Os for one transaction that
+// inserts A tuples, assuming uniform distribution. The ceil terms produce
+// the step-wise behaviour Figure 12 highlights.
+
+// RespNaive is the naive method's response time for A inserted tuples.
+func (m Model) RespNaive(a int, clusteredIdx bool, algo Algo) float64 {
+	// Index nested loops: every node sees all A tuples (A searches);
+	// fetches for non-clustered J_B spread over the nodes.
+	inl := float64(a) * IOSearch
+	if !clusteredIdx {
+		inl += float64(ceilDiv(a*m.N, m.L)) * IOFetch
+	}
+	// Sort merge: scan B_i (clustered) or sort it (non-clustered).
+	bi := m.BiPages()
+	var sm float64
+	if clusteredIdx {
+		sm = float64(bi)
+	} else {
+		sm = float64(bi * ceilLog(m.MemPages, bi))
+	}
+	return pick(algo, inl, sm)
+}
+
+// RespAuxRel is the auxiliary-relation method's response time for A
+// inserted tuples: each node sees ceil(A/L) tuples; each costs one SEARCH
+// of AR_B plus one INSERT into AR_A (the paper's per-node 3·ceil(A/L)).
+// Under sort-merge the AR_B side is a clustered scan of B_i plus the AR_A
+// updates.
+func (m Model) RespAuxRel(a int, algo Algo) float64 {
+	ai := float64(ceilDiv(a, m.L))
+	inl := ai * (IOSearch + IOInsert)
+	sm := float64(m.BiPages()) + ai*IOInsert
+	return pick(algo, inl, sm)
+}
+
+// RespGlobalIndex is the global-index method's response time for A
+// inserted tuples: ceil(A/L) home-node operations (GI_A INSERT + GI_B
+// SEARCH) plus the fetch work at the K owning nodes — ceil(A·K/L) page
+// fetches when distributed clustered (the paper's (3+K)·A/L), or
+// ceil(A·N/L) tuple fetches otherwise ((3+N)·A/L).
+func (m Model) RespGlobalIndex(a int, distClustered bool, algo Algo) float64 {
+	ai := float64(ceilDiv(a, m.L))
+	inl := ai * (IOSearch + IOInsert)
+	if distClustered {
+		inl += float64(ceilDiv(a*m.k(), m.L)) * IOFetch
+	} else {
+		inl += float64(ceilDiv(a*m.N, m.L)) * IOFetch
+	}
+	bi := m.BiPages()
+	var smJoin float64
+	if distClustered {
+		smJoin = float64(bi)
+	} else {
+		smJoin = float64(bi * ceilLog(m.MemPages, bi))
+	}
+	sm := smJoin + ai*IOInsert
+	return pick(algo, inl, sm)
+}
+
+// Advise picks the cheapest maintenance method for a transaction of A
+// inserted tuples, given which physical designs are in play:
+// naiveClustered says base relation B carries a local clustered index on
+// the join attribute, giDistClustered says the global index would be
+// distributed clustered. This is the cost-based chooser the conclusion
+// sketches ("our analytical model could form the basis for a cost model
+// that would enable a system to choose the best approach automatically").
+func (m Model) Advise(a int, naiveClustered, giDistClustered bool) catalog.Strategy {
+	naive := m.RespNaive(a, naiveClustered, AlgoBest)
+	aux := m.RespAuxRel(a, AlgoBest)
+	gi := m.RespGlobalIndex(a, giDistClustered, AlgoBest)
+	// Deterministic preference on ties: AR (cheapest storage-independent
+	// work) > GI > naive matches the paper's small-update ordering.
+	best, strat := aux, catalog.StrategyAuxRel
+	if gi < best {
+		best, strat = gi, catalog.StrategyGlobalIndex
+	}
+	if naive < best {
+		strat = catalog.StrategyNaive
+	}
+	return strat
+}
+
+func pick(algo Algo, inl, sm float64) float64 {
+	switch algo {
+	case AlgoIndex:
+		return inl
+	case AlgoSortMerge:
+		return sm
+	default:
+		return min(inl, sm)
+	}
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}
+
+// ceilLog returns ceil(log_base(pages)), minimum 1 for non-empty input —
+// the pass count of external sort in the model.
+func ceilLog(base, pages int) int {
+	if pages <= 0 {
+		return 0
+	}
+	if base < 2 {
+		base = 2
+	}
+	passes := 1
+	for span := base; span < pages; span *= base {
+		passes++
+	}
+	return passes
+}

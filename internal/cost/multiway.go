@@ -1,0 +1,146 @@
+package cost
+
+// Multiway extension of the analytical model, used for Figure 13: the
+// predicted maintenance time of views JV1 (customer ⋈ orders) and JV2
+// (customer ⋈ orders ⋈ lineitem) when A tuples are inserted into the
+// customer relation. The delta is joined through a chain of relations;
+// each chain step has a fan-out and a physical access that is either
+// clustered on the join attribute (fetches free on the probed page) or
+// non-clustered (one fetch per match).
+
+// ChainStep describes one delta-join step of a multiway maintenance plan.
+type ChainStep struct {
+	// Fanout is the expected matches per incoming tuple.
+	Fanout float64
+	// Clustered says the probed relation (base or AR) is locally
+	// clustered on the join attribute.
+	Clustered bool
+}
+
+// PredictNaive returns the per-node response time (in I/Os) of maintaining
+// the view with the naive method: every node searches for every
+// intermediate tuple at each step, and non-clustered fetches spread over
+// the L nodes.
+func PredictNaive(l, a int, steps []ChainStep) float64 {
+	in := float64(a)
+	total := 0.0
+	for _, s := range steps {
+		total += in * IOSearch // every node probes every intermediate tuple
+		matches := in * s.Fanout
+		if !s.Clustered {
+			total += matches / float64(l) * IOFetch
+		}
+		in = matches
+	}
+	return total
+}
+
+// PredictAuxRel returns the per-node response time of the auxiliary-
+// relation method: intermediates are hash-routed, so each node sees a 1/L
+// share per step, probing an AR clustered on the join attribute; plus the
+// updates to the updated table's own auxiliary relations (arUpdates is the
+// number of its ARs — zero when it is partitioned on its join attribute,
+// as customer is in the paper's experiment).
+func PredictAuxRel(l, a int, steps []ChainStep, arUpdates int) float64 {
+	in := float64(a)
+	total := float64(arUpdates) * ceilF(a, l) * IOInsert
+	for _, s := range steps {
+		total += ceilF(int(in+0.5), l) * IOSearch
+		in *= s.Fanout
+	}
+	return total
+}
+
+// PredictGlobalIndex returns the per-node response time of the global-
+// index method: each step routes intermediates to GI home nodes (1/L share
+// of searches), then fetches matches at the owning nodes — per page when
+// the GI is distributed clustered, per tuple otherwise. giUpdates is the
+// number of global indexes on the updated table.
+func PredictGlobalIndex(l, a int, steps []ChainStep, giUpdates int) float64 {
+	in := float64(a)
+	total := float64(giUpdates) * ceilF(a, l) * IOInsert
+	for _, s := range steps {
+		total += ceilF(int(in+0.5), l) * IOSearch
+		matches := in * s.Fanout
+		if s.Clustered {
+			// Distributed clustered: one page fetch per (tuple, owning
+			// node); K = min(fanout, L) owners per tuple, work split
+			// over the L nodes.
+			k := s.Fanout
+			if k > float64(l) {
+				k = float64(l)
+			}
+			total += in * k / float64(l) * IOFetch
+		} else {
+			total += matches / float64(l) * IOFetch
+		}
+		in = matches
+	}
+	return total
+}
+
+// Total-workload variants: I/Os summed over all nodes (the paper's TW,
+// "a useful basic metric because ... response time alone can hide the fact
+// that multiple nodes may be doing unproductive work"). The auto-strategy
+// advisor minimizes these — the operational-warehouse goal is throughput.
+
+// TotalNaive is the naive method's TW for a transaction of a tuples: every
+// node searches for every intermediate tuple (in·L per step), plus one
+// fetch per match when the probe is non-clustered.
+func TotalNaive(l, a int, steps []ChainStep) float64 {
+	in := float64(a)
+	total := 0.0
+	for _, s := range steps {
+		total += in * float64(l) * IOSearch
+		matches := in * s.Fanout
+		if !s.Clustered {
+			total += matches * IOFetch
+		}
+		in = matches
+	}
+	return total
+}
+
+// TotalAuxRel is the AR method's TW: one routed search per intermediate
+// tuple per step (clustered ARs fetch free) plus the updates to the
+// updated table's own ARs (2 I/Os each).
+func TotalAuxRel(l, a int, steps []ChainStep, arUpdates int) float64 {
+	_ = l
+	in := float64(a)
+	total := float64(arUpdates) * float64(a) * IOInsert
+	for _, s := range steps {
+		total += in * IOSearch
+		in *= s.Fanout
+	}
+	return total
+}
+
+// TotalGlobalIndex is the GI method's TW: one GI search per intermediate
+// tuple per step, fetches per match (per owning page when distributed
+// clustered, K = min(fanout, L) pages), plus updates to the updated
+// table's own GIs.
+func TotalGlobalIndex(l, a int, steps []ChainStep, giUpdates int) float64 {
+	in := float64(a)
+	total := float64(giUpdates) * float64(a) * IOInsert
+	for _, s := range steps {
+		total += in * IOSearch
+		if s.Clustered {
+			k := s.Fanout
+			if k > float64(l) {
+				k = float64(l)
+			}
+			total += in * k * IOFetch
+		} else {
+			total += in * s.Fanout * IOFetch
+		}
+		in *= s.Fanout
+	}
+	return total
+}
+
+func ceilF(a, b int) float64 {
+	if b <= 0 {
+		return float64(a)
+	}
+	return float64((a + b - 1) / b)
+}

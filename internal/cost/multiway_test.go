@@ -1,0 +1,139 @@
+package cost
+
+import "testing"
+
+// Figure 13 setup: 128 tuples inserted into customer; each customer tuple
+// matches 1 orders tuple, each orders tuple matches 40 lineitem tuples;
+// customer is partitioned on custkey (no AR of its own). The naive method
+// probes orders/lineitem via non-clustered secondary indexes; the AR method
+// probes orders_1/lineitem_1 clustered on the join attributes.
+
+func jv1Steps(clustered bool) []ChainStep {
+	return []ChainStep{{Fanout: 1, Clustered: clustered}}
+}
+
+func jv2Steps(clustered bool) []ChainStep {
+	return []ChainStep{
+		{Fanout: 1, Clustered: clustered},
+		{Fanout: 40, Clustered: clustered},
+	}
+}
+
+func TestFig13PredictedShapes(t *testing.T) {
+	const a = 128
+	for _, l := range []int{2, 4, 8} {
+		jv1Naive := PredictNaive(l, a, jv1Steps(false))
+		jv1AR := PredictAuxRel(l, a, jv1Steps(true), 0)
+		jv2Naive := PredictNaive(l, a, jv2Steps(false))
+		jv2AR := PredictAuxRel(l, a, jv2Steps(true), 0)
+
+		// AR beats naive on both views at every node count.
+		if jv1AR >= jv1Naive {
+			t.Errorf("L=%d: JV1 AR (%g) should beat naive (%g)", l, jv1AR, jv1Naive)
+		}
+		if jv2AR >= jv2Naive {
+			t.Errorf("L=%d: JV2 AR (%g) should beat naive (%g)", l, jv2AR, jv2Naive)
+		}
+		// The 3-way view costs more than the 2-way for both methods.
+		if jv2Naive <= jv1Naive || jv2AR < jv1AR {
+			t.Errorf("L=%d: JV2 should cost at least JV1", l)
+		}
+		// Speedup grows with L (checked across the loop below).
+	}
+	// "The speedup gained by the AR method over the naive method increases
+	// with the number of data server nodes."
+	speedup := func(l int) float64 {
+		return PredictNaive(l, a, jv2Steps(false)) / PredictAuxRel(l, a, jv2Steps(true), 0)
+	}
+	if !(speedup(2) < speedup(4) && speedup(4) < speedup(8)) {
+		t.Errorf("speedups = %g, %g, %g; want increasing", speedup(2), speedup(4), speedup(8))
+	}
+}
+
+func TestFig13ExactValues(t *testing.T) {
+	// Closed forms: naive JV1 = A + A/L; AR JV1 = ceil(A/L).
+	const a = 128
+	if got := PredictNaive(4, a, jv1Steps(false)); got != 128+32 {
+		t.Errorf("naive JV1 at L=4 = %g, want 160", got)
+	}
+	if got := PredictAuxRel(4, a, jv1Steps(true), 0); got != 32 {
+		t.Errorf("AR JV1 at L=4 = %g, want 32", got)
+	}
+	// naive JV2 = A + A/L + A + 40A/L = 2A + 41A/L.
+	if got := PredictNaive(4, a, jv2Steps(false)); got != 2*128+41*32 {
+		t.Errorf("naive JV2 at L=4 = %g, want %d", got, 2*128+41*32)
+	}
+	// AR JV2 = 2*ceil(A/L).
+	if got := PredictAuxRel(4, a, jv2Steps(true), 0); got != 64 {
+		t.Errorf("AR JV2 at L=4 = %g, want 64", got)
+	}
+}
+
+func TestPredictAuxRelARUpdateTerm(t *testing.T) {
+	// An updated table with its own ARs pays 2 I/Os per AR per routed tuple.
+	base := PredictAuxRel(4, 128, jv1Steps(true), 0)
+	with2 := PredictAuxRel(4, 128, jv1Steps(true), 2)
+	if with2-base != 2*32*2 {
+		t.Errorf("AR update term = %g, want 128", with2-base)
+	}
+}
+
+func TestPredictGlobalIndex(t *testing.T) {
+	const a = 128
+	l := 4
+	// Non-clustered, fanout 40 step: searches ceil(in/L), fetches in*40/L.
+	got := PredictGlobalIndex(l, a, []ChainStep{{Fanout: 40, Clustered: false}}, 1)
+	want := float64(2*32) + 32 + float64(128*40)/4
+	if got != want {
+		t.Errorf("PredictGlobalIndex = %g, want %g", got, want)
+	}
+	// Clustered caps per-tuple owner count at L.
+	gotC := PredictGlobalIndex(l, a, []ChainStep{{Fanout: 40, Clustered: true}}, 0)
+	wantC := float64(32) + float64(128*4)/4
+	if gotC != wantC {
+		t.Errorf("PredictGlobalIndex clustered = %g, want %g", gotC, wantC)
+	}
+	// GI sits between AR and naive.
+	ar := PredictAuxRel(l, a, jv2Steps(true), 0)
+	naive := PredictNaive(l, a, jv2Steps(false))
+	gi := PredictGlobalIndex(l, a, jv2Steps(false), 0)
+	if !(ar < gi && gi < naive) {
+		t.Errorf("ordering AR(%g) < GI(%g) < naive(%g) violated", ar, gi, naive)
+	}
+}
+
+// TW estimators must reduce to the §3.1 per-tuple constants for the
+// two-relation case: AR = 3, naive = L + N (non-clustered) or L
+// (clustered), GI = 3 + N (non-clustered) or 3 + K (clustered).
+func TestTotalWorkloadMatchesPerTupleModel(t *testing.T) {
+	for _, l := range []int{2, 8, 32} {
+		for _, n := range []int{1, 10, 64} {
+			m := Model{L: l, N: n}
+			ncStep := []ChainStep{{Fanout: float64(n), Clustered: false}}
+			cStep := []ChainStep{{Fanout: float64(n), Clustered: true}}
+			if got := TotalNaive(l, 1, ncStep); got != float64(m.TWNaive(false)) {
+				t.Errorf("L=%d N=%d: TotalNaive = %g, want %d", l, n, got, m.TWNaive(false))
+			}
+			if got := TotalNaive(l, 1, cStep); got != float64(m.TWNaive(true)) {
+				t.Errorf("L=%d N=%d: TotalNaive clustered = %g, want %d", l, n, got, m.TWNaive(true))
+			}
+			if got := TotalAuxRel(l, 1, cStep, 1); got != float64(m.TWAuxRel()) {
+				t.Errorf("L=%d N=%d: TotalAuxRel = %g, want 3", l, n, got)
+			}
+			if got := TotalGlobalIndex(l, 1, ncStep, 1); got != float64(m.TWGlobalIndex(false)) {
+				t.Errorf("L=%d N=%d: TotalGlobalIndex nc = %g, want %d", l, n, got, m.TWGlobalIndex(false))
+			}
+			if got := TotalGlobalIndex(l, 1, cStep, 1); got != float64(m.TWGlobalIndex(true)) {
+				t.Errorf("L=%d N=%d: TotalGlobalIndex c = %g, want %d", l, n, got, m.TWGlobalIndex(true))
+			}
+		}
+	}
+	// TW ordering AR <= GI <= naive holds for transactions too.
+	steps := []ChainStep{{Fanout: 4, Clustered: false}, {Fanout: 3, Clustered: false}}
+	ar := TotalAuxRel(8, 100, []ChainStep{{Fanout: 4, Clustered: true}, {Fanout: 3, Clustered: true}}, 1)
+	gi := TotalGlobalIndex(8, 100, steps, 1)
+	naive := TotalNaive(8, 100, steps)
+	if !(ar < gi && gi < naive) {
+		t.Errorf("TW ordering violated: AR=%g GI=%g naive=%g", ar, gi, naive)
+	}
+}

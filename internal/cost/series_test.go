@@ -1,0 +1,136 @@
+package cost
+
+import "testing"
+
+var (
+	figLs = []int{1, 2, 4, 8, 16, 32, 64, 128}
+	figNs = []int{1, 2, 4, 8, 16, 32, 64, 128}
+)
+
+func TestFig7Shape(t *testing.T) {
+	s := Fig7(figLs, 10, 6400, 10)
+	if len(s.Lines) != 5 || len(s.X) != len(figLs) {
+		t.Fatalf("series shape wrong: %d lines", len(s.Lines))
+	}
+	ar := s.Lines[MethodAuxRel].Y
+	naiveNC := s.Lines[MethodNaiveNonClustered].Y
+	naiveC := s.Lines[MethodNaiveClustered].Y
+	giNC := s.Lines[MethodGINonClustered].Y
+	giC := s.Lines[MethodGIClustered].Y
+	for i, l := range figLs {
+		if ar[i] != 3 {
+			t.Errorf("L=%d: AR TW = %g", l, ar[i])
+		}
+		if giNC[i] != 13 {
+			t.Errorf("L=%d: GI-nc TW = %g", l, giNC[i])
+		}
+		if naiveC[i] != float64(l) || naiveNC[i] != float64(l+10) {
+			t.Errorf("L=%d: naive TW = %g / %g", l, naiveC[i], naiveNC[i])
+		}
+		if giC[i] != float64(3+min(10, l)) {
+			t.Errorf("L=%d: GI-c TW = %g", l, giC[i])
+		}
+	}
+}
+
+func TestFig8Intermediate(t *testing.T) {
+	// "The global index method is an intermediate method": for small N it
+	// is close to AR, for large N close to naive.
+	s := Fig8(32, figNs, 6400, 10)
+	ar := s.Lines[MethodAuxRel].Y
+	naiveNC := s.Lines[MethodNaiveNonClustered].Y
+	giNC := s.Lines[MethodGINonClustered].Y
+	// N=1: GI-nc = 4, one above AR=3 and far from naive=33.
+	if giNC[0]-ar[0] != 1 {
+		t.Errorf("N=1: GI-nc - AR = %g", giNC[0]-ar[0])
+	}
+	// N=128: GI-nc = 131 vs naive-nc = 160; gap to naive = L-3 = 29,
+	// while the gap to AR has grown to 128.
+	last := len(figNs) - 1
+	if naiveNC[last]-giNC[last] >= giNC[last]-ar[last] {
+		t.Errorf("N=128: GI should sit near naive (gaps %g vs %g)",
+			naiveNC[last]-giNC[last], giNC[last]-ar[last])
+	}
+}
+
+func TestFig9Decreasing(t *testing.T) {
+	s := Fig9(figLs, 400, 10, 6400, 10)
+	ar := s.Lines[MethodAuxRel].Y
+	naiveC := s.Lines[MethodNaiveClustered].Y
+	for i := 1; i < len(figLs); i++ {
+		if ar[i] > ar[i-1] {
+			t.Errorf("AR response should fall with L: %v", ar)
+		}
+	}
+	// Naive clustered is the constant A.
+	for i := range figLs {
+		if naiveC[i] != 400 {
+			t.Errorf("naive clustered should be constant 400, got %v", naiveC)
+		}
+	}
+	// At L=128, AR beats every other method.
+	for mv := MethodNaiveNonClustered; mv < numMethods; mv++ {
+		if s.Lines[mv].Y[len(figLs)-1] <= ar[len(figLs)-1] {
+			t.Errorf("AR should win at L=128 (vs %s)", mv.Label())
+		}
+	}
+}
+
+func TestFig10NaiveClusteredWins(t *testing.T) {
+	s := Fig10(figLs, 6500, 10, 6400, 10)
+	naiveC := s.Lines[MethodNaiveClustered].Y
+	for i := range figLs {
+		for mv := Method(0); mv < numMethods; mv++ {
+			if mv == MethodNaiveClustered {
+				continue
+			}
+			if s.Lines[mv].Y[i] <= naiveC[i] {
+				t.Errorf("L=%d: naive clustered (%g) should beat %s (%g) under sort-merge",
+					figLs[i], naiveC[i], mv.Label(), s.Lines[mv].Y[i])
+			}
+		}
+	}
+}
+
+func TestFig11CrossoverAndPlateau(t *testing.T) {
+	as := []int{1, 10, 100, 400, 1000, 2000, 4000, 6500, 7000}
+	s := Fig11(128, as, 10, 6400, 10)
+	ar := s.Lines[MethodAuxRel].Y
+	naiveC := s.Lines[MethodNaiveClustered].Y
+	// Moderate A: AR wins (at A=400, AR = 3·ceil(400/128) = 12 versus
+	// naive's 400). Large A (≈ pages of B): naive clustered wins.
+	iA400 := 3 // index of A=400 in as
+	if ar[iA400] >= naiveC[iA400] {
+		t.Errorf("AR (%g) should win at A=400 vs naive clustered (%g)", ar[iA400], naiveC[iA400])
+	}
+	last := len(as) - 1
+	if naiveC[last] >= ar[last] {
+		t.Error("naive clustered should win at A=7000")
+	}
+	// Naive clustered plateaus at min(A, Bi): monotone nondecreasing and
+	// capped at Bi = 50.
+	for i := range as {
+		if naiveC[i] > 50 {
+			t.Errorf("naive clustered exceeded its plateau: %v", naiveC)
+		}
+	}
+}
+
+func TestFig12StepWise(t *testing.T) {
+	// ceil(A/L) steps: at L=128, A=1..128 cost the same, A=129 jumps.
+	as := []int{1, 64, 128, 129, 256, 257}
+	s := Fig12(128, as, 10, 6400, 10)
+	ar := s.Lines[MethodAuxRel].Y
+	if ar[0] != ar[1] || ar[1] != ar[2] {
+		t.Errorf("AR should be flat for A in 1..128: %v", ar)
+	}
+	if ar[3] <= ar[2] {
+		t.Errorf("AR should step up at A=129: %v", ar)
+	}
+	if ar[4] != ar[3] || ar[5] <= ar[4] {
+		t.Errorf("AR should be flat to 256 then step at 257: %v", ar)
+	}
+	if MethodAuxRel.Label() == "" || Method(99).Label() != "unknown" {
+		t.Error("labels wrong")
+	}
+}

@@ -1,0 +1,124 @@
+// Package exec implements the join algorithms the maintenance strategies
+// and the query path use: index nested loops and sort-merge against a
+// stored fragment (both metered per the paper's cost model), and an
+// unmetered in-memory hash join for coordinator-side query evaluation and
+// view backfill.
+package exec
+
+import (
+	"fmt"
+
+	"joinview/internal/storage"
+	"joinview/internal/types"
+)
+
+// IndexNestedLoops joins delta tuples against a fragment: for each delta
+// tuple it looks up frag rows whose fragCol equals the delta's key column,
+// emitting delta ++ fragRow. I/O is charged by the fragment's access path
+// (clustered / secondary index / scan), exactly as §3.1 models the per-
+// tuple join step of all three maintenance methods.
+func IndexNestedLoops(delta []types.Tuple, deltaKeyIdx int, frag *storage.Fragment, fragCol string) ([]types.Tuple, error) {
+	var out []types.Tuple
+	for _, d := range delta {
+		if deltaKeyIdx < 0 || deltaKeyIdx >= len(d) {
+			return nil, fmt.Errorf("exec: delta key index %d out of range for arity %d", deltaKeyIdx, len(d))
+		}
+		ms, _, err := frag.LookupEqual(fragCol, d[deltaKeyIdx])
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range ms {
+			out = append(out, d.Concat(m.Tuple))
+		}
+	}
+	return out, nil
+}
+
+// CeilLog returns ceil(log_base(pages)), the number of merge passes the
+// external-sort cost model charges per page; it is at least 1 for any
+// non-empty input (a single scan pass).
+func CeilLog(base, pages int) int {
+	if pages <= 0 {
+		return 0
+	}
+	if base < 2 {
+		base = 2
+	}
+	passes := 1
+	for span := base; span < pages; span *= base {
+		passes++
+	}
+	return passes
+}
+
+// SortMerge joins delta tuples against a fragment by the sort-merge
+// algorithm of §3.2: the delta is assumed to fit in memory (assumption 3),
+// and the fragment side costs
+//
+//   - pages(frag) I/Os when the fragment is clustered on fragCol (a single
+//     ordered scan), or
+//   - pages(frag) * ceil(log_mem(pages(frag))) I/Os otherwise (external
+//     sort dominates).
+//
+// memPages is the sort memory M in pages. Results are identical to
+// IndexNestedLoops; only the charged cost differs.
+func SortMerge(delta []types.Tuple, deltaKeyIdx int, frag *storage.Fragment, fragCol string, memPages int) ([]types.Tuple, error) {
+	ci := frag.Schema().ColIndex(fragCol)
+	if ci < 0 {
+		return nil, fmt.Errorf("exec: sort-merge column %q not in fragment schema %v", fragCol, frag.Schema().Names())
+	}
+	pages := frag.Pages()
+	if col, ok := frag.Clustered(); ok && col == fragCol {
+		frag.Meter().ScanPages(int64(pages))
+		frag.TouchAllPages(1)
+	} else {
+		passes := CeilLog(memPages, pages)
+		frag.Meter().SortPages(int64(pages * passes))
+		frag.TouchAllPages(passes)
+	}
+	// Build the in-memory side from the delta, then stream the fragment.
+	byKey := map[uint64][]types.Tuple{}
+	for _, d := range delta {
+		if deltaKeyIdx < 0 || deltaKeyIdx >= len(d) {
+			return nil, fmt.Errorf("exec: delta key index %d out of range for arity %d", deltaKeyIdx, len(d))
+		}
+		h := d[deltaKeyIdx].Hash()
+		byKey[h] = append(byKey[h], d)
+	}
+	var out []types.Tuple
+	for _, row := range frag.All() { // layout order; cost charged above
+		for _, d := range byKey[row[ci].Hash()] {
+			if types.Equal(d[deltaKeyIdx], row[ci]) {
+				out = append(out, d.Concat(row))
+			}
+		}
+	}
+	return out, nil
+}
+
+// HashJoin joins two in-memory tuple sets on left[leftIdx] == right[rightIdx],
+// emitting left ++ right in left order. It is unmetered: the coordinator
+// uses it for ad-hoc SELECTs and the initial materialization of views,
+// which the experiments do not charge.
+func HashJoin(left []types.Tuple, leftIdx int, right []types.Tuple, rightIdx int) ([]types.Tuple, error) {
+	build := map[uint64][]types.Tuple{}
+	for _, r := range right {
+		if rightIdx < 0 || rightIdx >= len(r) {
+			return nil, fmt.Errorf("exec: right key index %d out of range for arity %d", rightIdx, len(r))
+		}
+		h := r[rightIdx].Hash()
+		build[h] = append(build[h], r)
+	}
+	var out []types.Tuple
+	for _, l := range left {
+		if leftIdx < 0 || leftIdx >= len(l) {
+			return nil, fmt.Errorf("exec: left key index %d out of range for arity %d", leftIdx, len(l))
+		}
+		for _, r := range build[l[leftIdx].Hash()] {
+			if types.Equal(l[leftIdx], r[rightIdx]) {
+				out = append(out, l.Concat(r))
+			}
+		}
+	}
+	return out, nil
+}

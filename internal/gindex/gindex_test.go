@@ -1,0 +1,103 @@
+package gindex
+
+import (
+	"testing"
+	"testing/quick"
+
+	"joinview/internal/storage"
+	"joinview/internal/types"
+)
+
+func TestInsertLookupDelete(t *testing.T) {
+	m := &storage.Meter{}
+	f := New(m, false)
+	g1 := storage.GlobalRowID{Node: 0, Row: 1}
+	g2 := storage.GlobalRowID{Node: 3, Row: 7}
+	f.Insert(types.Int(5), g1)
+	f.Insert(types.Int(5), g2)
+	f.Insert(types.Int(6), storage.GlobalRowID{Node: 1, Row: 2})
+	if f.Len() != 3 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	got := f.Lookup(types.Int(5))
+	if len(got) != 2 || got[0] != g1 || got[1] != g2 {
+		t.Fatalf("Lookup = %v", got)
+	}
+	if len(f.Lookup(types.Int(99))) != 0 {
+		t.Error("lookup of absent value should be empty")
+	}
+	if !f.Delete(types.Int(5), g1) {
+		t.Fatal("Delete failed")
+	}
+	if f.Delete(types.Int(5), g1) {
+		t.Error("double delete returned true")
+	}
+	got = f.Lookup(types.Int(5))
+	if len(got) != 1 || got[0] != g2 {
+		t.Fatalf("after delete: %v", got)
+	}
+}
+
+func TestMeterCharges(t *testing.T) {
+	m := &storage.Meter{}
+	f := New(m, true)
+	if !f.DistClustered() {
+		t.Error("DistClustered lost")
+	}
+	f.Insert(types.Int(1), storage.GlobalRowID{Node: 0, Row: 0})
+	f.Lookup(types.Int(1))
+	f.Lookup(types.Int(2))
+	f.Delete(types.Int(1), storage.GlobalRowID{Node: 0, Row: 0})
+	c := m.Snapshot()
+	if c.Inserts != 1 || c.Searches != 2 || c.Deletes != 1 || c.Fetches != 0 {
+		t.Errorf("charges = %+v", c)
+	}
+}
+
+func TestGroupByNode(t *testing.T) {
+	ids := []storage.GlobalRowID{
+		{Node: 3, Row: 1},
+		{Node: 0, Row: 2},
+		{Node: 3, Row: 5},
+		{Node: 1, Row: 9},
+	}
+	groups := GroupByNode(ids)
+	if len(groups) != 3 {
+		t.Fatalf("K = %d, want 3", len(groups))
+	}
+	if groups[0].Node != 0 || groups[1].Node != 1 || groups[2].Node != 3 {
+		t.Errorf("groups not sorted: %v", groups)
+	}
+	if len(groups[2].Rows) != 2 || groups[2].Rows[0] != 1 || groups[2].Rows[1] != 5 {
+		t.Errorf("node 3 rows = %v", groups[2].Rows)
+	}
+	if GroupByNode(nil) != nil && len(GroupByNode(nil)) != 0 {
+		t.Error("empty input should yield no groups")
+	}
+}
+
+// Property: K = |GroupByNode(ids)| is exactly the number of distinct nodes,
+// and every row id survives grouping.
+func TestGroupByNodePreservesRows(t *testing.T) {
+	f := func(nodes []uint8) bool {
+		ids := make([]storage.GlobalRowID, len(nodes))
+		distinct := map[int32]bool{}
+		for i, n := range nodes {
+			node := int32(n % 16)
+			ids[i] = storage.GlobalRowID{Node: node, Row: storage.RowID(i)}
+			distinct[node] = true
+		}
+		groups := GroupByNode(ids)
+		if len(groups) != len(distinct) {
+			return false
+		}
+		total := 0
+		for _, g := range groups {
+			total += len(g.Rows)
+		}
+		return total == len(ids)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,58 @@
+// Package hashpart implements deterministic hash partitioning of values
+// across the data-server nodes of the parallel RDBMS, playing the role of
+// Teradata's primary-index hash map: a tuple's home node is a pure function
+// of its partitioning-attribute value and the node count.
+package hashpart
+
+import (
+	"fmt"
+
+	"joinview/internal/types"
+)
+
+// Partitioner maps values to node ids in [0, N).
+type Partitioner struct {
+	n int
+}
+
+// New returns a partitioner over n nodes. It panics if n < 1 (a cluster
+// always has at least one node; the catalog validates user input earlier).
+func New(n int) *Partitioner {
+	if n < 1 {
+		panic(fmt.Sprintf("hashpart: invalid node count %d", n))
+	}
+	return &Partitioner{n: n}
+}
+
+// Nodes returns the node count.
+func (p *Partitioner) Nodes() int { return p.n }
+
+// NodeFor returns the home node of a value.
+func (p *Partitioner) NodeFor(v types.Value) int {
+	return int(v.Hash() % uint64(p.n))
+}
+
+// NodeForTuple returns the home node of tuple t partitioned on column col
+// of schema s.
+func (p *Partitioner) NodeForTuple(s *types.Schema, col string, t types.Tuple) (int, error) {
+	i := s.ColIndex(col)
+	if i < 0 {
+		return 0, fmt.Errorf("hashpart: partition column %q not in schema %v", col, s.Names())
+	}
+	return p.NodeFor(t[i]), nil
+}
+
+// Spread partitions tuples by the named column, returning one bucket per
+// node. Buckets preserve input order.
+func (p *Partitioner) Spread(s *types.Schema, col string, tuples []types.Tuple) ([][]types.Tuple, error) {
+	i := s.ColIndex(col)
+	if i < 0 {
+		return nil, fmt.Errorf("hashpart: partition column %q not in schema %v", col, s.Names())
+	}
+	buckets := make([][]types.Tuple, p.n)
+	for _, t := range tuples {
+		n := p.NodeFor(t[i])
+		buckets[n] = append(buckets[n], t)
+	}
+	return buckets, nil
+}

@@ -1,0 +1,96 @@
+package hashpart
+
+import (
+	"testing"
+	"testing/quick"
+
+	"joinview/internal/types"
+)
+
+func TestNodeForDeterministic(t *testing.T) {
+	p := New(8)
+	f := func(v int64) bool {
+		a := p.NodeFor(types.Int(v))
+		b := p.NodeFor(types.Int(v))
+		return a == b && a >= 0 && a < 8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNodeForSpreads(t *testing.T) {
+	p := New(16)
+	seen := map[int]int{}
+	for i := int64(0); i < 10000; i++ {
+		seen[p.NodeFor(types.Int(i))]++
+	}
+	if len(seen) != 16 {
+		t.Fatalf("only %d of 16 nodes used", len(seen))
+	}
+	for node, n := range seen {
+		// Expect ~625 per node; allow wide tolerance.
+		if n < 400 || n > 900 {
+			t.Errorf("node %d got %d of 10000 tuples: badly skewed", node, n)
+		}
+	}
+}
+
+func TestSingleNodeCluster(t *testing.T) {
+	p := New(1)
+	if p.NodeFor(types.String("anything")) != 0 {
+		t.Error("single-node partitioner must map to node 0")
+	}
+}
+
+func TestNewPanicsOnBadCount(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) should panic")
+		}
+	}()
+	New(0)
+}
+
+func TestNodeForTupleAndSpread(t *testing.T) {
+	s := types.NewSchema(
+		types.Column{Name: "k", Kind: types.KindInt},
+		types.Column{Name: "v", Kind: types.KindString},
+	)
+	p := New(4)
+	tup := types.Tuple{types.Int(42), types.String("x")}
+	n, err := p.NodeForTuple(s, "k", tup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != p.NodeFor(types.Int(42)) {
+		t.Error("NodeForTuple disagrees with NodeFor")
+	}
+	if _, err := p.NodeForTuple(s, "zz", tup); err == nil {
+		t.Error("unknown column should fail")
+	}
+
+	tuples := make([]types.Tuple, 100)
+	for i := range tuples {
+		tuples[i] = types.Tuple{types.Int(int64(i)), types.String("t")}
+	}
+	buckets, err := p.Spread(s, "k", tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for node, b := range buckets {
+		total += len(b)
+		for _, tup := range b {
+			if p.NodeFor(tup[0]) != node {
+				t.Fatalf("tuple %v in wrong bucket %d", tup, node)
+			}
+		}
+	}
+	if total != 100 {
+		t.Fatalf("spread lost tuples: %d", total)
+	}
+	if _, err := p.Spread(s, "zz", tuples); err == nil {
+		t.Error("spread on unknown column should fail")
+	}
+}

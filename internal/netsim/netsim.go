@@ -1,0 +1,264 @@
+// Package netsim simulates the interconnect of a shared-nothing parallel
+// RDBMS. Nodes are addressed 0..L-1; the coordinator (the query dispatcher,
+// Teradata's "parsing engine") uses the reserved id Coordinator.
+//
+// Two transports are provided:
+//
+//   - Direct: synchronous in-process dispatch. Fully deterministic — the
+//     experiments use it so I/O counter traces are exactly reproducible.
+//   - Chan: one goroutine per node with a buffered inbox, requests carry
+//     reply channels. Broadcasts fan out concurrently, so node-level
+//     parallelism is real. Used by the throughput-oriented examples and
+//     the transport-ablation benchmark.
+//
+// Both transports count messages. Following the paper's Figure 2 ("the
+// dashed lines represent cases in which the network communication is
+// conceptual and no real network communication happens"), a call whose
+// source and destination coincide is not counted as a message.
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Coordinator is the reserved source id for calls that originate at the
+// cluster coordinator rather than at a data-server node.
+const Coordinator = -1
+
+// Handler processes one request at a node and returns a response.
+type Handler func(req any) (any, error)
+
+// Transport moves requests between nodes.
+type Transport interface {
+	// Call delivers req from node `from` to node `to` and returns the
+	// response. `from` may be Coordinator.
+	Call(from, to int, req any) (any, error)
+	// Broadcast delivers req from `from` to every node, returning the
+	// responses indexed by node. It stops at (but reports) the first error.
+	Broadcast(from int, req any) ([]any, error)
+	// NumNodes returns the cluster size L.
+	NumNodes() int
+	// Stats returns message counters.
+	Stats() Stats
+	// ResetStats zeroes message counters.
+	ResetStats()
+	// Close releases transport resources (goroutines for Chan).
+	Close()
+}
+
+// Stats counts interconnect traffic.
+type Stats struct {
+	// Messages is the number of point-to-point sends between distinct
+	// endpoints (a broadcast to L nodes from a node counts L-1; a reply is
+	// not counted separately — the paper's SEND covers a request/response
+	// exchange).
+	Messages int64
+	// LocalCalls counts deliveries where source == destination (free).
+	LocalCalls int64
+}
+
+type counters struct {
+	messages atomic.Int64
+	local    atomic.Int64
+}
+
+func (c *counters) record(from, to int) {
+	if from == to {
+		c.local.Add(1)
+	} else {
+		c.messages.Add(1)
+	}
+}
+
+func (c *counters) stats() Stats {
+	return Stats{Messages: c.messages.Load(), LocalCalls: c.local.Load()}
+}
+
+func (c *counters) reset() {
+	c.messages.Store(0)
+	c.local.Store(0)
+}
+
+func checkDest(to, n int) error {
+	if to < 0 || to >= n {
+		return fmt.Errorf("netsim: destination %d out of range [0,%d)", to, n)
+	}
+	return nil
+}
+
+// Direct is the deterministic transport: Call invokes the destination
+// handler on the caller's goroutine. It must only be used by one goroutine
+// at a time (the experiments drive the cluster single-threaded).
+type Direct struct {
+	handlers []Handler
+	ctr      counters
+}
+
+// NewDirect builds a Direct transport over the given per-node handlers.
+func NewDirect(handlers []Handler) *Direct {
+	return &Direct{handlers: handlers}
+}
+
+// Call implements Transport.
+func (d *Direct) Call(from, to int, req any) (any, error) {
+	if err := checkDest(to, len(d.handlers)); err != nil {
+		return nil, err
+	}
+	d.ctr.record(from, to)
+	return d.handlers[to](req)
+}
+
+// Broadcast implements Transport.
+func (d *Direct) Broadcast(from int, req any) ([]any, error) {
+	out := make([]any, len(d.handlers))
+	for to := range d.handlers {
+		resp, err := d.Call(from, to, req)
+		if err != nil {
+			return out, fmt.Errorf("netsim: broadcast to node %d: %w", to, err)
+		}
+		out[to] = resp
+	}
+	return out, nil
+}
+
+// NumNodes implements Transport.
+func (d *Direct) NumNodes() int { return len(d.handlers) }
+
+// Stats implements Transport.
+func (d *Direct) Stats() Stats { return d.ctr.stats() }
+
+// ResetStats implements Transport.
+func (d *Direct) ResetStats() { d.ctr.reset() }
+
+// Close implements Transport (no-op for Direct).
+func (d *Direct) Close() {}
+
+// Chan runs each node as a goroutine draining a buffered inbox; requests
+// carry reply channels. Handlers therefore execute serially per node but
+// concurrently across nodes, which models the parallel DBMS's per-node
+// work queues. An optional per-message latency models the interconnect's
+// SEND cost in wall-clock terms (the paper treats SEND as "much smaller
+// than the time spent on SEARCH, FETCH, and INSERT" — the latency knob
+// lets experiments test what happens when it is not).
+type Chan struct {
+	inboxes []chan envelope
+	latency time.Duration
+	ctr     counters
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+}
+
+type envelope struct {
+	req   any
+	reply chan result
+}
+
+type result struct {
+	resp any
+	err  error
+}
+
+// NewChan builds a Chan transport over the given per-node handlers.
+func NewChan(handlers []Handler) *Chan { return NewChanLatency(handlers, 0) }
+
+// NewChanLatency builds a Chan transport that delays every inter-node
+// message by the given wall-clock latency (self-deliveries stay free, as
+// in the paper's Figure 2).
+func NewChanLatency(handlers []Handler, latency time.Duration) *Chan {
+	c := &Chan{inboxes: make([]chan envelope, len(handlers)), latency: latency}
+	for i, h := range handlers {
+		inbox := make(chan envelope, 128)
+		c.inboxes[i] = inbox
+		c.wg.Add(1)
+		go func(h Handler, inbox chan envelope) {
+			defer c.wg.Done()
+			for env := range inbox {
+				env.reply <- safeHandle(h, env.req)
+			}
+		}(h, inbox)
+	}
+	return c
+}
+
+func safeHandle(h Handler, req any) (res result) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = result{err: fmt.Errorf("netsim: handler panic: %v", r)}
+		}
+	}()
+	resp, err := h(req)
+	return result{resp: resp, err: err}
+}
+
+// Call implements Transport.
+func (c *Chan) Call(from, to int, req any) (any, error) {
+	if err := checkDest(to, len(c.inboxes)); err != nil {
+		return nil, err
+	}
+	if c.closed.Load() {
+		return nil, fmt.Errorf("netsim: transport closed")
+	}
+	c.ctr.record(from, to)
+	if c.latency > 0 && from != to {
+		time.Sleep(c.latency)
+	}
+	reply := make(chan result, 1)
+	c.inboxes[to] <- envelope{req: req, reply: reply}
+	r := <-reply
+	return r.resp, r.err
+}
+
+// Broadcast implements Transport. Deliveries run concurrently; the
+// response slice is indexed by node. The first error (lowest node id)
+// is returned.
+func (c *Chan) Broadcast(from int, req any) ([]any, error) {
+	if c.closed.Load() {
+		return nil, fmt.Errorf("netsim: transport closed")
+	}
+	n := len(c.inboxes)
+	// Fan-out wires run in parallel: one latency covers the whole
+	// broadcast.
+	if c.latency > 0 {
+		time.Sleep(c.latency)
+	}
+	replies := make([]chan result, n)
+	for to := 0; to < n; to++ {
+		c.ctr.record(from, to)
+		reply := make(chan result, 1)
+		replies[to] = reply
+		c.inboxes[to] <- envelope{req: req, reply: reply}
+	}
+	out := make([]any, n)
+	var firstErr error
+	for to := 0; to < n; to++ {
+		r := <-replies[to]
+		if r.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("netsim: broadcast to node %d: %w", to, r.err)
+		}
+		out[to] = r.resp
+	}
+	return out, firstErr
+}
+
+// NumNodes implements Transport.
+func (c *Chan) NumNodes() int { return len(c.inboxes) }
+
+// Stats implements Transport.
+func (c *Chan) Stats() Stats { return c.ctr.stats() }
+
+// ResetStats implements Transport.
+func (c *Chan) ResetStats() { c.ctr.reset() }
+
+// Close stops the node goroutines. Calls after Close fail.
+func (c *Chan) Close() {
+	if c.closed.Swap(true) {
+		return
+	}
+	for _, inbox := range c.inboxes {
+		close(inbox)
+	}
+	c.wg.Wait()
+}

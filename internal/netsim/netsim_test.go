@@ -1,0 +1,199 @@
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func echoHandlers(n int) []Handler {
+	hs := make([]Handler, n)
+	for i := range hs {
+		node := i
+		hs[i] = func(req any) (any, error) {
+			if req == "boom" {
+				return nil, errors.New("boom")
+			}
+			if req == "panic" {
+				panic("kaboom")
+			}
+			return fmt.Sprintf("node%d:%v", node, req), nil
+		}
+	}
+	return hs
+}
+
+func transports(n int) map[string]Transport {
+	return map[string]Transport{
+		"direct": NewDirect(echoHandlers(n)),
+		"chan":   NewChan(echoHandlers(n)),
+	}
+}
+
+func TestCall(t *testing.T) {
+	for name, tr := range transports(4) {
+		t.Run(name, func(t *testing.T) {
+			defer tr.Close()
+			resp, err := tr.Call(Coordinator, 2, "hi")
+			if err != nil || resp != "node2:hi" {
+				t.Fatalf("Call = %v, %v", resp, err)
+			}
+			if _, err := tr.Call(0, 99, "hi"); err == nil {
+				t.Error("out-of-range destination should fail")
+			}
+			if _, err := tr.Call(0, -1, "hi"); err == nil {
+				t.Error("negative destination should fail")
+			}
+			if _, err := tr.Call(0, 1, "boom"); err == nil {
+				t.Error("handler error must propagate")
+			}
+			if tr.NumNodes() != 4 {
+				t.Error("NumNodes wrong")
+			}
+		})
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	for name, tr := range transports(5) {
+		t.Run(name, func(t *testing.T) {
+			defer tr.Close()
+			resps, err := tr.Broadcast(1, "x")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(resps) != 5 {
+				t.Fatalf("got %d responses", len(resps))
+			}
+			for i, r := range resps {
+				if r != fmt.Sprintf("node%d:x", i) {
+					t.Errorf("response %d = %v", i, r)
+				}
+			}
+		})
+	}
+}
+
+func TestMessageAccounting(t *testing.T) {
+	for name, tr := range transports(4) {
+		t.Run(name, func(t *testing.T) {
+			defer tr.Close()
+			tr.Call(0, 0, "local")      // self-delivery: free
+			tr.Call(0, 1, "remote")     // 1 message
+			tr.Call(Coordinator, 2, "") // 1 message
+			tr.Broadcast(1, "b")        // 3 messages (node 1 to itself is free)
+			s := tr.Stats()
+			if s.Messages != 5 {
+				t.Errorf("Messages = %d, want 5", s.Messages)
+			}
+			if s.LocalCalls != 2 {
+				t.Errorf("LocalCalls = %d, want 2", s.LocalCalls)
+			}
+			tr.ResetStats()
+			if s := tr.Stats(); s.Messages != 0 || s.LocalCalls != 0 {
+				t.Error("ResetStats did not zero counters")
+			}
+		})
+	}
+}
+
+func TestChanPanicRecovery(t *testing.T) {
+	tr := NewChan(echoHandlers(2))
+	defer tr.Close()
+	if _, err := tr.Call(0, 1, "panic"); err == nil {
+		t.Error("panic in handler must surface as error")
+	}
+	// Node still alive after the panic.
+	if resp, err := tr.Call(0, 1, "ok"); err != nil || resp != "node1:ok" {
+		t.Errorf("node dead after panic: %v, %v", resp, err)
+	}
+}
+
+func TestChanConcurrentCalls(t *testing.T) {
+	tr := NewChan(echoHandlers(8))
+	defer tr.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				to := (g + i) % 8
+				resp, err := tr.Call(Coordinator, to, i)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp != fmt.Sprintf("node%d:%d", to, i) {
+					errs <- fmt.Errorf("bad response %v", resp)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := tr.Stats().Messages + tr.Stats().LocalCalls; got != 400 {
+		t.Errorf("total deliveries = %d, want 400", got)
+	}
+}
+
+func TestChanLatency(t *testing.T) {
+	tr := NewChanLatency(echoHandlers(4), 2*time.Millisecond)
+	defer tr.Close()
+	start := time.Now()
+	if _, err := tr.Call(0, 1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 2*time.Millisecond {
+		t.Errorf("inter-node call took %v, want >= 2ms", d)
+	}
+	// Self-delivery stays free.
+	start = time.Now()
+	if _, err := tr.Call(1, 1, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > time.Millisecond {
+		t.Errorf("self-delivery took %v, should skip latency", d)
+	}
+	// Broadcast pays one latency, not L.
+	start = time.Now()
+	if _, err := tr.Broadcast(Coordinator, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 8*time.Millisecond {
+		t.Errorf("broadcast took %v, fan-out should be parallel", d)
+	}
+}
+
+func TestChanClose(t *testing.T) {
+	tr := NewChan(echoHandlers(2))
+	tr.Close()
+	tr.Close() // idempotent
+	if _, err := tr.Call(0, 1, "x"); err == nil {
+		t.Error("Call after Close should fail")
+	}
+	if _, err := tr.Broadcast(0, "x"); err == nil {
+		t.Error("Broadcast after Close should fail")
+	}
+}
+
+func TestBroadcastErrorReportsNode(t *testing.T) {
+	hs := echoHandlers(3)
+	hs[1] = func(any) (any, error) { return nil, errors.New("bad node") }
+	for name, tr := range map[string]Transport{"direct": NewDirect(hs), "chan": NewChan(hs)} {
+		t.Run(name, func(t *testing.T) {
+			defer tr.Close()
+			_, err := tr.Broadcast(Coordinator, "x")
+			if err == nil {
+				t.Fatal("broadcast should report handler error")
+			}
+		})
+	}
+}

@@ -1,0 +1,578 @@
+// Package node implements a data-server node of the parallel RDBMS. Each
+// node owns fragments of base relations, auxiliary relations, materialized
+// views and global indexes, and executes purely local operations in
+// response to typed requests. Nodes never call other nodes: the maintenance
+// strategies orchestrate cross-node flows from the coordinator, which keeps
+// the channel transport deadlock-free and the message accounting explicit.
+package node
+
+import (
+	"fmt"
+
+	"joinview/internal/buffer"
+	"joinview/internal/exec"
+	"joinview/internal/expr"
+	"joinview/internal/gindex"
+	"joinview/internal/netsim"
+	"joinview/internal/storage"
+	"joinview/internal/types"
+)
+
+// DataNode is one data server. Access is serialized by the transport (the
+// Direct transport is single-threaded; the Chan transport gives each node
+// one goroutine).
+type DataNode struct {
+	id       int
+	meter    *storage.Meter
+	memPages int
+	pool     *buffer.Pool
+	frags    map[string]*storage.Fragment
+	gidx     map[string]*gindex.Fragment
+}
+
+// New creates an empty node. memPages is the sort memory M (pages) used by
+// sort-merge joins; it defaults to 10 if non-positive (the paper's M).
+func New(id, memPages int) *DataNode {
+	if memPages <= 0 {
+		memPages = 10
+	}
+	return &DataNode{
+		id:       id,
+		meter:    &storage.Meter{},
+		memPages: memPages,
+		frags:    map[string]*storage.Fragment{},
+		gidx:     map[string]*gindex.Fragment{},
+	}
+}
+
+// SetBufferPages attaches a buffer pool of the given page capacity to the
+// node (0 disables caching simulation). Call before any fragments are
+// created; existing fragments keep their previous pool.
+func (n *DataNode) SetBufferPages(pages int) {
+	n.pool = buffer.New(pages)
+}
+
+// PoolStatsSnapshot returns the node's buffer-pool counters (zero when no
+// pool is attached).
+func (n *DataNode) PoolStatsSnapshot() buffer.Stats {
+	return n.pool.Stats()
+}
+
+// ResetPoolStats zeroes the pool counters, keeping cached pages resident
+// (so warm-cache windows can be measured).
+func (n *DataNode) ResetPoolStats() {
+	n.pool.ResetStats()
+}
+
+// ID returns the node id.
+func (n *DataNode) ID() int { return n.id }
+
+// Meter returns the node's I/O meter.
+func (n *DataNode) Meter() *storage.Meter { return n.meter }
+
+// Handler adapts the node to the transport.
+func (n *DataNode) Handler() netsim.Handler {
+	return func(req any) (any, error) { return n.Handle(req) }
+}
+
+func (n *DataNode) frag(name string) (*storage.Fragment, error) {
+	f, ok := n.frags[name]
+	if !ok {
+		return nil, fmt.Errorf("node %d: no fragment %q", n.id, name)
+	}
+	return f, nil
+}
+
+func (n *DataNode) gi(name string) (*gindex.Fragment, error) {
+	g, ok := n.gidx[name]
+	if !ok {
+		return nil, fmt.Errorf("node %d: no global index %q", n.id, name)
+	}
+	return g, nil
+}
+
+// Handle dispatches one request.
+func (n *DataNode) Handle(req any) (any, error) {
+	switch r := req.(type) {
+	case CreateFragment:
+		if _, dup := n.frags[r.Name]; dup {
+			return nil, fmt.Errorf("node %d: fragment %q already exists", n.id, r.Name)
+		}
+		f, err := storage.NewFragment(r.Schema, storage.Config{
+			Name:       r.Name,
+			ClusterCol: r.ClusterCol,
+			PageRows:   r.PageRows,
+			Meter:      n.meter,
+			Pool:       n.pool,
+		})
+		if err != nil {
+			return nil, err
+		}
+		n.frags[r.Name] = f
+		return Ack{}, nil
+
+	case CreateIndex:
+		f, err := n.frag(r.Frag)
+		if err != nil {
+			return nil, err
+		}
+		if err := f.CreateIndex(r.Name, r.Col); err != nil {
+			return nil, err
+		}
+		return Ack{}, nil
+
+	case CreateGlobalIndex:
+		if _, dup := n.gidx[r.Name]; dup {
+			return nil, fmt.Errorf("node %d: global index %q already exists", n.id, r.Name)
+		}
+		n.gidx[r.Name] = gindex.New(n.meter, r.DistClustered)
+		return Ack{}, nil
+
+	case Insert:
+		f, err := n.frag(r.Frag)
+		if err != nil {
+			return nil, err
+		}
+		res := InsertResult{Rows: make([]storage.RowID, 0, len(r.Tuples))}
+		for _, t := range r.Tuples {
+			var row storage.RowID
+			if r.Unmetered {
+				row, err = f.InsertUnmetered(t)
+			} else {
+				row, err = f.Insert(t)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("node %d: insert into %q: %w", n.id, r.Frag, err)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+		return res, nil
+
+	case DeleteRows:
+		f, err := n.frag(r.Frag)
+		if err != nil {
+			return nil, err
+		}
+		res := DeleteResult{}
+		for _, row := range r.Rows {
+			if t, ok := f.Delete(row); ok {
+				res.Tuples = append(res.Tuples, t)
+			}
+		}
+		return res, nil
+
+	case DeleteMatch:
+		f, err := n.frag(r.Frag)
+		if err != nil {
+			return nil, err
+		}
+		res := DeleteResult{}
+		for _, t := range r.Tuples {
+			rows, err := f.FindRows(r.HintCol, t)
+			if err != nil {
+				return nil, err
+			}
+			if len(rows) == 0 {
+				continue
+			}
+			if del, ok := f.Delete(rows[0]); ok {
+				res.Tuples = append(res.Tuples, del)
+			}
+		}
+		return res, nil
+
+	case LocateMatch:
+		f, err := n.frag(r.Frag)
+		if err != nil {
+			return nil, err
+		}
+		res := RowsResult{}
+		used := map[storage.RowID]bool{}
+		for _, t := range r.Tuples {
+			rows, err := f.FindRows(r.HintCol, t)
+			if err != nil {
+				return nil, err
+			}
+			for _, row := range rows {
+				if used[row] {
+					continue
+				}
+				used[row] = true
+				res.Rows = append(res.Rows, row)
+				res.Tuples = append(res.Tuples, t)
+				break
+			}
+		}
+		return res, nil
+
+	case Probe:
+		return n.probe(r)
+
+	case FetchJoin:
+		return n.fetchJoin(r)
+
+	case GIInsert:
+		g, err := n.gi(r.GI)
+		if err != nil {
+			return nil, err
+		}
+		g.Insert(r.Val, r.G)
+		return Ack{}, nil
+
+	case GIInsertBatch:
+		g, err := n.gi(r.GI)
+		if err != nil {
+			return nil, err
+		}
+		if len(r.Vals) != len(r.Gs) {
+			return nil, fmt.Errorf("node %d: GIInsertBatch: %d values vs %d row ids", n.id, len(r.Vals), len(r.Gs))
+		}
+		for i, v := range r.Vals {
+			g.InsertUnmetered(v, r.Gs[i])
+		}
+		return Ack{}, nil
+
+	case FindMatching:
+		f, err := n.frag(r.Frag)
+		if err != nil {
+			return nil, err
+		}
+		res := RowsResult{}
+		var evalErr error
+		f.Scan(func(row storage.RowID, t types.Tuple) bool {
+			ok, err := expr.Matches(r.Pred, f.Schema(), t)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if ok {
+				res.Rows = append(res.Rows, row)
+				res.Tuples = append(res.Tuples, t)
+			}
+			return true
+		})
+		if evalErr != nil {
+			return nil, evalErr
+		}
+		return res, nil
+
+	case GIDelete:
+		g, err := n.gi(r.GI)
+		if err != nil {
+			return nil, err
+		}
+		return GIDeleted{OK: g.Delete(r.Val, r.G)}, nil
+
+	case GILookup:
+		g, err := n.gi(r.GI)
+		if err != nil {
+			return nil, err
+		}
+		return GIRows{IDs: g.Lookup(r.Val)}, nil
+
+	case GILen:
+		g, err := n.gi(r.GI)
+		if err != nil {
+			return nil, err
+		}
+		return GILenResult{Len: g.Len()}, nil
+
+	case GIScan:
+		g, err := n.gi(r.GI)
+		if err != nil {
+			return nil, err
+		}
+		res := GIScanResult{}
+		g.Scan(func(v types.Value, grid storage.GlobalRowID) bool {
+			res.Vals = append(res.Vals, v)
+			res.Gs = append(res.Gs, grid)
+			return true
+		})
+		return res, nil
+
+	case Scan:
+		f, err := n.frag(r.Frag)
+		if err != nil {
+			return nil, err
+		}
+		res := RowsResult{Tuples: make([]types.Tuple, 0, f.Len())}
+		f.Scan(func(_ storage.RowID, t types.Tuple) bool {
+			res.Tuples = append(res.Tuples, t)
+			return true
+		})
+		return res, nil
+
+	case AllRows:
+		f, err := n.frag(r.Frag)
+		if err != nil {
+			return nil, err
+		}
+		return RowsResult{Tuples: f.All()}, nil
+
+	case ScanWithRows:
+		f, err := n.frag(r.Frag)
+		if err != nil {
+			return nil, err
+		}
+		// Unmetered: DDL (global-index builds) and delete-victim location
+		// are charged at a higher level where the paper's model does.
+		res := RowsResult{}
+		f.ScanUnmetered(func(row storage.RowID, t types.Tuple) bool {
+			res.Rows = append(res.Rows, row)
+			res.Tuples = append(res.Tuples, t)
+			return true
+		})
+		return res, nil
+
+	case AggApply:
+		return n.aggApply(r)
+
+	case DropFragment:
+		if _, ok := n.frags[r.Name]; !ok {
+			return nil, fmt.Errorf("node %d: no fragment %q to drop", n.id, r.Name)
+		}
+		delete(n.frags, r.Name)
+		n.pool.Invalidate(r.Name)
+		return Ack{}, nil
+
+	case DropGlobalIndexFrag:
+		if _, ok := n.gidx[r.Name]; !ok {
+			return nil, fmt.Errorf("node %d: no global index %q to drop", n.id, r.Name)
+		}
+		delete(n.gidx, r.Name)
+		return Ack{}, nil
+
+	case LocalJoin:
+		return n.localJoin(r)
+
+	case FragInfo:
+		f, err := n.frag(r.Frag)
+		if err != nil {
+			return nil, err
+		}
+		return FragInfoResult{Len: f.Len(), Pages: f.Pages()}, nil
+
+	case MeterSnapshot:
+		return n.meter.Snapshot(), nil
+
+	case ResetMeter:
+		n.meter.Reset()
+		n.pool.ResetStats()
+		return Ack{}, nil
+
+	default:
+		return nil, fmt.Errorf("node %d: unknown request type %T", n.id, req)
+	}
+}
+
+func (n *DataNode) probe(r Probe) (any, error) {
+	f, err := n.frag(r.Frag)
+	if err != nil {
+		return nil, err
+	}
+	algo := r.Algo
+	if algo == AlgoAuto {
+		algo = n.chooseAlgo(f, r)
+	}
+	var out []types.Tuple
+	switch algo {
+	case AlgoIndex:
+		out, err = exec.IndexNestedLoops(r.Delta, r.DeltaKey, f, r.FragCol)
+	case AlgoSortMerge:
+		out, err = exec.SortMerge(r.Delta, r.DeltaKey, f, r.FragCol, n.memPages)
+	default:
+		return nil, fmt.Errorf("node %d: bad probe algorithm %v", n.id, r.Algo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return Probed{Tuples: out}, nil
+}
+
+// chooseAlgo compares the estimated I/O of index nested loops against
+// sort-merge, the §3.2 crossover ("if |A| is large enough ... the sort
+// merge algorithm is preferable to index nested loops").
+func (n *DataNode) chooseAlgo(f *storage.Fragment, r Probe) Algo {
+	fanout := r.FanoutHint
+	if fanout < 1 {
+		fanout = 1
+	}
+	pages := f.Pages()
+	var smCost int
+	if col, ok := f.Clustered(); ok && col == r.FragCol {
+		smCost = pages
+	} else {
+		smCost = pages * exec.CeilLog(n.memPages, pages)
+	}
+	inlCost := len(r.Delta) // one SEARCH per delta tuple
+	if col, ok := f.Clustered(); !ok || col != r.FragCol {
+		// Non-clustered access also pays one FETCH per expected match.
+		inlCost += int(float64(len(r.Delta)) * fanout)
+	}
+	if smCost < inlCost {
+		return AlgoSortMerge
+	}
+	return AlgoIndex
+}
+
+// aggApply adjusts an aggregate-view fragment by signed group deltas.
+func (n *DataNode) aggApply(r AggApply) (any, error) {
+	f, err := n.frag(r.Frag)
+	if err != nil {
+		return nil, err
+	}
+	if len(r.Keys) != len(r.Deltas) {
+		return nil, fmt.Errorf("node %d: AggApply: %d keys vs %d deltas", n.id, len(r.Keys), len(r.Deltas))
+	}
+	hintIdx := f.Schema().ColIndex(r.HintCol)
+	if hintIdx < 0 || hintIdx >= r.GroupLen {
+		return nil, fmt.Errorf("node %d: AggApply: hint column %q is not a group column", n.id, r.HintCol)
+	}
+	for gi, key := range r.Keys {
+		delta := r.Deltas[gi]
+		ms, _, err := f.LookupEqual(r.HintCol, key[hintIdx])
+		if err != nil {
+			return nil, err
+		}
+		var existing *storage.Match
+		for i := range ms {
+			if types.Tuple(ms[i].Tuple[:r.GroupLen]).Equal(key) {
+				existing = &ms[i]
+				break
+			}
+		}
+		countDelta := delta[r.CountPos].I
+		if existing == nil {
+			if countDelta <= 0 {
+				return nil, fmt.Errorf("node %d: aggregate view %q: delta for absent group %v (structures out of sync)", n.id, r.Frag, key)
+			}
+			if _, err := f.Insert(key.Concat(delta)); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		newCount := existing.Tuple[r.GroupLen+r.CountPos].I + countDelta
+		if newCount < 0 {
+			return nil, fmt.Errorf("node %d: aggregate view %q: group %v count would go negative", n.id, r.Frag, key)
+		}
+		if _, ok := f.Delete(existing.Row); !ok {
+			return nil, fmt.Errorf("node %d: aggregate view %q: group row vanished", n.id, r.Frag)
+		}
+		if newCount == 0 {
+			continue
+		}
+		updated := key.Clone()
+		for ai := range delta {
+			old := existing.Tuple[r.GroupLen+ai]
+			nv, err := addValues(old, delta[ai])
+			if err != nil {
+				return nil, fmt.Errorf("node %d: aggregate view %q: %w", n.id, r.Frag, err)
+			}
+			updated = append(updated, nv)
+		}
+		if _, err := f.Insert(updated); err != nil {
+			return nil, err
+		}
+	}
+	return Ack{}, nil
+}
+
+// addValues adds two numeric values, preserving the left operand's kind
+// (NULL acts as zero of the right operand's kind).
+func addValues(a, b types.Value) (types.Value, error) {
+	if a.IsNull() {
+		return b, nil
+	}
+	if b.IsNull() {
+		return a, nil
+	}
+	switch {
+	case a.K == types.KindInt && b.K == types.KindInt:
+		return types.Int(a.I + b.I), nil
+	case a.K == types.KindFloat && b.K == types.KindFloat:
+		return types.Float(a.F + b.F), nil
+	case a.K == types.KindInt && b.K == types.KindFloat:
+		return types.Float(float64(a.I) + b.F), nil
+	case a.K == types.KindFloat && b.K == types.KindInt:
+		return types.Float(a.F + float64(b.I)), nil
+	default:
+		return types.Value{}, fmt.Errorf("cannot add %v and %v", a, b)
+	}
+}
+
+// localJoin hash-joins two co-partitioned local fragments into a third.
+func (n *DataNode) localJoin(r LocalJoin) (any, error) {
+	fl, err := n.frag(r.Left)
+	if err != nil {
+		return nil, err
+	}
+	fr, err := n.frag(r.Right)
+	if err != nil {
+		return nil, err
+	}
+	fo, err := n.frag(r.Out)
+	if err != nil {
+		return nil, err
+	}
+	li := fl.Schema().ColIndex(r.LeftCol)
+	ri := fr.Schema().ColIndex(r.RightCol)
+	if li < 0 || ri < 0 {
+		return nil, fmt.Errorf("node %d: local join columns %q/%q not found", n.id, r.LeftCol, r.RightCol)
+	}
+	// Build from the right side, probe with the left; both sides charged
+	// as one scan each.
+	build := map[uint64][]types.Tuple{}
+	fr.Scan(func(_ storage.RowID, t types.Tuple) bool {
+		h := t[ri].Hash()
+		build[h] = append(build[h], t)
+		return true
+	})
+	produced := 0
+	var joinErr error
+	fl.Scan(func(_ storage.RowID, t types.Tuple) bool {
+		for _, rt := range build[t[li].Hash()] {
+			if !types.Equal(t[li], rt[ri]) {
+				continue
+			}
+			if _, err := fo.Insert(t.Concat(rt)); err != nil {
+				joinErr = err
+				return false
+			}
+			produced++
+		}
+		return true
+	})
+	if joinErr != nil {
+		return nil, joinErr
+	}
+	return LocalJoinResult{Produced: produced}, nil
+}
+
+// fetchJoin implements the fetch step of the global-index method: the K
+// nodes holding matching tuples each receive the delta tuple plus the
+// global row ids that live there, fetch those rows, and join.
+func (n *DataNode) fetchJoin(r FetchJoin) (any, error) {
+	f, err := n.frag(r.Frag)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]types.Tuple, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		t, ok := f.GetUnmetered(row)
+		if !ok {
+			return nil, fmt.Errorf("node %d: fetch-join: row %d missing in %q (global index out of sync)", n.id, row, r.Frag)
+		}
+		out = append(out, r.Delta.Concat(t))
+	}
+	// §3.1(e): distributed clustered -> matching rows share pages (charge
+	// per page); otherwise one FETCH per row.
+	if col, ok := f.Clustered(); ok && col == r.FragCol {
+		if len(r.Rows) > 0 {
+			pages := (len(r.Rows) + f.PageRows() - 1) / f.PageRows()
+			n.meter.Fetch(int64(pages))
+		}
+	} else {
+		n.meter.Fetch(int64(len(r.Rows)))
+	}
+	return Probed{Tuples: out}, nil
+}

@@ -1,0 +1,278 @@
+package node
+
+import (
+	"joinview/internal/expr"
+	"joinview/internal/storage"
+	"joinview/internal/types"
+)
+
+// Algo selects the join algorithm for a Probe.
+type Algo uint8
+
+// Join algorithm choices.
+const (
+	// AlgoIndex uses index nested loops via the best local access path.
+	AlgoIndex Algo = iota
+	// AlgoSortMerge uses the sort-merge cost model of §3.2.
+	AlgoSortMerge
+	// AlgoAuto picks whichever the local cost estimate says is cheaper,
+	// mirroring "if |A| is large enough ... sort merge is preferable".
+	AlgoAuto
+)
+
+func (a Algo) String() string {
+	switch a {
+	case AlgoIndex:
+		return "index"
+	case AlgoSortMerge:
+		return "sort-merge"
+	case AlgoAuto:
+		return "auto"
+	default:
+		return "unknown"
+	}
+}
+
+// CreateFragment allocates an empty fragment for a relation (base table,
+// auxiliary relation or view) at the node.
+type CreateFragment struct {
+	Name       string
+	Schema     *types.Schema
+	ClusterCol string // empty = heap
+	PageRows   int
+}
+
+// CreateIndex builds a non-clustered secondary index on a fragment.
+type CreateIndex struct {
+	Frag, Name, Col string
+}
+
+// CreateGlobalIndex allocates this node's fragment of a global index.
+type CreateGlobalIndex struct {
+	Name          string
+	DistClustered bool
+}
+
+// Insert appends tuples to a fragment. Unmetered inserts (DDL backfill)
+// charge no I/O.
+type Insert struct {
+	Frag      string
+	Tuples    []types.Tuple
+	Unmetered bool
+}
+
+// InsertResult reports the assigned row ids, in input order.
+type InsertResult struct {
+	Rows []storage.RowID
+}
+
+// DeleteRows removes tuples by row id.
+type DeleteRows struct {
+	Frag string
+	Rows []storage.RowID
+}
+
+// DeleteMatch removes one stored instance per given tuple (bag semantics),
+// locating victims via HintCol.
+type DeleteMatch struct {
+	Frag    string
+	HintCol string
+	Tuples  []types.Tuple
+}
+
+// DeleteResult returns the tuples actually removed.
+type DeleteResult struct {
+	Tuples []types.Tuple
+}
+
+// LocateMatch finds one stored instance per given tuple (bag semantics)
+// without deleting, returning row ids and tuples; unmatched tuples are
+// skipped. Victim location for value-addressed deletes.
+type LocateMatch struct {
+	Frag    string
+	HintCol string
+	Tuples  []types.Tuple
+}
+
+// Probe joins delta tuples against a local fragment and returns
+// delta ++ row concatenations. This is the per-node join step of all three
+// maintenance methods.
+type Probe struct {
+	Frag     string
+	FragCol  string
+	Delta    []types.Tuple
+	DeltaKey int // index of the join column within delta tuples
+	Algo     Algo
+	// FanoutHint estimates matches per delta tuple; AlgoAuto uses it to
+	// compare index nested loops against sort-merge.
+	FanoutHint float64
+}
+
+// Probed carries join results back.
+type Probed struct {
+	Tuples []types.Tuple
+}
+
+// FetchJoin joins one delta tuple with specific local rows (located via a
+// global index) and returns delta ++ row concatenations. Fetch cost follows
+// §3.1(e): one page when the fragment is clustered on FragCol ("distributed
+// clustered"), one FETCH per row otherwise.
+type FetchJoin struct {
+	Frag    string
+	FragCol string
+	Rows    []storage.RowID
+	Delta   types.Tuple
+}
+
+// GIInsert adds an entry to this node's global-index fragment.
+type GIInsert struct {
+	GI  string
+	Val types.Value
+	G   storage.GlobalRowID
+}
+
+// GIInsertBatch adds many entries at once (DDL backfill); unmetered.
+type GIInsertBatch struct {
+	GI   string
+	Vals []types.Value
+	Gs   []storage.GlobalRowID
+}
+
+// FindMatching locates tuples satisfying a predicate, returning row ids and
+// tuples. It charges a full scan (victim location for DELETE/UPDATE reads
+// the relation).
+type FindMatching struct {
+	Frag string
+	Pred expr.Expr
+}
+
+// GIDelete removes an entry from this node's global-index fragment.
+type GIDelete struct {
+	GI  string
+	Val types.Value
+	G   storage.GlobalRowID
+}
+
+// GIDeleted reports whether the entry existed.
+type GIDeleted struct {
+	OK bool
+}
+
+// GILookup finds the global row ids recorded for a value.
+type GILookup struct {
+	GI  string
+	Val types.Value
+}
+
+// GILen asks for the entry count of this node's global-index fragment.
+type GILen struct {
+	GI string
+}
+
+// GILenResult reports a fragment's entry count.
+type GILenResult struct {
+	Len int
+}
+
+// GIScan reads every entry of this node's global-index fragment,
+// unmetered (consistency verification).
+type GIScan struct {
+	GI string
+}
+
+// GIScanResult carries parallel value/row-id slices.
+type GIScanResult struct {
+	Vals []types.Value
+	Gs   []storage.GlobalRowID
+}
+
+// GIRows carries a lookup result.
+type GIRows struct {
+	IDs []storage.GlobalRowID
+}
+
+// Scan reads a whole fragment, charging scan I/O.
+type Scan struct {
+	Frag string
+}
+
+// AllRows reads a whole fragment without charging I/O (DDL backfill,
+// verification).
+type AllRows struct {
+	Frag string
+}
+
+// ScanWithRows reads a whole fragment without charging I/O, returning row
+// ids alongside tuples (used to build global indexes and locate delete
+// victims).
+type ScanWithRows struct {
+	Frag string
+}
+
+// RowsResult carries tuples (and, for ScanWithRows, their row ids).
+type RowsResult struct {
+	Tuples []types.Tuple
+	Rows   []storage.RowID
+}
+
+// AggApply folds signed group deltas into an aggregate view fragment:
+// each key's aggregates are adjusted in place, new groups are inserted,
+// and groups whose count reaches zero are removed.
+type AggApply struct {
+	Frag string
+	// HintCol is the view's partition column (group key lookup path).
+	HintCol string
+	// GroupLen is the number of leading group columns.
+	GroupLen int
+	// CountPos is the count aggregate's index among the aggregate columns
+	// (schema position GroupLen + CountPos).
+	CountPos int
+	Keys     []types.Tuple
+	Deltas   []types.Tuple
+}
+
+// DropFragment removes a fragment from the node (temporary query spills,
+// dropped relations and views).
+type DropFragment struct {
+	Name string
+}
+
+// DropGlobalIndexFrag removes this node's global-index fragment.
+type DropGlobalIndexFrag struct {
+	Name string
+}
+
+// LocalJoin hash-joins two local fragments into a third (which must exist
+// with the concatenated schema), emitting left ++ right rows. It charges a
+// scan of both inputs; output writes are charged by the inserts. This is
+// the per-node step of a co-partitioned distributed join.
+type LocalJoin struct {
+	Left, Right       string
+	LeftCol, RightCol string
+	Out               string
+}
+
+// LocalJoinResult reports how many tuples the node produced.
+type LocalJoinResult struct {
+	Produced int
+}
+
+// FragInfo asks for fragment size information.
+type FragInfo struct {
+	Frag string
+}
+
+// FragInfoResult reports fragment size.
+type FragInfoResult struct {
+	Len   int
+	Pages int
+}
+
+// MeterSnapshot asks for the node's I/O counters.
+type MeterSnapshot struct{}
+
+// ResetMeter zeroes the node's I/O counters.
+type ResetMeter struct{}
+
+// Ack is the empty success response.
+type Ack struct{}

@@ -1,0 +1,351 @@
+// Package plan turns a view definition plus an updated base table into a
+// maintenance plan: the ordered sequence of delta-join steps each strategy
+// executes, and the auxiliary structures (auxiliary relations, global
+// indexes) a view needs.
+//
+// This implements §2.2 of the paper: for an n-way join view, keep one
+// auxiliary relation (or global index) per (table, join attribute) pair the
+// table is not already partitioned on; when a base relation is updated,
+// join the delta through the *other* tables' structures, picking the join
+// order with relational statistics — the §2.2 "optimization problem".
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"joinview/internal/catalog"
+	"joinview/internal/stats"
+	"joinview/internal/types"
+)
+
+// Via says how a delta-join step reaches the rows it probes.
+type Via uint8
+
+// Step shipping modes.
+const (
+	// ViaBroadcast ships the delta to every node and probes the base
+	// fragment there (the naive method on a relation not partitioned on
+	// the join attribute; paper Figure 2).
+	ViaBroadcast Via = iota
+	// ViaRoute hash-routes each delta tuple to the single node owning its
+	// join-attribute value and probes there (the auxiliary-relation
+	// method, Figure 4, or any method when the base relation happens to
+	// be partitioned on the join attribute, Figure 1).
+	ViaRoute
+	// ViaGlobalIndex routes each delta tuple to the global-index home
+	// node, looks up global row ids, and fetch-joins at the K owning
+	// nodes (Figure 6).
+	ViaGlobalIndex
+)
+
+func (v Via) String() string {
+	switch v {
+	case ViaBroadcast:
+		return "broadcast"
+	case ViaRoute:
+		return "route"
+	case ViaGlobalIndex:
+		return "global-index"
+	default:
+		return "unknown"
+	}
+}
+
+// Step is one delta-join against one base table of the view.
+type Step struct {
+	// Table is the logical base table being joined in.
+	Table string
+	// Frag is the physical fragment probed: the base table name, or an
+	// auxiliary relation name.
+	Frag string
+	// FragCol is the join column within the probe fragment (unqualified).
+	FragCol string
+	// FragSchema is the probe fragment's schema (an AR may be a column
+	// subset of the base table).
+	FragSchema *types.Schema
+	// DeltaCol is the qualified join column within the current
+	// intermediate ("table.col").
+	DeltaCol string
+	// Via selects the shipping mode.
+	Via Via
+	// GI names the global index used when Via == ViaGlobalIndex.
+	GI string
+	// FragClusteredOnCol records whether the probed fragment is locally
+	// clustered on FragCol (drives the clustered/non-clustered cost
+	// variants in the experiments).
+	FragClusteredOnCol bool
+	// Fanout is the statistics estimate of matches per delta tuple.
+	Fanout float64
+}
+
+// Plan is the full maintenance recipe for one (view, updated table) pair.
+type Plan struct {
+	View  *catalog.View
+	Table string
+	// Steps are executed in order; the intermediate result starts as the
+	// delta (updated table's tuples, schema prefixed with the table name)
+	// and grows one table per step.
+	Steps []Step
+	// Schema is the final intermediate schema after all steps.
+	Schema *types.Schema
+	// Residual holds join predicates not consumed by the step chain —
+	// the extra edges of a cyclic join graph (the paper's §2.2 complete
+	// join of A, B and C). They are applied as filters on the final
+	// intermediate.
+	Residual []catalog.JoinPred
+	// EstFanout is the product of step fan-outs: the expected number of
+	// view tuples per delta tuple (the paper's N for the 2-way case).
+	EstFanout float64
+}
+
+// Describe renders the plan as indented text for EXPLAIN-style tooling.
+func (p *Plan) Describe() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "maintain view %s on update of %s (est. fan-out %.2f)\n", p.View.Name, p.Table, p.EstFanout)
+	for i, s := range p.Steps {
+		access := "non-clustered"
+		if s.FragClusteredOnCol {
+			access = "clustered"
+		}
+		fmt.Fprintf(&sb, "  step %d: %-12s join %s via %s on %s = %s.%s (%s",
+			i+1, s.Via, s.Table, s.Frag, s.DeltaCol, s.Table, s.FragCol, access)
+		if s.GI != "" {
+			fmt.Fprintf(&sb, ", global index %s", s.GI)
+		}
+		fmt.Fprintf(&sb, ", est. fan-out %.2f)\n", s.Fanout)
+	}
+	for _, j := range p.Residual {
+		fmt.Fprintf(&sb, "  residual filter: %s.%s = %s.%s\n", j.Left, j.LeftCol, j.Right, j.RightCol)
+	}
+	return sb.String()
+}
+
+// neededCols returns the base columns table t must expose for view v:
+// its join attributes plus its output columns, in base-schema order.
+func neededCols(cat *catalog.Catalog, v *catalog.View, table string) ([]string, error) {
+	t, err := cat.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	want := map[string]bool{}
+	for _, c := range v.JoinCols(table) {
+		want[c] = true
+	}
+	for _, c := range v.OutColsOf(table) {
+		want[c] = true
+	}
+	for _, c := range v.MeasureColsOf(table) {
+		want[c] = true
+	}
+	var out []string
+	for _, c := range t.Schema.Names() {
+		if want[c] {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+// AuxRelSpecs returns the auxiliary relations view v requires under the
+// auxiliary-relation method: one per (table, join attribute) the table is
+// not partitioned on (§2.2: "keep an auxiliary relation of R_i partitioned
+// on the join attribute ... unless R_i is partitioned on the join
+// attribute"). Each AR is minimized to the needed columns (§2.1.2).
+func AuxRelSpecs(cat *catalog.Catalog, v *catalog.View) ([]catalog.AuxRel, error) {
+	var specs []catalog.AuxRel
+	for _, table := range v.Tables {
+		t, err := cat.Table(table)
+		if err != nil {
+			return nil, err
+		}
+		cols, err := neededCols(cat, v, table)
+		if err != nil {
+			return nil, err
+		}
+		for _, jc := range v.JoinCols(table) {
+			if jc == t.PartitionCol {
+				continue
+			}
+			specs = append(specs, catalog.AuxRel{
+				Name:         fmt.Sprintf("ar_%s_%s", table, jc),
+				Table:        table,
+				PartitionCol: jc,
+				Cols:         cols,
+			})
+		}
+	}
+	return specs, nil
+}
+
+// GlobalIndexSpecs returns the global indexes view v requires under the
+// global-index method, one per (table, join attribute) the table is not
+// partitioned on.
+func GlobalIndexSpecs(cat *catalog.Catalog, v *catalog.View) ([]catalog.GlobalIndex, error) {
+	var specs []catalog.GlobalIndex
+	for _, table := range v.Tables {
+		t, err := cat.Table(table)
+		if err != nil {
+			return nil, err
+		}
+		for _, jc := range v.JoinCols(table) {
+			if jc == t.PartitionCol {
+				continue
+			}
+			specs = append(specs, catalog.GlobalIndex{
+				Name:  fmt.Sprintf("gi_%s_%s", table, jc),
+				Table: table,
+				Col:   jc,
+			})
+		}
+	}
+	return specs, nil
+}
+
+// Build computes the maintenance plan for updating `table` under `strategy`.
+// The join order is chosen greedily by ascending statistics fan-out
+// (deterministic tie-break on table name), resolving the §2.2 optimization
+// problem; with no statistics all fan-outs are 1 and FROM-order-ish
+// traversal results.
+func Build(cat *catalog.Catalog, st *stats.Stats, v *catalog.View, table string, strategy catalog.Strategy) (*Plan, error) {
+	if !v.HasTable(table) {
+		return nil, fmt.Errorf("plan: view %q does not join table %q", v.Name, table)
+	}
+	if strategy == catalog.StrategyAuto {
+		return nil, fmt.Errorf("plan: strategy auto must be resolved before planning")
+	}
+	updated, err := cat.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	p := &Plan{
+		View:      v,
+		Table:     table,
+		Schema:    updated.Schema.Prefixed(table),
+		EstFanout: 1,
+	}
+	covered := map[string]bool{table: true}
+	remaining := append([]catalog.JoinPred(nil), v.Joins...)
+
+	for len(covered) < len(v.Tables) {
+		// Candidate joins: exactly one side covered.
+		type cand struct {
+			join   catalog.JoinPred
+			next   string // table to join in
+			fanout float64
+			idx    int
+		}
+		var cands []cand
+		for i, j := range remaining {
+			lc, rc := covered[j.Left], covered[j.Right]
+			if lc == rc {
+				continue
+			}
+			next := j.Left
+			if lc {
+				next = j.Right
+			}
+			cands = append(cands, cand{
+				join:   j,
+				next:   next,
+				fanout: st.Fanout(next, j.ColOf(next)),
+				idx:    i,
+			})
+		}
+		if len(cands) == 0 {
+			return nil, fmt.Errorf("plan: view %q join graph disconnected from %q", v.Name, table)
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].fanout != cands[b].fanout {
+				return cands[a].fanout < cands[b].fanout
+			}
+			return cands[a].next < cands[b].next
+		})
+		best := cands[0]
+		step, err := buildStep(cat, v, best.join, best.next, coveredSide(best.join, best.next), p.Schema, strategy)
+		if err != nil {
+			return nil, err
+		}
+		step.Fanout = best.fanout
+		p.EstFanout *= best.fanout
+		p.Steps = append(p.Steps, step)
+		p.Schema = p.Schema.Concat(step.FragSchema.Prefixed(best.next))
+		covered[best.next] = true
+		remaining = append(remaining[:best.idx], remaining[best.idx+1:]...)
+	}
+	p.Residual = remaining
+	return p, nil
+}
+
+// coveredSide returns the already-covered table of the join given the
+// not-yet-covered one.
+func coveredSide(j catalog.JoinPred, next string) string { return j.Other(next) }
+
+// buildStep resolves the physical access for joining table `next` into the
+// intermediate, whose current schema is `cur`.
+func buildStep(cat *catalog.Catalog, v *catalog.View, j catalog.JoinPred, next, covered string, cur *types.Schema, strategy catalog.Strategy) (Step, error) {
+	nextCol := j.ColOf(next)
+	deltaCol := covered + "." + j.ColOf(covered)
+	if cur.ColIndex(deltaCol) < 0 {
+		return Step{}, fmt.Errorf("plan: intermediate lacks join column %s (is an auxiliary relation missing it?)", deltaCol)
+	}
+	t, err := cat.Table(next)
+	if err != nil {
+		return Step{}, err
+	}
+	step := Step{
+		Table:    next,
+		FragCol:  nextCol,
+		DeltaCol: deltaCol,
+	}
+
+	// Any strategy: a base relation already partitioned on the join
+	// attribute needs no auxiliary structure (paper case 1) — route to it.
+	if t.PartitionCol == nextCol {
+		step.Frag = next
+		step.FragSchema = t.Schema
+		step.Via = ViaRoute
+		step.FragClusteredOnCol = t.ClusterCol == nextCol
+		return step, nil
+	}
+
+	switch strategy {
+	case catalog.StrategyNaive:
+		step.Frag = next
+		step.FragSchema = t.Schema
+		step.Via = ViaBroadcast
+		step.FragClusteredOnCol = t.ClusterCol == nextCol
+		return step, nil
+
+	case catalog.StrategyAuxRel:
+		need, err := neededCols(cat, v, next)
+		if err != nil {
+			return Step{}, err
+		}
+		ar, ok := cat.AuxRelOn(next, nextCol, need)
+		if !ok {
+			return Step{}, fmt.Errorf("plan: view %q needs an auxiliary relation on %s.%s covering %v (create it or use EnsureStructures)", v.Name, next, nextCol, need)
+		}
+		step.Frag = ar.Name
+		step.FragSchema = ar.Schema
+		step.Via = ViaRoute
+		step.FragClusteredOnCol = true // ARs are clustered on their partition column
+		return step, nil
+
+	case catalog.StrategyGlobalIndex:
+		gi, ok := cat.GlobalIndexOn(next, nextCol)
+		if !ok {
+			return Step{}, fmt.Errorf("plan: view %q needs a global index on %s.%s (create it or use EnsureStructures)", v.Name, next, nextCol)
+		}
+		step.Frag = next
+		step.FragSchema = t.Schema
+		step.Via = ViaGlobalIndex
+		step.GI = gi.Name
+		step.FragClusteredOnCol = gi.DistClustered
+		return step, nil
+
+	default:
+		return Step{}, fmt.Errorf("plan: unsupported strategy %v", strategy)
+	}
+}

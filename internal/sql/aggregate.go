@@ -1,0 +1,202 @@
+package sql
+
+import (
+	"fmt"
+	"sort"
+
+	"joinview/internal/types"
+)
+
+// execAggregate evaluates an aggregated SELECT over the filtered, joined
+// rows: count(*), sum, min, max, avg with an optional GROUP BY. Every
+// non-aggregate select item must appear in the GROUP BY list (no implicit
+// grouping).
+func execAggregate(s Select, schema *types.Schema, rows []types.Tuple) (*Result, error) {
+	// Resolve GROUP BY columns.
+	groupIdx := make([]int, 0, len(s.GroupBy))
+	groupNames := make([]string, 0, len(s.GroupBy))
+	for _, g := range s.GroupBy {
+		name, err := resolveSelectCol(schema, g.Table, g.Col)
+		if err != nil {
+			return nil, fmt.Errorf("sql: group by: %w", err)
+		}
+		groupIdx = append(groupIdx, schema.MustColIndex(name))
+		groupNames = append(groupNames, name)
+	}
+	inGroup := func(name string) bool {
+		for _, g := range groupNames {
+			if g == name {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Resolve select items.
+	type outCol struct {
+		label string
+		agg   string // "" for a plain group-by column
+		idx   int    // source column for non-count aggregates and plain columns
+	}
+	var outs []outCol
+	for _, item := range s.Items {
+		switch {
+		case item.Star:
+			return nil, fmt.Errorf("sql: * cannot be combined with aggregates")
+		case item.Agg == "count":
+			outs = append(outs, outCol{label: "count", agg: "count", idx: -1})
+		case item.Agg != "":
+			name, err := resolveSelectCol(schema, item.Table, item.Col)
+			if err != nil {
+				return nil, err
+			}
+			outs = append(outs, outCol{
+				label: fmt.Sprintf("%s(%s)", item.Agg, name),
+				agg:   item.Agg,
+				idx:   schema.MustColIndex(name),
+			})
+		default:
+			name, err := resolveSelectCol(schema, item.Table, item.Col)
+			if err != nil {
+				return nil, err
+			}
+			if !inGroup(name) {
+				return nil, fmt.Errorf("sql: column %q must appear in GROUP BY or inside an aggregate", name)
+			}
+			outs = append(outs, outCol{label: name, idx: schema.MustColIndex(name)})
+		}
+	}
+
+	// Group rows. With no GROUP BY everything is one group (and an empty
+	// input still yields one row of aggregates, SQL-style).
+	type group struct {
+		key  types.Tuple
+		rows []types.Tuple
+	}
+	groups := map[uint64]*group{}
+	var order []uint64
+	addRow := func(t types.Tuple) {
+		key := make(types.Tuple, len(groupIdx))
+		for i, gi := range groupIdx {
+			key[i] = t[gi]
+		}
+		h := key.Hash()
+		g, ok := groups[h]
+		if !ok {
+			g = &group{key: key}
+			groups[h] = g
+			order = append(order, h)
+		}
+		g.rows = append(g.rows, t)
+	}
+	for _, t := range rows {
+		addRow(t)
+	}
+	if len(groupIdx) == 0 && len(groups) == 0 {
+		groups[0] = &group{key: types.Tuple{}}
+		order = append(order, 0)
+	}
+
+	// Deterministic output: sort groups by key.
+	sort.Slice(order, func(a, b int) bool {
+		return groups[order[a]].key.Compare(groups[order[b]].key) < 0
+	})
+
+	res := &Result{}
+	for _, o := range outs {
+		res.Columns = append(res.Columns, o.label)
+	}
+	for _, h := range order {
+		g := groups[h]
+		row := make(types.Tuple, 0, len(outs))
+		for _, o := range outs {
+			switch o.agg {
+			case "":
+				// A group-by column: take it from the key.
+				for i, gi := range groupIdx {
+					if gi == o.idx {
+						row = append(row, g.key[i])
+						break
+					}
+				}
+			case "count":
+				row = append(row, types.Int(int64(len(g.rows))))
+			default:
+				v, err := foldAgg(o.agg, o.idx, g.rows)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, v)
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// foldAgg computes sum/min/max/avg over one column, skipping NULLs (SQL
+// semantics); all-NULL (or empty) input yields NULL.
+func foldAgg(agg string, idx int, rows []types.Tuple) (types.Value, error) {
+	var acc types.Value
+	n := 0
+	var sumI int64
+	var sumF float64
+	isFloat := false
+	for _, t := range rows {
+		v := t[idx]
+		if v.IsNull() {
+			continue
+		}
+		n++
+		switch agg {
+		case "min":
+			if acc.IsNull() || types.Compare(v, acc) < 0 {
+				acc = v
+			}
+		case "max":
+			if acc.IsNull() || types.Compare(v, acc) > 0 {
+				acc = v
+			}
+		case "sum", "avg":
+			switch v.K {
+			case types.KindInt:
+				sumI += v.I
+			case types.KindFloat:
+				isFloat = true
+				sumF += v.F
+			default:
+				return types.Value{}, fmt.Errorf("sql: %s over non-numeric column", agg)
+			}
+		}
+	}
+	if n == 0 {
+		return types.Null(), nil
+	}
+	switch agg {
+	case "min", "max":
+		return acc, nil
+	case "sum":
+		if isFloat {
+			return types.Float(sumF + float64(sumI)), nil
+		}
+		return types.Int(sumI), nil
+	case "avg":
+		return types.Float((sumF + float64(sumI)) / float64(n)), nil
+	default:
+		return types.Value{}, fmt.Errorf("sql: unknown aggregate %q", agg)
+	}
+}
+
+// hasAggregate reports whether the select list or GROUP BY requires the
+// aggregate path.
+func hasAggregate(s Select) bool {
+	if len(s.GroupBy) > 0 {
+		return true
+	}
+	for _, item := range s.Items {
+		if item.Agg != "" {
+			return true
+		}
+	}
+	return false
+}

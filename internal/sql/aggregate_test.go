@@ -1,0 +1,149 @@
+package sql
+
+import (
+	"testing"
+
+	"joinview/internal/types"
+)
+
+func TestAggregatesSingleGroup(t *testing.T) {
+	c := newDB(t)
+	r, err := Exec(c, `select count(*), sum(totalprice), min(totalprice), max(totalprice), avg(totalprice) from orders`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	row := r.Rows[0]
+	// orders totalprice: 5, 6, 7, 8.
+	if row[0].I != 4 || row[1].F != 26 || row[2].F != 5 || row[3].F != 8 || row[4].F != 6.5 {
+		t.Errorf("aggregates = %v", row)
+	}
+	if r.Columns[1] != "sum(o.totalprice)" && r.Columns[1] != "sum(orders.totalprice)" && r.Columns[1] != "sum(totalprice)" {
+		t.Errorf("columns = %v", r.Columns)
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	c := newDB(t)
+	r, err := Exec(c, `select custkey, count(*), sum(totalprice) from orders group by custkey`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// custkeys: 1 (two orders, 5+6), 2 (one, 7), 9 (one, 8); sorted by key.
+	if len(r.Rows) != 3 {
+		t.Fatalf("groups = %v", r.Rows)
+	}
+	if r.Rows[0][0].I != 1 || r.Rows[0][1].I != 2 || r.Rows[0][2].F != 11 {
+		t.Errorf("group 1 = %v", r.Rows[0])
+	}
+	if r.Rows[1][0].I != 2 || r.Rows[1][1].I != 1 {
+		t.Errorf("group 2 = %v", r.Rows[1])
+	}
+	if r.Rows[2][0].I != 9 {
+		t.Errorf("group 3 = %v", r.Rows[2])
+	}
+}
+
+func TestGroupByOverJoin(t *testing.T) {
+	c := newDB(t)
+	r, err := Exec(c, `
+		select c.custkey, count(*)
+		from customer c, orders o
+		where c.custkey = o.custkey
+		group by c.custkey`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// customer 1 has 2 orders, customer 2 has 1; customer 3 joins nothing.
+	if len(r.Rows) != 2 || r.Rows[0][1].I != 2 || r.Rows[1][1].I != 1 {
+		t.Fatalf("join groups = %v", r.Rows)
+	}
+}
+
+func TestAggregateEmptyInput(t *testing.T) {
+	c := newDB(t)
+	r, err := Exec(c, `select count(*), sum(totalprice) from orders where custkey = 12345`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 || r.Rows[0][0].I != 0 || !r.Rows[0][1].IsNull() {
+		t.Fatalf("empty aggregate = %v", r.Rows)
+	}
+	// Empty group-by yields no groups.
+	r, err = Exec(c, `select custkey, count(*) from orders where custkey = 12345 group by custkey`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 0 {
+		t.Fatalf("empty grouped aggregate = %v", r.Rows)
+	}
+}
+
+func TestAggregateNullSkipping(t *testing.T) {
+	c := newDB(t)
+	if _, err := Exec(c, `insert into orders values (500, 7, null)`); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Exec(c, `select count(*), sum(totalprice), avg(totalprice) from orders where custkey = 7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// count(*) counts the row; sum/avg skip the NULL -> all NULL group.
+	if r.Rows[0][0].I != 1 || !r.Rows[0][1].IsNull() || !r.Rows[0][2].IsNull() {
+		t.Errorf("null handling = %v", r.Rows[0])
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	c := newDB(t)
+	bad := []string{
+		`select custkey, count(*) from orders`,                       // not grouped
+		`select *, count(*) from orders`,                             // star with aggregate
+		`select sum(ghost) from orders`,                              // unknown column
+		`select count(*) from orders group by ghost`,                 // bad group col
+		`select sum(comment) from parts`,                             // unknown table
+		`select min(custkey), orderkey from orders group by custkey`, // orderkey not grouped
+	}
+	for _, q := range bad {
+		if _, err := Exec(c, q); err == nil {
+			t.Errorf("Exec(%q) should fail", q)
+		}
+	}
+	// Non-numeric sum fails cleanly.
+	if _, err := ExecScript(c, `
+		create table s (k bigint, name varchar) partition on k;
+		insert into s values (1, 'x');
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Exec(c, `select sum(name) from s`); err == nil {
+		t.Error("sum over varchar should fail")
+	}
+	// min/max over strings is fine.
+	r, err := Exec(c, `select min(name), max(name) from s`)
+	if err != nil || r.Rows[0][0].S != "x" {
+		t.Errorf("min/max over varchar = %v, %v", r.Rows, err)
+	}
+}
+
+func TestGroupByIntAndFloatSum(t *testing.T) {
+	c := newDB(t)
+	if _, err := ExecScript(c, `
+		create table m (k bigint, iv bigint, fv double) partition on k;
+		insert into m values (1, 2, 0.5), (2, 3, 0.25), (3, -1, 1.0);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Exec(c, `select sum(iv), sum(fv) from m`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].K != types.KindInt || r.Rows[0][0].I != 4 {
+		t.Errorf("int sum = %v", r.Rows[0][0])
+	}
+	if r.Rows[0][1].K != types.KindFloat || r.Rows[0][1].F != 1.75 {
+		t.Errorf("float sum = %v", r.Rows[0][1])
+	}
+}

@@ -1,0 +1,178 @@
+package sql
+
+import (
+	"joinview/internal/types"
+)
+
+// Stmt is a parsed statement.
+type Stmt interface{ stmt() }
+
+// ColumnDef is one column of a CREATE TABLE.
+type ColumnDef struct {
+	Name string
+	Kind types.Kind
+}
+
+// CreateTable is
+//
+//	CREATE TABLE name (col type, ...) PARTITION ON col [CLUSTER ON col]
+type CreateTable struct {
+	Name         string
+	Cols         []ColumnDef
+	PartitionCol string
+	ClusterCol   string
+}
+
+// CreateIndex is
+//
+//	CREATE INDEX name ON table (col)
+type CreateIndex struct {
+	Name  string
+	Table string
+	Col   string
+}
+
+// CreateGlobalIndex is
+//
+//	CREATE GLOBAL INDEX name ON table (col)
+type CreateGlobalIndex struct {
+	Name  string
+	Table string
+	Col   string
+}
+
+// CreateAuxRel is
+//
+//	CREATE AUXILIARY RELATION name FOR table PARTITION ON col
+//	    [COLUMNS (a, b, ...)] [WHERE pred]
+type CreateAuxRel struct {
+	Name         string
+	Table        string
+	PartitionCol string
+	Cols         []string
+	Where        *Condition
+}
+
+// SelectItem is one output column: Table may be empty (unqualified), Star
+// marks `*`, and Agg ("count", "sum", "min", "max", "avg") marks an
+// aggregate — count takes `*` (Col empty), the others take a column.
+type SelectItem struct {
+	Table, Col string
+	Star       bool
+	Agg        string
+}
+
+// Count reports whether the item is count(*); retained for readability at
+// call sites.
+func (s SelectItem) Count() bool { return s.Agg == "count" }
+
+// TableRef is a FROM entry with an optional alias.
+type TableRef struct {
+	Name, Alias string
+}
+
+// Binding returns the name the query refers to the table by.
+func (t TableRef) Binding() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// Operand is a column reference or a literal in a condition.
+type Operand struct {
+	IsCol      bool
+	Table, Col string      // when IsCol
+	Lit        types.Value // otherwise
+}
+
+// Condition is one comparison in a WHERE conjunction.
+type Condition struct {
+	Op   string // =, <>, <, <=, >, >=
+	L, R Operand
+}
+
+// IsJoin reports whether the condition is an equijoin between two columns
+// of different tables.
+func (c Condition) IsJoin() bool {
+	return c.Op == "=" && c.L.IsCol && c.R.IsCol && c.L.Table != c.R.Table
+}
+
+// Select is
+//
+//	SELECT items FROM tables [WHERE cond AND cond ...]
+//	    [GROUP BY col, ...]
+type Select struct {
+	Items   []SelectItem
+	Tables  []TableRef
+	Where   []Condition
+	GroupBy []SelectItem // column references only
+}
+
+// CreateView is
+//
+//	CREATE VIEW name AS select
+//	    [PARTITION ON table.col] [USING naive|auxrel|globalindex|auto]
+type CreateView struct {
+	Name           string
+	Query          Select
+	PartitionTable string
+	PartitionCol   string
+	Strategy       string // empty = naive (paper default: no structures)
+}
+
+// Insert is
+//
+//	INSERT INTO table VALUES (v, ...), (...)
+type Insert struct {
+	Table string
+	Rows  [][]types.Value
+}
+
+// Delete is
+//
+//	DELETE FROM table [WHERE cond AND ...]
+type Delete struct {
+	Table string
+	Where []Condition
+}
+
+// Update is
+//
+//	UPDATE table SET col = lit [, ...] [WHERE cond AND ...]
+type Update struct {
+	Table string
+	Set   map[string]types.Value
+	Where []Condition
+}
+
+// Drop is `DROP TABLE|VIEW|AUXILIARY RELATION|GLOBAL INDEX name`.
+type Drop struct {
+	// Kind is "table", "view", "auxrel" or "globalindex".
+	Kind string
+	Name string
+}
+
+func (Drop) stmt() {}
+
+// Begin is `BEGIN [TRANSACTION]`.
+type Begin struct{}
+
+// Commit is `COMMIT`.
+type Commit struct{}
+
+// Rollback is `ROLLBACK`.
+type Rollback struct{}
+
+func (Begin) stmt()             {}
+func (Commit) stmt()            {}
+func (Rollback) stmt()          {}
+func (CreateTable) stmt()       {}
+func (CreateIndex) stmt()       {}
+func (CreateGlobalIndex) stmt() {}
+func (CreateAuxRel) stmt()      {}
+func (CreateView) stmt()        {}
+func (Select) stmt()            {}
+func (Insert) stmt()            {}
+func (Delete) stmt()            {}
+func (Update) stmt()            {}

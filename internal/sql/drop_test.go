@@ -1,0 +1,124 @@
+package sql
+
+import "testing"
+
+func TestDropView(t *testing.T) {
+	c := newDB(t)
+	if _, err := Exec(c, `
+		create view jv1 as select c.custkey, o.orderkey from orders o, customer c
+		where c.custkey = o.custkey partition on c.custkey using auxrel`); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Exec(c, `drop view jv1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Message == "" {
+		t.Error("drop should report a message")
+	}
+	if _, err := Exec(c, `select * from jv1`); err == nil {
+		t.Error("dropped view should be gone")
+	}
+	// Inserts no longer maintain it (and don't fail).
+	if _, err := Exec(c, `insert into customer values (50, 1.0)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Exec(c, `drop view jv1`); err == nil {
+		t.Error("double drop should fail")
+	}
+}
+
+func TestDropTableCascadesStructures(t *testing.T) {
+	c := newDB(t)
+	if _, err := ExecScript(c, `
+		create auxiliary relation orders_1 for orders partition on custkey;
+		create global index gi_oc on orders (custkey);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Exec(c, `drop table orders`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Exec(c, `select * from orders`); err == nil {
+		t.Error("dropped table should be gone")
+	}
+	if _, err := Exec(c, `select * from orders_1`); err == nil {
+		t.Error("cascaded AR should be gone")
+	}
+	if _, err := c.Catalog().GlobalIndex("gi_oc"); err == nil {
+		t.Error("cascaded GI should be gone")
+	}
+}
+
+func TestDropTableRefusesWithView(t *testing.T) {
+	c := newDB(t)
+	if _, err := Exec(c, `
+		create view jv1 as select c.custkey, o.orderkey from orders o, customer c
+		where c.custkey = o.custkey partition on c.custkey`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Exec(c, `drop table orders`); err == nil {
+		t.Fatal("drop table under a view should fail")
+	}
+	if _, err := Exec(c, `drop view jv1`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Exec(c, `drop table orders`); err != nil {
+		t.Fatalf("drop after removing the view should work: %v", err)
+	}
+}
+
+func TestDropAuxRelGuardedByViews(t *testing.T) {
+	c := newDB(t)
+	if _, err := Exec(c, `
+		create view jv1 as select c.custkey, o.orderkey, o.totalprice from orders o, customer c
+		where c.custkey = o.custkey partition on c.custkey using auxrel`); err != nil {
+		t.Fatal(err)
+	}
+	// The view's AR cannot be dropped while it is the only covering one.
+	if _, err := Exec(c, `drop auxiliary relation ar_orders_custkey`); err == nil {
+		t.Fatal("dropping a needed AR should fail")
+	}
+	// An extra covering AR makes the first droppable.
+	if _, err := Exec(c, `create auxiliary relation orders_copy for orders partition on custkey`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Exec(c, `drop auxiliary relation ar_orders_custkey`); err != nil {
+		t.Fatal(err)
+	}
+	// Maintenance now uses the surviving copy.
+	if _, err := Exec(c, `insert into customer values (60, 1.0)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckViewConsistency("jv1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDropGlobalIndex(t *testing.T) {
+	c := newDB(t)
+	if _, err := Exec(c, `create global index gi_oc on orders (custkey)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Exec(c, `drop global index gi_oc`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Exec(c, `drop global index gi_oc`); err == nil {
+		t.Error("double drop should fail")
+	}
+}
+
+func TestDropErrors(t *testing.T) {
+	c := newDB(t)
+	for _, q := range []string{
+		`drop table ghost`,
+		`drop view ghost`,
+		`drop auxiliary relation ghost`,
+		`drop global index ghost`,
+		`drop table`,
+	} {
+		if _, err := Exec(c, q); err == nil {
+			t.Errorf("Exec(%q) should fail", q)
+		}
+	}
+}

@@ -1,0 +1,374 @@
+package sql
+
+import (
+	"testing"
+
+	"joinview/internal/cluster"
+)
+
+// newDB builds a cluster and loads the paper's §3.3 schema via SQL,
+// exercising the full DDL surface.
+func newDB(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(cluster.Config{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	script := `
+		create table customer (custkey bigint, acctbal double) partition on custkey;
+		create table orders (orderkey bigint, custkey bigint, totalprice double) partition on orderkey;
+		create table lineitem (orderkey bigint, partkey bigint, extendedprice double) partition on partkey;
+		create index ix_orders_cust on orders (custkey);
+		create index ix_li_ok on lineitem (orderkey);
+		insert into customer values (1, 10.0), (2, 20.0), (3, 30.0);
+		insert into orders values (100, 1, 5.0), (101, 1, 6.0), (102, 2, 7.0), (103, 9, 8.0);
+		insert into lineitem values (100, 7, 1.5), (100, 8, 2.5), (102, 9, 3.5);
+	`
+	if _, err := ExecScript(c, script); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestExecDDLAndDML(t *testing.T) {
+	c := newDB(t)
+	rows, err := c.TableRows("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("orders has %d rows", len(rows))
+	}
+	r, err := Exec(c, `delete from orders where custkey = 9`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Count != 1 {
+		t.Errorf("delete count = %d", r.Count)
+	}
+	r, err = Exec(c, `update customer set acctbal = 99.0 where custkey = 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Count != 1 {
+		t.Errorf("update count = %d", r.Count)
+	}
+}
+
+func TestExecSelectSingleTable(t *testing.T) {
+	c := newDB(t)
+	r, err := Exec(c, `select custkey, acctbal from customer where custkey >= 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 || len(r.Columns) != 2 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	star, err := Exec(c, `select * from customer`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(star.Rows) != 3 || len(star.Columns) != 2 {
+		t.Fatalf("star = %+v", star)
+	}
+}
+
+func TestExecSelectJoin(t *testing.T) {
+	c := newDB(t)
+	r, err := Exec(c, `
+		select c.custkey, o.orderkey, l.extendedprice
+		from customer c, orders o, lineitem l
+		where c.custkey = o.custkey and o.orderkey = l.orderkey`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// customer 1: orders 100 (2 lineitems), 101 (0); customer 2: order 102
+	// (1 lineitem) -> 3 rows.
+	if len(r.Rows) != 3 {
+		t.Fatalf("join rows = %v", r.Rows)
+	}
+	// Residual predicate on top of the join.
+	r, err = Exec(c, `
+		select o.orderkey from customer c, orders o
+		where c.custkey = o.custkey and o.totalprice > 5.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("filtered join = %v", r.Rows)
+	}
+}
+
+func TestExecCreateViewMaintainsThroughSQL(t *testing.T) {
+	c := newDB(t)
+	// The paper's JV1, with the AR method.
+	if _, err := Exec(c, `
+		create view jv1 as
+		select c.custkey, c.acctbal, o.orderkey, o.totalprice
+		from orders o, customer c
+		where c.custkey = o.custkey
+		partition on c.custkey using auxrel`); err != nil {
+		t.Fatal(err)
+	}
+	// The AR method's structure exists.
+	if _, ok := c.Catalog().AuxRelOn("orders", "custkey", nil); !ok {
+		t.Fatal("AR for orders not created")
+	}
+	r, err := Exec(c, `select * from jv1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("initial jv1 = %v", r.Rows)
+	}
+	// DML through SQL keeps the view consistent.
+	if _, err := Exec(c, `insert into customer values (9, 90.0)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Exec(c, `insert into orders values (200, 3, 1.0)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Exec(c, `delete from customer where custkey = 1`); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckViewConsistency("jv1"); err != nil {
+		t.Fatal(err)
+	}
+	r, _ = Exec(c, `select * from jv1`)
+	// after: customer {2,3,9}; orders for 2: 102; for 3: 200; for 9: 103
+	// (deleted? no — 103 was custkey 9 and still present). jv1 rows: 3.
+	if len(r.Rows) != 3 {
+		t.Fatalf("jv1 after DML = %v", r.Rows)
+	}
+}
+
+func TestExecCreateAuxRelAndGlobalIndexSQL(t *testing.T) {
+	c := newDB(t)
+	if _, err := Exec(c, `create auxiliary relation orders_1 for orders partition on custkey`); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := c.TableRows("orders_1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("orders_1 backfill = %d rows", len(rows))
+	}
+	// Minimized AR with selection.
+	if _, err := Exec(c, `create auxiliary relation big_orders for orders partition on custkey
+		columns (custkey, totalprice) where totalprice >= 6.0`); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ = c.TableRows("big_orders")
+	if len(rows) != 3 {
+		t.Fatalf("selective AR = %d rows, want 3", len(rows))
+	}
+	if len(rows[0]) != 2 {
+		t.Fatalf("projected AR arity = %d", len(rows[0]))
+	}
+	r, err := Exec(c, `create global index gi_orders_cust on orders (custkey)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Message == "" {
+		t.Error("DDL message empty")
+	}
+	// SELECT from the AR works.
+	sel, err := Exec(c, `select * from orders_1 where custkey = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Rows) != 2 {
+		t.Fatalf("select from AR = %v", sel.Rows)
+	}
+}
+
+func TestExecErrors(t *testing.T) {
+	c := newDB(t)
+	bad := []string{
+		`select * from ghost`,
+		`insert into ghost values (1)`,
+		`insert into customer values (1)`,         // arity
+		`delete from customer where ghostcol = 1`, // unknown col
+		`update customer set ghost = 1`,
+		`create view v as select * from customer, orders where customer.custkey > orders.custkey`, // non-equijoin view
+		`create view v2 as select * from customer c, orders o where custkey = o.custkey`,          // unqualified join col
+		`create view v3 as select * from customer c, customer c where c.custkey = c.custkey`,      // dup binding
+		`create view v4 as select * from customer c, ghost g where c.custkey = g.custkey`,
+		`select * from customer, orders`, // cartesian
+		`select ghost from customer`,
+		`select customer.ghost from customer`,
+		`delete from ghost`,
+		`update ghost set x = 1`,
+	}
+	for _, input := range bad {
+		if _, err := Exec(c, input); err == nil {
+			t.Errorf("Exec(%q) should fail", input)
+		}
+	}
+	// Parse error surfaces from Exec and ExecScript.
+	if _, err := Exec(c, `selec *`); err == nil {
+		t.Error("parse error should surface")
+	}
+	if _, err := ExecScript(c, `select * from customer; select * from ghost`); err == nil {
+		t.Error("script error should surface")
+	}
+}
+
+func TestExecCountStar(t *testing.T) {
+	c := newDB(t)
+	r, err := Exec(c, `select count(*) from orders`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 || r.Rows[0][0].I != 4 || r.Columns[0] != "count" {
+		t.Fatalf("count(*) = %+v", r)
+	}
+	r, err = Exec(c, `select count(*) from orders where custkey = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].I != 2 {
+		t.Fatalf("filtered count = %v", r.Rows)
+	}
+	// Count over a join.
+	r, err = Exec(c, `select count(*) from customer c, orders o where c.custkey = o.custkey`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].I != 3 {
+		t.Fatalf("join count = %v", r.Rows)
+	}
+	// count(*) mixed with columns is rejected.
+	if _, err := Exec(c, `select count(*), custkey from customer`); err == nil {
+		t.Error("mixed count should fail")
+	}
+}
+
+// The paper's §2.2 cyclic example end-to-end through SQL.
+func TestExecCyclicViewSQL(t *testing.T) {
+	c, err := cluster.New(cluster.Config{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if _, err := ExecScript(c, `
+		create table ta (pk bigint, x bigint, z bigint) partition on pk;
+		create table tb (pk bigint, x bigint, y bigint) partition on pk;
+		create table tc (pk bigint, y bigint, z bigint) partition on pk;
+		insert into ta values (1, 10, 100), (2, 10, 200);
+		insert into tb values (1, 10, 50);
+		insert into tc values (1, 50, 100), (2, 50, 999);
+		create view tri as
+			select ta.pk, tb.pk, tc.pk
+			from ta, tb, tc
+			where ta.x = tb.x and tb.y = tc.y and tc.z = ta.z
+			partition on ta.pk using auxrel;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Exec(c, `select count(*) from tri`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only ta(1)/tb(1)/tc(1) closes the triangle.
+	if r.Rows[0][0].I != 1 {
+		t.Fatalf("triangle count = %v", r.Rows)
+	}
+	if _, err := Exec(c, `insert into ta values (3, 10, 999)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckViewConsistency("tri"); err != nil {
+		t.Fatal(err)
+	}
+	r, _ = Exec(c, `select count(*) from tri`)
+	// ta(3) closes with tb(1)/tc(2): z=999.
+	if r.Rows[0][0].I != 2 {
+		t.Fatalf("triangle count after insert = %v", r.Rows)
+	}
+}
+
+// Aggregate join views through SQL: GROUP BY + count/sum becomes a
+// materialized aggregate view, maintained under DML.
+func TestExecCreateAggregateViewSQL(t *testing.T) {
+	c := newDB(t)
+	if _, err := Exec(c, `
+		create view av as
+		select c.custkey, count(*), sum(o.totalprice)
+		from customer c, orders o
+		where c.custkey = o.custkey
+		group by c.custkey
+		partition on c.custkey using auxrel`); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Catalog().View("av")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.IsAggregate() || len(v.Aggs) != 2 {
+		t.Fatalf("aggs = %+v", v.Aggs)
+	}
+	r, err := Exec(c, `select * from av`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// customers 1 (orders 100,101: 5+6) and 2 (order 102: 7).
+	if len(r.Rows) != 2 {
+		t.Fatalf("groups = %v", r.Rows)
+	}
+	if _, err := Exec(c, `insert into orders values (200, 1, 10.0)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Exec(c, `delete from orders where orderkey = 102`); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckViewConsistency("av"); err != nil {
+		t.Fatal(err)
+	}
+	r, _ = Exec(c, `select * from av where custkey = 1`)
+	if len(r.Rows) != 1 || r.Rows[0][1].I != 3 || r.Rows[0][2].F != 21 {
+		t.Fatalf("group 1 = %v", r.Rows)
+	}
+	// Group 2 emptied out.
+	r, _ = Exec(c, `select count(*) from av`)
+	if r.Rows[0][0].I != 1 {
+		t.Fatalf("group count = %v", r.Rows)
+	}
+}
+
+func TestExecAggregateViewValidationSQL(t *testing.T) {
+	c := newDB(t)
+	bad := []string{
+		// Non-grouped column in an aggregate view.
+		`create view b1 as select c.acctbal, count(*) from customer c, orders o
+			where c.custkey = o.custkey group by c.custkey`,
+		// Star in an aggregate view.
+		`create view b2 as select *, count(*) from customer c, orders o
+			where c.custkey = o.custkey group by c.custkey`,
+		// GROUP BY without aggregates.
+		`create view b3 as select c.custkey from customer c, orders o
+			where c.custkey = o.custkey group by c.custkey`,
+	}
+	for _, q := range bad {
+		if _, err := Exec(c, q); err == nil {
+			t.Errorf("Exec(%q) should fail", q)
+		}
+	}
+}
+
+func TestExecAmbiguousColumn(t *testing.T) {
+	c := newDB(t)
+	// custkey exists in both customer and orders.
+	if _, err := Exec(c, `select custkey from customer c, orders o where c.custkey = o.custkey`); err == nil {
+		t.Error("ambiguous unqualified column should fail")
+	}
+	// Unambiguous unqualified column resolves.
+	r, err := Exec(c, `select acctbal from customer c, orders o where c.custkey = o.custkey`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+}

@@ -1,0 +1,79 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the parser never panics and that accepted statements
+// survive a reparse of themselves (parse is deterministic). Run longer
+// with: go test -fuzz=FuzzParse ./internal/sql
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`create table t (k bigint, v double) partition on k cluster on v`,
+		`create index ix on t (k)`,
+		`create global index gi on t (k)`,
+		`create auxiliary relation ar for t partition on k columns (k) where v > 1.5`,
+		`create view v as select a.x from a, b where a.x = b.y partition on a.x using auto`,
+		`insert into t values (1, 2.5), (-3, null), ('x', 'it''s')`,
+		`delete from t where k = 1 and v <> 2`,
+		`update t set v = 0.0, k = 9 where k >= -1`,
+		`select count(*), sum(v), min(k) from t where k < 10 group by k`,
+		`begin transaction; insert into t values (1); commit;`,
+		`select * from t; -- comment`,
+		`select a.b.c from`,
+		`'unterminated`,
+		`((((`,
+		`select`,
+		`;;;;`,
+		"select * from t where k = 9223372036854775807",
+		"select * from t where v = 99999999999999999999999999999.5",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		// Must not panic; errors are fine.
+		stmts, err := ParseScript(input)
+		if err != nil {
+			return
+		}
+		// Accepted input parses deterministically.
+		again, err2 := ParseScript(input)
+		if err2 != nil {
+			t.Fatalf("reparse failed: %v", err2)
+		}
+		if len(stmts) != len(again) {
+			t.Fatalf("reparse produced %d statements vs %d", len(again), len(stmts))
+		}
+	})
+}
+
+// TestParserRobustness drives Parse over adversarial inputs without the
+// fuzz engine, so `go test` alone exercises them.
+func TestParserRobustness(t *testing.T) {
+	inputs := []string{
+		"", " ", "\n\t", ";", "-- just a comment",
+		strings.Repeat("(", 1000),
+		strings.Repeat("select * from t;", 200),
+		"select " + strings.Repeat("a,", 500) + "b from t",
+		"insert into t values (" + strings.Repeat("1,", 300) + "2)",
+		"create table t (" + strings.Repeat("c int,", 100) + "d int) partition on d",
+		"\x00\x01\x02",
+		"select * from t where k = 'весь мир'",
+		"select * from t where k = ''''",
+		"count(*)",
+		"group by",
+		"begin begin begin",
+	}
+	for _, in := range inputs {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("Parse(%.40q) panicked: %v", in, r)
+				}
+			}()
+			_, _ = ParseScript(in)
+		}()
+	}
+}

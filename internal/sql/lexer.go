@@ -1,0 +1,144 @@
+// Package sql implements the SQL subset the paper's experiments are
+// written in: CREATE TABLE / INDEX / GLOBAL INDEX / AUXILIARY RELATION /
+// VIEW, INSERT, DELETE, UPDATE and SELECT with equijoins. A thin engine
+// binds parsed statements to cluster operations, so the examples and the
+// shell can drive the system with the exact statements §2 and §3.3 print.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // single punctuation: ( ) , . ; * =
+	tokOp    // comparison operators: = <> < <= > >=
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lex splits input into tokens. Identifiers are lower-cased (the subset is
+// case-insensitive); quoted strings keep their case.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-': // line comment
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentPart(rune(input[i])) {
+				i++
+			}
+			toks = append(toks, token{kind: tokIdent, text: strings.ToLower(input[start:i]), pos: start})
+		case c >= '0' && c <= '9' || (c == '-' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9' && startsValue(toks)):
+			start := i
+			if c == '-' {
+				i++
+			}
+			seenDot := false
+			for i < n && (input[i] >= '0' && input[i] <= '9' || (input[i] == '.' && !seenDot)) {
+				if input[i] == '.' {
+					// A dot not followed by a digit is punctuation
+					// (qualified name), not a decimal point.
+					if i+1 >= n || input[i+1] < '0' || input[i+1] > '9' {
+						break
+					}
+					seenDot = true
+				}
+				i++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[start:i], pos: start})
+		case c == '\'':
+			i++
+			start := i
+			var sb strings.Builder
+			for {
+				if i >= n {
+					return nil, fmt.Errorf("sql: unterminated string at offset %d", start-1)
+				}
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: start})
+		case c == '<':
+			if i+1 < n && (input[i+1] == '=' || input[i+1] == '>') {
+				toks = append(toks, token{kind: tokOp, text: input[i : i+2], pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokOp, text: "<", pos: i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{kind: tokOp, text: ">=", pos: i})
+				i += 2
+			} else {
+				toks = append(toks, token{kind: tokOp, text: ">", pos: i})
+				i++
+			}
+		case c == '=':
+			toks = append(toks, token{kind: tokOp, text: "=", pos: i})
+			i++
+		case c == '(' || c == ')' || c == ',' || c == '.' || c == ';' || c == '*':
+			toks = append(toks, token{kind: tokPunct, text: string(c), pos: i})
+			i++
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}
+
+// startsValue reports whether a '-' at this point begins a negative number
+// (i.e. the previous token cannot end an expression).
+func startsValue(toks []token) bool {
+	if len(toks) == 0 {
+		return true
+	}
+	last := toks[len(toks)-1]
+	switch last.kind {
+	case tokIdent, tokNumber, tokString:
+		return false
+	case tokPunct:
+		return last.text != ")"
+	default:
+		return true
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

@@ -1,0 +1,603 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"joinview/internal/types"
+)
+
+// Parse parses one statement (an optional trailing semicolon is allowed).
+func Parse(input string) (Stmt, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: input}
+	s, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokPunct, ";")
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("trailing input starting at %q", p.cur().text)
+	}
+	return s, nil
+}
+
+// ParseScript parses a semicolon-separated sequence of statements.
+func ParseScript(input string) ([]Stmt, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: input}
+	var out []Stmt
+	for {
+		for p.accept(tokPunct, ";") {
+		}
+		if p.at(tokEOF, "") {
+			return out, nil
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+		if !p.accept(tokPunct, ";") && !p.at(tokEOF, "") {
+			return nil, p.errf("expected ';' between statements, got %q", p.cur().text)
+		}
+	}
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if !p.at(kind, text) {
+		want := text
+		if want == "" {
+			want = fmt.Sprintf("token kind %d", kind)
+		}
+		return token{}, p.errf("expected %q, got %q", want, p.cur().text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) keyword(words ...string) bool {
+	save := p.pos
+	for _, w := range words {
+		if !p.accept(tokIdent, w) {
+			p.pos = save
+			return false
+		}
+	}
+	return true
+}
+
+func (p *parser) expectKeyword(words ...string) error {
+	if !p.keyword(words...) {
+		return p.errf("expected %q, got %q", strings.Join(words, " "), p.cur().text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return "", err
+	}
+	return t.text, nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: at offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) statement() (Stmt, error) {
+	switch {
+	case p.keyword("create", "table"):
+		return p.createTable()
+	case p.keyword("create", "global", "index"):
+		return p.createGlobalIndex()
+	case p.keyword("create", "index"):
+		return p.createIndex()
+	case p.keyword("create", "auxiliary", "relation"):
+		return p.createAuxRel()
+	case p.keyword("create", "view"):
+		return p.createView()
+	case p.keyword("insert", "into"):
+		return p.insert()
+	case p.keyword("delete", "from"):
+		return p.delete()
+	case p.keyword("update"):
+		return p.update()
+	case p.keyword("select"):
+		return p.selectStmt()
+	case p.keyword("drop", "table"):
+		return p.drop("table")
+	case p.keyword("drop", "view"):
+		return p.drop("view")
+	case p.keyword("drop", "auxiliary", "relation"):
+		return p.drop("auxrel")
+	case p.keyword("drop", "global", "index"):
+		return p.drop("globalindex")
+	case p.keyword("begin"):
+		p.keyword("transaction") // optional
+		return Begin{}, nil
+	case p.keyword("commit"):
+		return Commit{}, nil
+	case p.keyword("rollback"):
+		return Rollback{}, nil
+	default:
+		return nil, p.errf("unknown statement starting with %q", p.cur().text)
+	}
+}
+
+func (p *parser) drop(kind string) (Stmt, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return Drop{Kind: kind, Name: name}, nil
+}
+
+func (p *parser) createTable() (Stmt, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	st := CreateTable{Name: name}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		typeName, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		kind, err := types.KindFromName(typeName)
+		if err != nil {
+			return nil, p.errf("column %q: %v", col, err)
+		}
+		st.Cols = append(st.Cols, ColumnDef{Name: col, Kind: kind})
+		if p.accept(tokPunct, ",") {
+			continue
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		break
+	}
+	if err := p.expectKeyword("partition", "on"); err != nil {
+		return nil, err
+	}
+	if st.PartitionCol, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if p.keyword("cluster", "on") {
+		if st.ClusterCol, err = p.ident(); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) createIndex() (Stmt, error) {
+	st := CreateIndex{}
+	var err error
+	if st.Name, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("on"); err != nil {
+		return nil, err
+	}
+	if st.Table, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	if st.Col, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) createGlobalIndex() (Stmt, error) {
+	ix, err := p.createIndex()
+	if err != nil {
+		return nil, err
+	}
+	c := ix.(CreateIndex)
+	return CreateGlobalIndex{Name: c.Name, Table: c.Table, Col: c.Col}, nil
+}
+
+func (p *parser) createAuxRel() (Stmt, error) {
+	st := CreateAuxRel{}
+	var err error
+	if st.Name, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("for"); err != nil {
+		return nil, err
+	}
+	if st.Table, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("partition", "on"); err != nil {
+		return nil, err
+	}
+	if st.PartitionCol, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if p.keyword("columns") {
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			st.Cols = append(st.Cols, col)
+			if p.accept(tokPunct, ",") {
+				continue
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			break
+		}
+	}
+	if p.keyword("where") {
+		cond, err := p.condition()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = &cond
+	}
+	return st, nil
+}
+
+func (p *parser) createView() (Stmt, error) {
+	st := CreateView{}
+	var err error
+	if st.Name, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("as", "select"); err != nil {
+		return nil, err
+	}
+	q, err := p.selectStmt()
+	if err != nil {
+		return nil, err
+	}
+	st.Query = q.(Select)
+	if p.keyword("partition", "on") {
+		tbl, col, err := p.qualifiedName()
+		if err != nil {
+			return nil, err
+		}
+		if tbl == "" {
+			return nil, p.errf("view partition column must be qualified (table.col)")
+		}
+		st.PartitionTable, st.PartitionCol = tbl, col
+	}
+	if p.keyword("using") {
+		if st.Strategy, err = p.ident(); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// selectStmt parses the body after the SELECT keyword has been consumed.
+func (p *parser) selectStmt() (Stmt, error) {
+	st := Select{}
+	for {
+		item, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		st.Items = append(st.Items, item)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		ref := TableRef{Name: name}
+		// Optional alias: a bare identifier that is not a clause keyword.
+		if p.at(tokIdent, "") && !isClauseKeyword(p.cur().text) {
+			ref.Alias, _ = p.ident()
+		}
+		st.Tables = append(st.Tables, ref)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	if p.keyword("where") {
+		for {
+			cond, err := p.condition()
+			if err != nil {
+				return nil, err
+			}
+			st.Where = append(st.Where, cond)
+			if !p.keyword("and") {
+				break
+			}
+		}
+	}
+	if p.keyword("group", "by") {
+		for {
+			tbl, col, err := p.qualifiedName()
+			if err != nil {
+				return nil, err
+			}
+			st.GroupBy = append(st.GroupBy, SelectItem{Table: tbl, Col: col})
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+	}
+	return st, nil
+}
+
+func isClauseKeyword(s string) bool {
+	switch s {
+	case "where", "partition", "using", "and", "from", "order", "group":
+		return true
+	}
+	return false
+}
+
+func (p *parser) selectItem() (SelectItem, error) {
+	if p.accept(tokPunct, "*") {
+		return SelectItem{Star: true}, nil
+	}
+	if t := p.cur(); t.kind == tokIdent && isAggName(t.text) &&
+		p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == "(" {
+		agg := t.text
+		p.pos += 2
+		if agg == "count" {
+			if _, err := p.expect(tokPunct, "*"); err != nil {
+				return SelectItem{}, err
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return SelectItem{}, err
+			}
+			return SelectItem{Agg: "count"}, nil
+		}
+		tbl, col, err := p.qualifiedName()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return SelectItem{}, err
+		}
+		return SelectItem{Agg: agg, Table: tbl, Col: col}, nil
+	}
+	tbl, col, err := p.qualifiedName()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Table: tbl, Col: col}, nil
+}
+
+func isAggName(s string) bool {
+	switch s {
+	case "count", "sum", "min", "max", "avg":
+		return true
+	}
+	return false
+}
+
+// qualifiedName parses `ident` or `ident.ident`, returning (table, col)
+// with table empty for the unqualified form.
+func (p *parser) qualifiedName() (string, string, error) {
+	first, err := p.ident()
+	if err != nil {
+		return "", "", err
+	}
+	if p.accept(tokPunct, ".") {
+		second, err := p.ident()
+		if err != nil {
+			return "", "", err
+		}
+		return first, second, nil
+	}
+	return "", first, nil
+}
+
+func (p *parser) condition() (Condition, error) {
+	l, err := p.operand()
+	if err != nil {
+		return Condition{}, err
+	}
+	op, err := p.expect(tokOp, "")
+	if err != nil {
+		return Condition{}, err
+	}
+	r, err := p.operand()
+	if err != nil {
+		return Condition{}, err
+	}
+	return Condition{Op: op.text, L: l, R: r}, nil
+}
+
+func (p *parser) operand() (Operand, error) {
+	switch {
+	case p.at(tokIdent, ""):
+		tbl, col, err := p.qualifiedName()
+		if err != nil {
+			return Operand{}, err
+		}
+		return Operand{IsCol: true, Table: tbl, Col: col}, nil
+	case p.at(tokNumber, ""), p.at(tokString, ""):
+		v, err := p.literal()
+		if err != nil {
+			return Operand{}, err
+		}
+		return Operand{Lit: v}, nil
+	default:
+		return Operand{}, p.errf("expected column or literal, got %q", p.cur().text)
+	}
+}
+
+func (p *parser) literal() (types.Value, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return types.Value{}, p.errf("bad number %q", t.text)
+			}
+			return types.Float(f), nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return types.Value{}, p.errf("bad integer %q", t.text)
+		}
+		return types.Int(i), nil
+	case tokString:
+		return types.String(t.text), nil
+	case tokIdent:
+		if t.text == "null" {
+			return types.Null(), nil
+		}
+	}
+	return types.Value{}, fmt.Errorf("sql: at offset %d: expected literal, got %q", t.pos, t.text)
+}
+
+func (p *parser) insert() (Stmt, error) {
+	st := Insert{}
+	var err error
+	if st.Table, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("values"); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		var row []types.Value
+		for {
+			v, err := p.literal()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+			if p.accept(tokPunct, ",") {
+				continue
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			break
+		}
+		st.Rows = append(st.Rows, row)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) delete() (Stmt, error) {
+	st := Delete{}
+	var err error
+	if st.Table, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if p.keyword("where") {
+		for {
+			cond, err := p.condition()
+			if err != nil {
+				return nil, err
+			}
+			st.Where = append(st.Where, cond)
+			if !p.keyword("and") {
+				break
+			}
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) update() (Stmt, error) {
+	st := Update{Set: map[string]types.Value{}}
+	var err error
+	if st.Table, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("set"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokOp, "="); err != nil {
+			return nil, err
+		}
+		v, err := p.literal()
+		if err != nil {
+			return nil, err
+		}
+		st.Set[col] = v
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	if p.keyword("where") {
+		for {
+			cond, err := p.condition()
+			if err != nil {
+				return nil, err
+			}
+			st.Where = append(st.Where, cond)
+			if !p.keyword("and") {
+				break
+			}
+		}
+	}
+	return st, nil
+}

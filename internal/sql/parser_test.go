@@ -1,0 +1,211 @@
+package sql
+
+import (
+	"testing"
+
+	"joinview/internal/types"
+)
+
+func parseOne(t *testing.T, input string) Stmt {
+	t.Helper()
+	s, err := Parse(input)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", input, err)
+	}
+	return s
+}
+
+func TestParseCreateTable(t *testing.T) {
+	s := parseOne(t, `CREATE TABLE orders (orderkey BIGINT, custkey BIGINT, totalprice DOUBLE)
+		PARTITION ON orderkey CLUSTER ON custkey;`).(CreateTable)
+	if s.Name != "orders" || len(s.Cols) != 3 {
+		t.Fatalf("%+v", s)
+	}
+	if s.Cols[2].Kind != types.KindFloat || s.Cols[0].Name != "orderkey" {
+		t.Errorf("cols = %+v", s.Cols)
+	}
+	if s.PartitionCol != "orderkey" || s.ClusterCol != "custkey" {
+		t.Errorf("partition/cluster = %q/%q", s.PartitionCol, s.ClusterCol)
+	}
+	// Without CLUSTER ON.
+	s2 := parseOne(t, `create table c (k int) partition on k`).(CreateTable)
+	if s2.ClusterCol != "" {
+		t.Error("cluster col should be empty")
+	}
+}
+
+func TestParseCreateIndexes(t *testing.T) {
+	ix := parseOne(t, `CREATE INDEX ix_c ON orders (custkey)`).(CreateIndex)
+	if ix.Name != "ix_c" || ix.Table != "orders" || ix.Col != "custkey" {
+		t.Errorf("%+v", ix)
+	}
+	gi := parseOne(t, `CREATE GLOBAL INDEX gi_c ON orders (custkey)`).(CreateGlobalIndex)
+	if gi.Name != "gi_c" || gi.Table != "orders" || gi.Col != "custkey" {
+		t.Errorf("%+v", gi)
+	}
+}
+
+func TestParseCreateAuxRel(t *testing.T) {
+	s := parseOne(t, `CREATE AUXILIARY RELATION orders_1 FOR orders PARTITION ON custkey
+		COLUMNS (custkey, orderkey) WHERE totalprice > 100.5`).(CreateAuxRel)
+	if s.Name != "orders_1" || s.Table != "orders" || s.PartitionCol != "custkey" {
+		t.Fatalf("%+v", s)
+	}
+	if len(s.Cols) != 2 || s.Cols[1] != "orderkey" {
+		t.Errorf("cols = %v", s.Cols)
+	}
+	if s.Where == nil || s.Where.Op != ">" || s.Where.R.Lit.F != 100.5 {
+		t.Errorf("where = %+v", s.Where)
+	}
+	s2 := parseOne(t, `create auxiliary relation x for t partition on c`).(CreateAuxRel)
+	if s2.Cols != nil || s2.Where != nil {
+		t.Error("optional clauses should default to nil")
+	}
+}
+
+// The paper's JV2 definition, verbatim modulo the partition clause.
+func TestParseCreateViewPaperJV2(t *testing.T) {
+	s := parseOne(t, `create view JV2 as
+		select c.custkey, c.acctbal, o.orderkey, o.totalprice, l.discount, l.extendedprice
+		from orders o, customer c, lineitem l
+		where c.custkey = o.custkey and o.orderkey = l.orderkey
+		partition on c.custkey using auxrel`).(CreateView)
+	if s.Name != "jv2" || len(s.Query.Tables) != 3 || len(s.Query.Where) != 2 {
+		t.Fatalf("%+v", s)
+	}
+	if s.Query.Tables[0].Name != "orders" || s.Query.Tables[0].Alias != "o" {
+		t.Errorf("tables = %+v", s.Query.Tables)
+	}
+	if len(s.Query.Items) != 6 || s.Query.Items[4].Table != "l" || s.Query.Items[4].Col != "discount" {
+		t.Errorf("items = %+v", s.Query.Items)
+	}
+	if !s.Query.Where[0].IsJoin() {
+		t.Error("join predicate not recognized")
+	}
+	if s.PartitionTable != "c" || s.PartitionCol != "custkey" || s.Strategy != "auxrel" {
+		t.Errorf("partition/strategy = %q.%q/%q", s.PartitionTable, s.PartitionCol, s.Strategy)
+	}
+}
+
+func TestParseSelectStarAndLiterals(t *testing.T) {
+	s := parseOne(t, `SELECT * FROM jv1 WHERE custkey >= 10 AND acctbal < -2.5`).(Select)
+	if !s.Items[0].Star || len(s.Tables) != 1 || len(s.Where) != 2 {
+		t.Fatalf("%+v", s)
+	}
+	if s.Where[1].R.Lit.F != -2.5 {
+		t.Errorf("negative float literal = %+v", s.Where[1].R.Lit)
+	}
+	if s.Where[0].IsJoin() {
+		t.Error("col-vs-literal must not be a join")
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	s := parseOne(t, `INSERT INTO customer VALUES (1, 10.5), (2, -3.25), (3, null)`).(Insert)
+	if s.Table != "customer" || len(s.Rows) != 3 {
+		t.Fatalf("%+v", s)
+	}
+	if s.Rows[0][0].I != 1 || s.Rows[1][1].F != -3.25 || !s.Rows[2][1].IsNull() {
+		t.Errorf("rows = %+v", s.Rows)
+	}
+	str := parseOne(t, `insert into t values ('it''s', 'plain')`).(Insert)
+	if str.Rows[0][0].S != "it's" || str.Rows[0][1].S != "plain" {
+		t.Errorf("string literals = %+v", str.Rows)
+	}
+}
+
+func TestParseDeleteUpdate(t *testing.T) {
+	d := parseOne(t, `DELETE FROM orders WHERE custkey = 5 AND totalprice > 10`).(Delete)
+	if d.Table != "orders" || len(d.Where) != 2 {
+		t.Fatalf("%+v", d)
+	}
+	d2 := parseOne(t, `delete from orders`).(Delete)
+	if d2.Where != nil {
+		t.Error("unconditional delete should have nil where")
+	}
+	u := parseOne(t, `UPDATE customer SET acctbal = 0.0, custkey = 9 WHERE custkey = 5`).(Update)
+	if u.Table != "customer" || len(u.Set) != 2 || u.Set["acctbal"].F != 0 || u.Set["custkey"].I != 9 {
+		t.Fatalf("%+v", u)
+	}
+}
+
+func TestParseScriptAndComments(t *testing.T) {
+	stmts, err := ParseScript(`
+		-- the paper's two test views
+		create table a (k int) partition on k;
+		insert into a values (1);
+		select * from a;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("parsed %d statements", len(stmts))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`CREATE`,
+		`CREATE TABLE t`,
+		`CREATE TABLE t (k blob) partition on k`,
+		`CREATE TABLE t (k int)`,
+		`SELECT FROM t`,
+		`SELECT * FROM`,
+		`INSERT INTO t VALUES`,
+		`INSERT INTO t VALUES (1`,
+		`DELETE FROM t WHERE`,
+		`UPDATE t SET`,
+		`UPDATE t SET k = `,
+		`select * from t where k ~ 2`,
+		`select * from t; garbage`,
+		`select 'unterminated from t`,
+		`create view v as select * from a partition on k`, // unqualified partition col
+	}
+	for _, input := range bad {
+		if _, err := Parse(input); err == nil {
+			t.Errorf("Parse(%q) should fail", input)
+		}
+	}
+	if _, err := ParseScript(`select * from t; create`); err == nil {
+		t.Error("bad script should fail")
+	}
+	if _, err := ParseScript(`select ~`); err == nil {
+		t.Error("lex error in script should fail")
+	}
+}
+
+func TestLexerDetails(t *testing.T) {
+	toks, err := lex(`a.b >= 1.5 <> 'x'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokenKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+	}
+	want := []tokenKind{tokIdent, tokPunct, tokIdent, tokOp, tokNumber, tokOp, tokString, tokEOF}
+	if len(kinds) != len(want) {
+		t.Fatalf("tokens = %d, want %d", len(kinds), len(want))
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("token %d kind = %d, want %d", i, kinds[i], want[i])
+		}
+	}
+	// Qualified name after number context: `1.x` must not eat the dot as
+	// a decimal point when no digit follows.
+	toks, err = lex(`v1.x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].kind != tokIdent || toks[1].text != "." || toks[2].text != "x" {
+		t.Errorf("qualified lex = %+v", toks)
+	}
+	// Case folding.
+	toks, _ = lex(`SeLeCt`)
+	if toks[0].text != "select" {
+		t.Error("identifiers must lower-case")
+	}
+}

@@ -1,0 +1,168 @@
+package sql
+
+import (
+	"fmt"
+
+	"joinview/internal/cluster"
+	"joinview/internal/expr"
+	"joinview/internal/types"
+)
+
+// Session executes statements with transaction state: BEGIN opens a
+// multi-statement transaction, COMMIT/ROLLBACK close it, and DML in
+// between shares one undo scope — the paper's "begin transaction ...
+// end transaction" brackets as SQL. Outside a transaction every statement
+// auto-commits, identical to the package-level Exec.
+type Session struct {
+	c  *cluster.Cluster
+	tx *cluster.Txn
+}
+
+// NewSession creates a session over the cluster.
+func NewSession(c *cluster.Cluster) *Session {
+	return &Session{c: c}
+}
+
+// InTransaction reports whether a transaction is open.
+func (s *Session) InTransaction() bool {
+	return s.tx != nil && s.tx.Active()
+}
+
+// Exec parses and executes one statement with the session's transaction
+// state.
+func (s *Session) Exec(input string) (*Result, error) {
+	st, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecStmt(st)
+}
+
+// ExecScript executes a semicolon-separated script, stopping at the first
+// error (an open transaction is left open for the caller to resolve).
+func (s *Session) ExecScript(input string) ([]*Result, error) {
+	stmts, err := ParseScript(input)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, 0, len(stmts))
+	for _, st := range stmts {
+		r, err := s.ExecStmt(st)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ExecStmt executes one parsed statement.
+func (s *Session) ExecStmt(st Stmt) (*Result, error) {
+	switch sm := st.(type) {
+	case Begin:
+		if s.InTransaction() {
+			return nil, fmt.Errorf("sql: transaction already open")
+		}
+		s.tx = s.c.Begin()
+		return &Result{Message: "transaction started"}, nil
+
+	case Commit:
+		if !s.InTransaction() {
+			return nil, fmt.Errorf("sql: no open transaction")
+		}
+		err := s.tx.Commit()
+		s.tx = nil
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Message: "committed"}, nil
+
+	case Rollback:
+		if !s.InTransaction() {
+			return nil, fmt.Errorf("sql: no open transaction")
+		}
+		err := s.tx.Rollback()
+		s.tx = nil
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Message: "rolled back"}, nil
+
+	case Insert:
+		if !s.InTransaction() {
+			return ExecStmt(s.c, st)
+		}
+		tuples, err := bindInsert(s.c, sm)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.tx.Insert(sm.Table, tuples); err != nil {
+			return nil, err
+		}
+		return &Result{Count: len(tuples)}, nil
+
+	case Delete:
+		if !s.InTransaction() {
+			return ExecStmt(s.c, st)
+		}
+		pred, err := bindPred(s.c, sm.Table, sm.Where)
+		if err != nil {
+			return nil, err
+		}
+		deleted, err := s.tx.Delete(sm.Table, pred)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Count: len(deleted)}, nil
+
+	case Update:
+		if !s.InTransaction() {
+			return ExecStmt(s.c, st)
+		}
+		pred, err := bindPred(s.c, sm.Table, sm.Where)
+		if err != nil {
+			return nil, err
+		}
+		n, err := s.tx.Update(sm.Table, sm.Set, pred)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Count: n}, nil
+
+	default:
+		// DDL and SELECT run outside transaction scope (DDL is not
+		// transactional; SELECT sees statement-level state either way).
+		if s.InTransaction() {
+			if _, ddl := st.(Select); !ddl {
+				return nil, fmt.Errorf("sql: DDL is not allowed inside a transaction")
+			}
+		}
+		return ExecStmt(s.c, st)
+	}
+}
+
+// bindInsert converts parsed rows into validated tuples.
+func bindInsert(c *cluster.Cluster, s Insert) ([]types.Tuple, error) {
+	t, err := c.Catalog().Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	tuples := make([]types.Tuple, len(s.Rows))
+	for i, row := range s.Rows {
+		if len(row) != t.Schema.Len() {
+			return nil, fmt.Errorf("sql: insert row %d has %d values, table %q has %d columns",
+				i, len(row), s.Table, t.Schema.Len())
+		}
+		tuples[i] = types.Tuple(row)
+	}
+	return tuples, nil
+}
+
+// bindPred converts parsed conditions into a predicate over the table.
+func bindPred(c *cluster.Cluster, table string, conds []Condition) (expr.Expr, error) {
+	t, err := c.Catalog().Table(table)
+	if err != nil {
+		return nil, err
+	}
+	return condsExpr(conds, t.Schema, table)
+}

@@ -1,0 +1,158 @@
+package sql
+
+import (
+	"testing"
+)
+
+func TestSessionCommit(t *testing.T) {
+	c := newDB(t)
+	s := NewSession(c)
+	if s.InTransaction() {
+		t.Fatal("fresh session should not be in a transaction")
+	}
+	if _, err := s.ExecScript(`
+		begin;
+		insert into customer values (10, 1.0);
+		insert into orders values (900, 10, 2.0);
+		commit;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if s.InTransaction() {
+		t.Error("commit should close the transaction")
+	}
+	r, err := s.Exec(`select count(*) from customer`)
+	if err != nil || r.Rows[0][0].I != 4 {
+		t.Fatalf("count = %v, %v", r.Rows, err)
+	}
+}
+
+func TestSessionRollbackUndoesEverything(t *testing.T) {
+	c := newDB(t)
+	// A view so the rollback has to unwind maintenance too.
+	if _, err := Exec(c, `
+		create view jv1 as
+		select c.custkey, o.orderkey from orders o, customer c
+		where c.custkey = o.custkey
+		partition on c.custkey using auxrel`); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := Exec(c, `select count(*) from jv1`)
+
+	s := NewSession(c)
+	if _, err := s.ExecScript(`
+		begin transaction;
+		insert into customer values (50, 1.0);
+		insert into orders values (901, 50, 2.0), (902, 1, 3.0);
+		delete from customer where custkey = 2;
+		update orders set totalprice = 0.0 where orderkey = 100;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	mid, _ := s.Exec(`select count(*) from jv1`)
+	if mid.Rows[0][0].I == before.Rows[0][0].I {
+		t.Fatal("statements inside the transaction should be visible")
+	}
+	if _, err := s.Exec(`rollback`); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := Exec(c, `select count(*) from jv1`)
+	if after.Rows[0][0].I != before.Rows[0][0].I {
+		t.Errorf("view count after rollback = %d, want %d", after.Rows[0][0].I, before.Rows[0][0].I)
+	}
+	if err := c.CheckViewConsistency("jv1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckAllStructures(); err != nil {
+		t.Fatal(err)
+	}
+	// Base relations restored too.
+	cnt, _ := Exec(c, `select count(*) from customer`)
+	if cnt.Rows[0][0].I != 3 {
+		t.Errorf("customer count after rollback = %v", cnt.Rows)
+	}
+}
+
+func TestSessionStatementAtomicity(t *testing.T) {
+	c := newDB(t)
+	s := NewSession(c)
+	if _, err := s.Exec(`begin`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec(`insert into customer values (60, 1.0)`); err != nil {
+		t.Fatal(err)
+	}
+	// A failing statement (arity) must not kill the transaction or leak
+	// partial effects.
+	if _, err := s.Exec(`insert into customer values (61)`); err == nil {
+		t.Fatal("bad insert should fail")
+	}
+	if !s.InTransaction() {
+		t.Fatal("failed statement should leave the transaction open")
+	}
+	if _, err := s.Exec(`commit`); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := Exec(c, `select count(*) from customer where custkey >= 60`)
+	if r.Rows[0][0].I != 1 {
+		t.Errorf("only the good statement should have committed: %v", r.Rows)
+	}
+}
+
+func TestSessionErrors(t *testing.T) {
+	c := newDB(t)
+	s := NewSession(c)
+	if _, err := s.Exec(`commit`); err == nil {
+		t.Error("commit without begin should fail")
+	}
+	if _, err := s.Exec(`rollback`); err == nil {
+		t.Error("rollback without begin should fail")
+	}
+	s.Exec(`begin`)
+	if _, err := s.Exec(`begin`); err == nil {
+		t.Error("nested begin should fail")
+	}
+	if _, err := s.Exec(`create table t2 (k bigint) partition on k`); err == nil {
+		t.Error("DDL inside a transaction should fail")
+	}
+	// SELECT inside a transaction is fine.
+	if _, err := s.Exec(`select count(*) from customer`); err != nil {
+		t.Errorf("select in txn: %v", err)
+	}
+	if _, err := s.Exec(`rollback`); err != nil {
+		t.Fatal(err)
+	}
+	// Auto-commit path still works through the session.
+	if _, err := s.Exec(`insert into customer values (70, 1.0)`); err != nil {
+		t.Fatal(err)
+	}
+	// Stateless Exec rejects transaction statements.
+	if _, err := Exec(c, `begin`); err == nil {
+		t.Error("stateless begin should fail")
+	}
+}
+
+func TestSessionDMLErrorsInTxn(t *testing.T) {
+	c := newDB(t)
+	s := NewSession(c)
+	s.Exec(`begin`)
+	if _, err := s.Exec(`insert into ghost values (1)`); err == nil {
+		t.Error("insert into missing table should fail")
+	}
+	if _, err := s.Exec(`delete from ghost`); err == nil {
+		t.Error("delete from missing table should fail")
+	}
+	if _, err := s.Exec(`update ghost set x = 1`); err == nil {
+		t.Error("update of missing table should fail")
+	}
+	if _, err := s.Exec(`update customer set ghost = 1`); err == nil {
+		t.Error("update of missing column should fail")
+	}
+	if _, err := s.Exec(`delete from customer where custkey = 99999`); err != nil {
+		t.Error("empty delete in txn should succeed")
+	}
+	if _, err := s.Exec(`update customer set acctbal = 1.0 where custkey = 99999`); err != nil {
+		t.Error("empty update in txn should succeed")
+	}
+	s.Exec(`commit`)
+}

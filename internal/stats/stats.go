@@ -1,0 +1,91 @@
+// Package stats maintains the coarse relation statistics the maintenance
+// planner needs: row counts and per-column distinct-value counts. The
+// paper's §2.2 optimization problem ("it is impossible to state which
+// alternative is best without considering relational statistics") is
+// decided with exactly these numbers: the expected fan-out of an equijoin
+// against R on column c is |R| / distinct(R.c).
+package stats
+
+import (
+	"fmt"
+	"sort"
+
+	"joinview/internal/types"
+)
+
+// TableStats summarizes one relation.
+type TableStats struct {
+	Rows     int64
+	Distinct map[string]int64 // column -> approximate distinct count
+}
+
+// Fanout estimates how many tuples of the relation match one value of col.
+// An unknown column or empty relation estimates 1 (optimistic, matching
+// textbook defaults).
+func (t TableStats) Fanout(col string) float64 {
+	if t.Rows == 0 {
+		return 1
+	}
+	d := t.Distinct[col]
+	if d <= 0 {
+		return 1
+	}
+	f := float64(t.Rows) / float64(d)
+	if f < 1 {
+		return 1
+	}
+	return f
+}
+
+// Stats maps table names to their statistics.
+type Stats struct {
+	tables map[string]TableStats
+}
+
+// New returns an empty statistics store.
+func New() *Stats { return &Stats{tables: map[string]TableStats{}} }
+
+// Set records statistics for a table, replacing any previous entry.
+func (s *Stats) Set(table string, ts TableStats) { s.tables[table] = ts }
+
+// Get returns the statistics for a table; ok is false if none are recorded.
+func (s *Stats) Get(table string) (TableStats, bool) {
+	ts, ok := s.tables[table]
+	return ts, ok
+}
+
+// Fanout estimates the join fan-out against table on col; tables without
+// statistics estimate 1.
+func (s *Stats) Fanout(table, col string) float64 {
+	ts, ok := s.tables[table]
+	if !ok {
+		return 1
+	}
+	return ts.Fanout(col)
+}
+
+// Tables lists the tables with recorded statistics, sorted.
+func (s *Stats) Tables() []string {
+	out := make([]string, 0, len(s.tables))
+	for t := range s.tables {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Collect computes exact statistics from a relation's tuples.
+func Collect(schema *types.Schema, tuples []types.Tuple) (TableStats, error) {
+	ts := TableStats{Rows: int64(len(tuples)), Distinct: map[string]int64{}}
+	for ci, col := range schema.Cols {
+		seen := map[uint64]bool{}
+		for _, t := range tuples {
+			if len(t) != schema.Len() {
+				return TableStats{}, fmt.Errorf("stats: tuple arity %d != schema arity %d", len(t), schema.Len())
+			}
+			seen[t[ci].Hash()] = true
+		}
+		ts.Distinct[col.Name] = int64(len(seen))
+	}
+	return ts, nil
+}

@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"testing"
+
+	"joinview/internal/types"
+)
+
+func TestFanout(t *testing.T) {
+	ts := TableStats{Rows: 100, Distinct: map[string]int64{"a": 25, "b": 100, "c": 0}}
+	if got := ts.Fanout("a"); got != 4 {
+		t.Errorf("Fanout(a) = %g, want 4", got)
+	}
+	if got := ts.Fanout("b"); got != 1 {
+		t.Errorf("Fanout(b) = %g, want 1", got)
+	}
+	if got := ts.Fanout("c"); got != 1 {
+		t.Errorf("Fanout on zero distinct = %g, want 1", got)
+	}
+	if got := ts.Fanout("unknown"); got != 1 {
+		t.Errorf("Fanout(unknown) = %g, want 1", got)
+	}
+	empty := TableStats{}
+	if got := empty.Fanout("a"); got != 1 {
+		t.Errorf("Fanout on empty relation = %g, want 1", got)
+	}
+	// Fanout never reports < 1 even if distinct > rows (stale stats).
+	weird := TableStats{Rows: 5, Distinct: map[string]int64{"a": 50}}
+	if got := weird.Fanout("a"); got != 1 {
+		t.Errorf("Fanout with distinct>rows = %g, want 1", got)
+	}
+}
+
+func TestStoreAndTables(t *testing.T) {
+	s := New()
+	s.Set("orders", TableStats{Rows: 10, Distinct: map[string]int64{"custkey": 5}})
+	s.Set("customer", TableStats{Rows: 3})
+	if got := s.Fanout("orders", "custkey"); got != 2 {
+		t.Errorf("Fanout = %g", got)
+	}
+	if got := s.Fanout("ghost", "x"); got != 1 {
+		t.Errorf("Fanout on unknown table = %g", got)
+	}
+	if ts, ok := s.Get("orders"); !ok || ts.Rows != 10 {
+		t.Error("Get failed")
+	}
+	if _, ok := s.Get("ghost"); ok {
+		t.Error("Get(ghost) should miss")
+	}
+	tables := s.Tables()
+	if len(tables) != 2 || tables[0] != "customer" {
+		t.Errorf("Tables = %v", tables)
+	}
+}
+
+func TestCollect(t *testing.T) {
+	schema := types.NewSchema(
+		types.Column{Name: "k", Kind: types.KindInt},
+		types.Column{Name: "g", Kind: types.KindInt},
+	)
+	var tuples []types.Tuple
+	for i := int64(0); i < 12; i++ {
+		tuples = append(tuples, types.Tuple{types.Int(i), types.Int(i % 3)})
+	}
+	ts, err := Collect(schema, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Rows != 12 || ts.Distinct["k"] != 12 || ts.Distinct["g"] != 3 {
+		t.Errorf("Collect = %+v", ts)
+	}
+	if got := ts.Fanout("g"); got != 4 {
+		t.Errorf("Fanout(g) = %g, want 4", got)
+	}
+	if _, err := Collect(schema, []types.Tuple{{types.Int(1)}}); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+}

@@ -1,0 +1,99 @@
+package storage
+
+import (
+	"joinview/internal/buffer"
+	"joinview/internal/types"
+)
+
+// Buffer-pool integration. Fragments map accesses onto stable page
+// surrogates: heap pages bucket rows by row id (monotonic ids append to
+// fresh pages, like a heap file), clustered pages bucket a key's duplicate
+// run by ordinal (co-located duplicates share pages, which is the whole
+// point of clustering). A fragment with a nil pool skips tracking.
+
+// rowPage is the heap-page surrogate of a row.
+func (f *Fragment) rowPage(row RowID) buffer.PageKey {
+	return buffer.PageKey{Frag: f.name, NS: buffer.NSRow, Page: uint64(row) / uint64(f.pageRows)}
+}
+
+// keyRunPage is the i-th page of the clustered run for key value v. Keys
+// hash-pack into the fragment's current page count, approximating several
+// small runs sharing a physical page; the mapping drifts as the fragment
+// grows, which only costs spurious misses (never spurious hits within a
+// stable fragment).
+func (f *Fragment) keyRunPage(v types.Value, ordinal int) buffer.PageKey {
+	pages := f.Pages()
+	if pages < 1 {
+		pages = 1
+	}
+	return buffer.PageKey{
+		Frag: f.name,
+		NS:   buffer.NSKey,
+		Page: (v.Hash() + uint64(ordinal/f.pageRows)) % uint64(pages),
+	}
+}
+
+// touchStored records the page access for one stored row (insert, delete,
+// point get).
+func (f *Fragment) touchStored(row RowID, t types.Tuple) {
+	if f.pool == nil {
+		return
+	}
+	if f.clusterCol >= 0 {
+		f.pool.Touch(f.keyRunPage(t[f.clusterCol], 0))
+		return
+	}
+	f.pool.Touch(f.rowPage(row))
+}
+
+// touchClusteredRun records the page accesses of reading n co-located
+// matches of key value v.
+func (f *Fragment) touchClusteredRun(v types.Value, n int) {
+	if f.pool == nil || n == 0 {
+		return
+	}
+	pages := (n + f.pageRows - 1) / f.pageRows
+	for i := 0; i < pages; i++ {
+		f.pool.Touch(f.keyRunPage(v, i*f.pageRows))
+	}
+}
+
+// TouchAllPages records `times` full passes over the fragment (sequential
+// scans and external-sort passes). Page surrogates match the point-access
+// scheme so scans warm the cache for subsequent lookups.
+func (f *Fragment) TouchAllPages(times int) {
+	if f.pool == nil || times <= 0 {
+		return
+	}
+	for pass := 0; pass < times; pass++ {
+		if f.clusterCol >= 0 {
+			var curKey types.Value
+			ordinal := 0
+			first := true
+			f.scanRaw(func(_ RowID, t types.Tuple) bool {
+				v := t[f.clusterCol]
+				if first || !types.Equal(v, curKey) {
+					curKey, ordinal, first = v, 0, false
+				}
+				if ordinal%f.pageRows == 0 {
+					f.pool.Touch(f.keyRunPage(v, ordinal))
+				}
+				ordinal++
+				return true
+			})
+			continue
+		}
+		seen := map[uint64]bool{}
+		f.scanRaw(func(row RowID, _ types.Tuple) bool {
+			pg := uint64(row) / uint64(f.pageRows)
+			if !seen[pg] {
+				seen[pg] = true
+				f.pool.Touch(f.rowPage(row))
+			}
+			return true
+		})
+	}
+}
+
+// Pool returns the fragment's buffer pool (nil when caching is disabled).
+func (f *Fragment) Pool() *buffer.Pool { return f.pool }

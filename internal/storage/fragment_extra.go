@@ -1,0 +1,40 @@
+package storage
+
+import "joinview/internal/types"
+
+// InsertUnmetered stores a tuple without charging I/O. DDL backfill (the
+// initial materialization of views, auxiliary relations and global indexes)
+// uses it so metrics windows opened after DDL start from zero; the paper's
+// experiments likewise measure only the incremental-maintenance step.
+func (f *Fragment) InsertUnmetered(t types.Tuple) (RowID, error) {
+	row, err := f.Insert(t)
+	if err != nil {
+		return 0, err
+	}
+	f.meter.Insert(-1)
+	return row, nil
+}
+
+// GetUnmetered fetches one tuple by row id without charging I/O. Callers
+// that batch-fetch (the global-index maintenance path) charge the meter
+// themselves with page-accurate costs; see node.FetchJoin.
+// ScanUnmetered visits every tuple with its row id in layout order without
+// charging I/O (DDL backfill, global-index builds, verification).
+func (f *Fragment) ScanUnmetered(fn func(RowID, types.Tuple) bool) {
+	f.scanRaw(fn)
+}
+
+// GetUnmetered fetches one tuple by row id without charging I/O. Callers
+// that batch-fetch (the global-index maintenance path) charge the meter
+// themselves with page-accurate costs; see node.FetchJoin.
+func (f *Fragment) GetUnmetered(row RowID) (types.Tuple, bool) {
+	key, ok := f.loc[row]
+	if !ok {
+		return nil, false
+	}
+	vals := f.rows.Get(key)
+	if len(vals) == 0 {
+		return nil, false
+	}
+	return mustDecode(vals[0]), true
+}

@@ -1,0 +1,121 @@
+// Package storage implements the per-node storage engine of the parallel
+// RDBMS: table fragments laid out as heaps or clustered B+-trees, secondary
+// indexes, and a logical I/O meter.
+//
+// The meter follows the cost model of Luo et al. §3.1: an index SEARCH and
+// a tuple FETCH each cost one I/O, an INSERT into any table costs two I/Os,
+// and scans/sorts are charged per page. All view-maintenance experiments
+// read their "time" from these counters (total workload = sum over nodes,
+// response time = max over nodes), exactly as the paper does.
+package storage
+
+import "sync/atomic"
+
+// Unit costs in I/Os, as fixed in §3.1 of the paper ("SEARCH takes one I/O,
+// FETCH takes one I/O, and INSERT takes two I/Os").
+const (
+	CostSearch = 1
+	CostFetch  = 1
+	CostInsert = 2
+	// CostDelete mirrors CostInsert: the paper treats deletions and updates
+	// as "similar to insertion", and removing a tuple touches the same
+	// page + index path as adding one.
+	CostDelete = 2
+)
+
+// Meter accumulates logical I/O counts for one data-server node. All
+// methods are safe for concurrent use (nodes run as goroutines under the
+// channel transport).
+type Meter struct {
+	searches  atomic.Int64
+	fetches   atomic.Int64
+	inserts   atomic.Int64
+	deletes   atomic.Int64
+	scanPages atomic.Int64
+	sortPages atomic.Int64
+}
+
+// Search records n index searches.
+func (m *Meter) Search(n int64) { m.searches.Add(n) }
+
+// Fetch records n tuple/page fetches.
+func (m *Meter) Fetch(n int64) { m.fetches.Add(n) }
+
+// Insert records n tuple insertions.
+func (m *Meter) Insert(n int64) { m.inserts.Add(n) }
+
+// Delete records n tuple deletions.
+func (m *Meter) Delete(n int64) { m.deletes.Add(n) }
+
+// ScanPages records n pages read by sequential scans.
+func (m *Meter) ScanPages(n int64) { m.scanPages.Add(n) }
+
+// SortPages records n page I/Os performed by external sorting.
+func (m *Meter) SortPages(n int64) { m.sortPages.Add(n) }
+
+// Counts is an immutable snapshot of a meter.
+type Counts struct {
+	Searches  int64
+	Fetches   int64
+	Inserts   int64
+	Deletes   int64
+	ScanPages int64
+	SortPages int64
+}
+
+// Snapshot returns the current counter values.
+func (m *Meter) Snapshot() Counts {
+	return Counts{
+		Searches:  m.searches.Load(),
+		Fetches:   m.fetches.Load(),
+		Inserts:   m.inserts.Load(),
+		Deletes:   m.deletes.Load(),
+		ScanPages: m.scanPages.Load(),
+		SortPages: m.sortPages.Load(),
+	}
+}
+
+// Reset zeroes all counters.
+func (m *Meter) Reset() {
+	m.searches.Store(0)
+	m.fetches.Store(0)
+	m.inserts.Store(0)
+	m.deletes.Store(0)
+	m.scanPages.Store(0)
+	m.sortPages.Store(0)
+}
+
+// Sub returns c - o, component-wise.
+func (c Counts) Sub(o Counts) Counts {
+	return Counts{
+		Searches:  c.Searches - o.Searches,
+		Fetches:   c.Fetches - o.Fetches,
+		Inserts:   c.Inserts - o.Inserts,
+		Deletes:   c.Deletes - o.Deletes,
+		ScanPages: c.ScanPages - o.ScanPages,
+		SortPages: c.SortPages - o.SortPages,
+	}
+}
+
+// Add returns c + o, component-wise.
+func (c Counts) Add(o Counts) Counts {
+	return Counts{
+		Searches:  c.Searches + o.Searches,
+		Fetches:   c.Fetches + o.Fetches,
+		Inserts:   c.Inserts + o.Inserts,
+		Deletes:   c.Deletes + o.Deletes,
+		ScanPages: c.ScanPages + o.ScanPages,
+		SortPages: c.SortPages + o.SortPages,
+	}
+}
+
+// IOs converts the counts to total I/Os under the paper's unit costs.
+// Scan and sort pages count one I/O per page.
+func (c Counts) IOs() int64 {
+	return c.Searches*CostSearch +
+		c.Fetches*CostFetch +
+		c.Inserts*CostInsert +
+		c.Deletes*CostDelete +
+		c.ScanPages +
+		c.SortPages
+}

@@ -1,0 +1,44 @@
+package storage
+
+import "encoding/binary"
+
+// RowID identifies a tuple within one fragment (one node's share of a
+// relation). RowIDs are assigned monotonically and never reused.
+type RowID uint64
+
+// GlobalRowID identifies a tuple cluster-wide, as in the paper's global
+// index entries: "(node id, local row id at the node)".
+type GlobalRowID struct {
+	Node int32
+	Row  RowID
+}
+
+// EncodeGlobalRowID renders g as 12 bytes (big-endian node, then row).
+func EncodeGlobalRowID(g GlobalRowID) []byte {
+	var b [12]byte
+	binary.BigEndian.PutUint32(b[0:4], uint32(g.Node))
+	binary.BigEndian.PutUint64(b[4:12], uint64(g.Row))
+	return b[:]
+}
+
+// DecodeGlobalRowID parses the 12-byte encoding produced by
+// EncodeGlobalRowID. It returns false if b is too short.
+func DecodeGlobalRowID(b []byte) (GlobalRowID, bool) {
+	if len(b) < 12 {
+		return GlobalRowID{}, false
+	}
+	return GlobalRowID{
+		Node: int32(binary.BigEndian.Uint32(b[0:4])),
+		Row:  RowID(binary.BigEndian.Uint64(b[4:12])),
+	}, true
+}
+
+func encodeRowID(r RowID) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(r))
+	return b[:]
+}
+
+func decodeRowID(b []byte) RowID {
+	return RowID(binary.BigEndian.Uint64(b))
+}

@@ -1,0 +1,93 @@
+package txn
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRollbackReverseOrder(t *testing.T) {
+	var tx Txn
+	var got []int
+	for i := 0; i < 3; i++ {
+		i := i
+		tx.OnRollback(func() error { got = append(got, i); return nil })
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 2 || got[1] != 1 || got[2] != 0 {
+		t.Errorf("rollback order = %v", got)
+	}
+	// Second rollback is a no-op.
+	got = nil
+	if err := tx.Rollback(); err != nil || got != nil {
+		t.Error("second rollback should do nothing")
+	}
+}
+
+func TestCommitDisablesRollback(t *testing.T) {
+	var tx Txn
+	ran := false
+	tx.OnRollback(func() error { ran = true; return nil })
+	tx.Commit()
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Error("rollback after commit must not run undo actions")
+	}
+}
+
+func TestSavepoints(t *testing.T) {
+	var tx Txn
+	var got []int
+	reg := func(i int) {
+		tx.OnRollback(func() error { got = append(got, i); return nil })
+	}
+	reg(0)
+	mark := tx.Mark()
+	if mark != 1 {
+		t.Fatalf("Mark = %d", mark)
+	}
+	reg(1)
+	reg(2)
+	if err := tx.RollbackTo(mark); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Errorf("partial rollback order = %v", got)
+	}
+	// Stale mark is a no-op.
+	if err := tx.RollbackTo(99); err != nil {
+		t.Fatal(err)
+	}
+	// The rest still rolls back on full Rollback.
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[2] != 0 {
+		t.Errorf("final rollback = %v", got)
+	}
+	// Negative mark clamps.
+	var tx2 Txn
+	ran := false
+	tx2.OnRollback(func() error { ran = true; return nil })
+	if err := tx2.RollbackTo(-5); err != nil || !ran {
+		t.Error("negative mark should unwind everything")
+	}
+}
+
+func TestRollbackCollectsErrors(t *testing.T) {
+	var tx Txn
+	e1 := errors.New("one")
+	ran := false
+	tx.OnRollback(func() error { ran = true; return nil })
+	tx.OnRollback(func() error { return e1 })
+	err := tx.Rollback()
+	if err == nil || !errors.Is(err, e1) {
+		t.Errorf("Rollback error = %v", err)
+	}
+	if !ran {
+		t.Error("later undo actions must still run after an error")
+	}
+}

@@ -1,0 +1,101 @@
+package types
+
+import "testing"
+
+func custSchema() *Schema {
+	return NewSchema(
+		Column{Name: "custkey", Kind: KindInt},
+		Column{Name: "acctbal", Kind: KindFloat},
+		Column{Name: "name", Kind: KindString},
+	)
+}
+
+func TestSchemaColIndex(t *testing.T) {
+	s := custSchema()
+	if got := s.ColIndex("acctbal"); got != 1 {
+		t.Errorf("ColIndex(acctbal) = %d, want 1", got)
+	}
+	if got := s.ColIndex("missing"); got != -1 {
+		t.Errorf("ColIndex(missing) = %d, want -1", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustColIndex on missing column should panic")
+		}
+	}()
+	s.MustColIndex("missing")
+}
+
+func TestSchemaProject(t *testing.T) {
+	s := custSchema()
+	p, err := s.Project([]string{"name", "custkey"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 || p.Cols[0].Name != "name" || p.Cols[1].Kind != KindInt {
+		t.Errorf("unexpected projection %+v", p)
+	}
+	if _, err := s.Project([]string{"nope"}); err == nil {
+		t.Error("projecting a missing column should fail")
+	}
+}
+
+func TestSchemaConcatPrefixed(t *testing.T) {
+	a := custSchema().Prefixed("c")
+	b := NewSchema(Column{Name: "orderkey", Kind: KindInt}).Prefixed("o")
+	j := a.Concat(b)
+	if j.Len() != 4 {
+		t.Fatalf("concat len = %d, want 4", j.Len())
+	}
+	if j.ColIndex("c.custkey") != 0 || j.ColIndex("o.orderkey") != 3 {
+		t.Errorf("prefixed concat columns wrong: %v", j.Names())
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	s := custSchema()
+	ok := Tuple{Int(1), Float(10.5), String("alice")}
+	if err := s.Validate(ok); err != nil {
+		t.Errorf("valid tuple rejected: %v", err)
+	}
+	if err := s.Validate(Tuple{Int(1), Null(), String("x")}); err != nil {
+		t.Errorf("NULL should be allowed: %v", err)
+	}
+	if err := s.Validate(Tuple{Int(1)}); err == nil {
+		t.Error("wrong arity should fail")
+	}
+	if err := s.Validate(Tuple{String("x"), Float(1), String("y")}); err == nil {
+		t.Error("wrong kind should fail")
+	}
+}
+
+func TestTupleOps(t *testing.T) {
+	a := Tuple{Int(1), String("x")}
+	b := a.Clone()
+	b[0] = Int(2)
+	if a[0].I != 1 {
+		t.Error("Clone must not alias")
+	}
+	if !a.Equal(Tuple{Int(1), String("x")}) {
+		t.Error("Equal failed")
+	}
+	if a.Equal(Tuple{Int(1)}) {
+		t.Error("Equal must check arity")
+	}
+	if a.Compare(b) >= 0 {
+		t.Error("Compare ordering wrong")
+	}
+	if a.Compare(Tuple{Int(1), String("x"), Int(9)}) >= 0 {
+		t.Error("shorter prefix tuple must sort first")
+	}
+	c := a.Concat(Tuple{Float(3)})
+	if len(c) != 3 || c[2].F != 3 {
+		t.Errorf("Concat produced %v", c)
+	}
+	if a.Hash() != (Tuple{Int(1), String("x")}).Hash() {
+		t.Error("equal tuples must hash equally")
+	}
+	if got := a.String(); got != "(1, x)" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,181 @@
+package types
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompareOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{Int(-5), Int(5), -1},
+		{Float(1.5), Float(2.5), -1},
+		{Float(2.5), Float(2.5), 0},
+		{String("a"), String("b"), -1},
+		{String("b"), String("b"), 0},
+		{String("ba"), String("b"), 1},
+		{Null(), Int(0), -1},
+		{Null(), Null(), 0},
+		{Int(1), Float(1), -1}, // kind ordering: int < float
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := Compare(c.b, c.a); got != -c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d (antisymmetry)", c.b, c.a, got, -c.want)
+		}
+	}
+}
+
+func TestKindFromName(t *testing.T) {
+	for name, want := range map[string]Kind{
+		"BIGINT": KindInt, "int": KindInt, "Integer": KindInt,
+		"DOUBLE": KindFloat, "float": KindFloat,
+		"VARCHAR": KindString, "text": KindString,
+	} {
+		got, err := KindFromName(name)
+		if err != nil || got != want {
+			t.Errorf("KindFromName(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := KindFromName("BLOB"); err == nil {
+		t.Error("KindFromName(BLOB) should fail")
+	}
+}
+
+func TestHashEqualValues(t *testing.T) {
+	if Int(42).Hash() != Int(42).Hash() {
+		t.Error("equal ints must hash equally")
+	}
+	if String("x").Hash() != String("x").Hash() {
+		t.Error("equal strings must hash equally")
+	}
+	if Int(42).Hash() == Int(43).Hash() {
+		t.Error("distinct ints should not collide (sanity)")
+	}
+	if Int(0).Hash() == Float(0).Hash() {
+		t.Error("kind participates in the hash")
+	}
+}
+
+func TestValueRoundTrip(t *testing.T) {
+	vals := []Value{
+		Null(), Int(0), Int(1), Int(-1), Int(math.MaxInt64), Int(math.MinInt64),
+		Float(0), Float(-0.5), Float(3.25), Float(math.MaxFloat64), Float(-math.MaxFloat64),
+		String(""), String("hello"), String("naïve ⋈"),
+	}
+	for _, v := range vals {
+		enc := AppendValue(nil, v)
+		got, n, err := DecodeValue(enc)
+		if err != nil {
+			t.Fatalf("DecodeValue(%v): %v", v, err)
+		}
+		if n != len(enc) {
+			t.Errorf("DecodeValue(%v) consumed %d of %d bytes", v, n, len(enc))
+		}
+		if !Equal(got, v) {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+// Property: the key encoding is order-preserving within a kind, so bytewise
+// comparison of encoded keys agrees with Compare.
+func TestEncodingOrderPreservingInts(t *testing.T) {
+	f := func(a, b int64) bool {
+		ka, kb := EncodeKey(Int(a)), EncodeKey(Int(b))
+		return sign(bytes.Compare(ka, kb)) == sign(Compare(Int(a), Int(b)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodingOrderPreservingFloats(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		ka, kb := EncodeKey(Float(a)), EncodeKey(Float(b))
+		return sign(bytes.Compare(ka, kb)) == sign(Compare(Float(a), Float(b)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodingOrderPreservingSortedInts(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]int64, 500)
+	for i := range vals {
+		vals[i] = rng.Int63() - rng.Int63()
+	}
+	keys := make([][]byte, len(vals))
+	for i, v := range vals {
+		keys[i] = EncodeKey(Int(v))
+	}
+	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i], keys[j]) < 0 })
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for i := range vals {
+		got, _, err := DecodeValue(keys[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.I != vals[i] {
+			t.Fatalf("sorted key %d decodes to %d, want %d", i, got.I, vals[i])
+		}
+	}
+}
+
+func TestTupleRoundTrip(t *testing.T) {
+	f := func(i int64, fl float64, s string) bool {
+		if math.IsNaN(fl) {
+			return true
+		}
+		in := Tuple{Int(i), Float(fl), String(s), Null()}
+		enc := EncodeTuple(in)
+		out, n, err := DecodeTuple(enc)
+		return err == nil && n == len(enc) && out.Equal(in)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := DecodeValue(nil); err == nil {
+		t.Error("decode empty value should fail")
+	}
+	if _, _, err := DecodeValue([]byte{byte(KindInt), 1, 2}); err == nil {
+		t.Error("decode short int should fail")
+	}
+	if _, _, err := DecodeValue([]byte{byte(KindString), 200}); err == nil {
+		t.Error("decode truncated string should fail")
+	}
+	if _, _, err := DecodeValue([]byte{99}); err == nil {
+		t.Error("decode unknown kind should fail")
+	}
+	if _, _, err := DecodeTuple([]byte{}); err == nil {
+		t.Error("decode empty tuple should fail")
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,182 @@
+// Package workload generates the paper's test data sets and update
+// streams: the TPC-R-style customer/orders/lineitem schema of §3.3
+// (Table 1) and the abstract two-relation A ⋈ B setup of the analytical
+// model (§3.1–3.2).
+//
+// Paper Table 1 at full scale holds 0.15M customers, 1.5M orders and 6M
+// lineitems. The ratios are what the experiments depend on: each new
+// customer tuple matches exactly one orders tuple on custkey (orders span
+// ten times as many custkey values as there are customers), and each
+// orders tuple matches four lineitem tuples on orderkey. Scale is a
+// parameter; EXPERIMENTS.md records the factor used per run.
+package workload
+
+import (
+	"fmt"
+
+	"joinview/internal/catalog"
+	"joinview/internal/cluster"
+	"joinview/internal/types"
+)
+
+// TPCR describes a scaled instance of the paper's test data set.
+type TPCR struct {
+	// Customers is the customer row count (0.15M in Table 1).
+	Customers int
+	// CustkeySpan is how many distinct custkey values orders cover; Table
+	// 1 uses 10× the customer count, so a newly inserted customer with
+	// the next unused custkey matches exactly one order. Defaults to
+	// 10 × Customers.
+	CustkeySpan int
+	// LinesPerOrder is the lineitem fan-out per order (4 in Table 1).
+	LinesPerOrder int
+}
+
+// Defaulted returns the spec with Table 1's ratios filled in.
+func (s TPCR) Defaulted() TPCR {
+	if s.Customers <= 0 {
+		s.Customers = 1500 // 0.15M scaled down 100×
+	}
+	if s.CustkeySpan <= 0 {
+		s.CustkeySpan = 10 * s.Customers
+	}
+	if s.LinesPerOrder <= 0 {
+		s.LinesPerOrder = 4
+	}
+	return s
+}
+
+// Orders returns the orders row count (one per custkey value in the span).
+func (s TPCR) Orders() int { return s.CustkeySpan }
+
+// Lineitems returns the lineitem row count.
+func (s TPCR) Lineitems() int { return s.CustkeySpan * s.LinesPerOrder }
+
+// CustomerTable returns the customer schema: partitioned (and locally
+// clustered, Teradata-style) on custkey — the join attribute, so customer
+// needs no auxiliary structures.
+func CustomerTable() *catalog.Table {
+	return &catalog.Table{
+		Name: "customer",
+		Schema: types.NewSchema(
+			types.Column{Name: "custkey", Kind: types.KindInt},
+			types.Column{Name: "acctbal", Kind: types.KindFloat},
+		),
+		PartitionCol: "custkey",
+	}
+}
+
+// OrdersTable returns the orders schema: partitioned on orderkey, with a
+// non-clustered secondary index on custkey (the §3.3 setup step 1).
+func OrdersTable() *catalog.Table {
+	return &catalog.Table{
+		Name: "orders",
+		Schema: types.NewSchema(
+			types.Column{Name: "orderkey", Kind: types.KindInt},
+			types.Column{Name: "custkey", Kind: types.KindInt},
+			types.Column{Name: "totalprice", Kind: types.KindFloat},
+		),
+		PartitionCol: "orderkey",
+		Indexes:      []catalog.Index{{Name: "ix_orders_custkey", Col: "custkey"}},
+	}
+}
+
+// LineitemTable returns the lineitem schema: partitioned on partkey, with
+// a non-clustered secondary index on orderkey.
+func LineitemTable() *catalog.Table {
+	return &catalog.Table{
+		Name: "lineitem",
+		Schema: types.NewSchema(
+			types.Column{Name: "orderkey", Kind: types.KindInt},
+			types.Column{Name: "partkey", Kind: types.KindInt},
+			types.Column{Name: "suppkey", Kind: types.KindInt},
+			types.Column{Name: "extendedprice", Kind: types.KindFloat},
+			types.Column{Name: "discount", Kind: types.KindFloat},
+		),
+		PartitionCol: "partkey",
+		Indexes:      []catalog.Index{{Name: "ix_lineitem_orderkey", Col: "orderkey"}},
+	}
+}
+
+// Customer builds one customer tuple.
+func Customer(custkey int64) types.Tuple {
+	return types.Tuple{types.Int(custkey), types.Float(float64(custkey%1000) + 0.5)}
+}
+
+// Order builds one orders tuple.
+func Order(orderkey, custkey int64) types.Tuple {
+	return types.Tuple{types.Int(orderkey), types.Int(custkey), types.Float(float64(orderkey%5000) + 0.25)}
+}
+
+// Lineitem builds one lineitem tuple.
+func Lineitem(orderkey, partkey, suppkey int64) types.Tuple {
+	return types.Tuple{
+		types.Int(orderkey), types.Int(partkey), types.Int(suppkey),
+		types.Float(float64(partkey%900) + 1), types.Float(float64(partkey%10) / 100),
+	}
+}
+
+// Generate materializes the three relations. Deterministic: orderkey i has
+// custkey i (one order per custkey value) and LinesPerOrder lineitems.
+func (s TPCR) Generate() (customers, orders, lineitems []types.Tuple) {
+	s = s.Defaulted()
+	customers = make([]types.Tuple, 0, s.Customers)
+	for ck := int64(0); ck < int64(s.Customers); ck++ {
+		customers = append(customers, Customer(ck))
+	}
+	orders = make([]types.Tuple, 0, s.Orders())
+	lineitems = make([]types.Tuple, 0, s.Lineitems())
+	part := int64(0)
+	for ok := int64(0); ok < int64(s.CustkeySpan); ok++ {
+		orders = append(orders, Order(ok, ok))
+		for l := 0; l < s.LinesPerOrder; l++ {
+			part++
+			lineitems = append(lineitems, Lineitem(ok, part, part%100))
+		}
+	}
+	return customers, orders, lineitems
+}
+
+// Load creates the three tables on the cluster, bulk-loads the generated
+// data, refreshes statistics and resets the metrics window.
+func (s TPCR) Load(c *cluster.Cluster) error {
+	s = s.Defaulted()
+	for _, t := range []*catalog.Table{CustomerTable(), OrdersTable(), LineitemTable()} {
+		if err := c.CreateTable(t); err != nil {
+			return fmt.Errorf("workload: %w", err)
+		}
+	}
+	customers, orders, lineitems := s.Generate()
+	if err := c.Insert("customer", customers); err != nil {
+		return err
+	}
+	if err := c.Insert("orders", orders); err != nil {
+		return err
+	}
+	if err := c.Insert("lineitem", lineitems); err != nil {
+		return err
+	}
+	for _, name := range []string{"customer", "orders", "lineitem"} {
+		if err := c.RefreshStats(name); err != nil {
+			return err
+		}
+	}
+	c.ResetMetrics()
+	return nil
+}
+
+// NewCustomers returns n fresh customer tuples whose custkeys continue
+// after the loaded customers, so each matches exactly one existing order —
+// the §3.3 insert workload ("128 tuples ... these tuples each have one
+// matching tuple in the orders relation").
+func (s TPCR) NewCustomers(n int) ([]types.Tuple, error) {
+	s = s.Defaulted()
+	if s.Customers+n > s.CustkeySpan {
+		return nil, fmt.Errorf("workload: %d new customers exceed the custkey span %d", n, s.CustkeySpan)
+	}
+	out := make([]types.Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Customer(int64(s.Customers+i)))
+	}
+	return out, nil
+}

@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"joinview/internal/catalog"
+	"joinview/internal/cluster"
+	"joinview/internal/types"
+)
+
+// TwoRel is the abstract setup of the analytical model (§3.1): relations
+// A and B joined on A.c = B.d, with neither partitioned on the join
+// attribute, a view JV = A ⋈ B partitioned on an attribute of A, and N
+// matching B tuples per join value.
+type TwoRel struct {
+	// JoinValues is the number of distinct join-attribute values in B.
+	JoinValues int
+	// Fanout is N: B tuples per join value.
+	Fanout int
+	// ClusterBOnJoin locally clusters B on the join attribute d,
+	// producing the paper's "naive method with clustered index" /
+	// "distributed clustered global index" variants. Otherwise B gets a
+	// non-clustered secondary index on d.
+	ClusterBOnJoin bool
+	// ZipfS, when > 1, draws the insert stream's join values from a
+	// Zipf(s) distribution instead of uniform — an extension beyond the
+	// paper's assumption 9 ("uniformly distributed on the join
+	// attribute") for studying hotspot sensitivity.
+	ZipfS float64
+}
+
+// Defaulted fills the paper-ish defaults (N = 10).
+func (s TwoRel) Defaulted() TwoRel {
+	if s.JoinValues <= 0 {
+		s.JoinValues = 640
+	}
+	if s.Fanout <= 0 {
+		s.Fanout = 10
+	}
+	return s
+}
+
+// BRows is the total size of B.
+func (s TwoRel) BRows() int { return s.JoinValues * s.Fanout }
+
+// ATable returns relation A: a(id, c, payload), partitioned on id (not on
+// the join attribute c).
+func ATable() *catalog.Table {
+	return &catalog.Table{
+		Name: "a",
+		Schema: types.NewSchema(
+			types.Column{Name: "id", Kind: types.KindInt},
+			types.Column{Name: "c", Kind: types.KindInt},
+			types.Column{Name: "payload", Kind: types.KindInt},
+		),
+		PartitionCol: "id",
+	}
+}
+
+// BTable returns relation B: b(id, d, payload), partitioned on id, with
+// either a local clustered layout on d or a non-clustered index on d.
+func (s TwoRel) BTable() *catalog.Table {
+	t := &catalog.Table{
+		Name: "b",
+		Schema: types.NewSchema(
+			types.Column{Name: "id", Kind: types.KindInt},
+			types.Column{Name: "d", Kind: types.KindInt},
+			types.Column{Name: "payload", Kind: types.KindInt},
+		),
+		PartitionCol: "id",
+	}
+	if s.ClusterBOnJoin {
+		t.ClusterCol = "d"
+	} else {
+		t.Indexes = []catalog.Index{{Name: "ix_b_d", Col: "d"}}
+	}
+	return t
+}
+
+// ViewDef returns JV = A ⋈ B on c = d, partitioned on A.id, using the
+// given maintenance strategy.
+func ViewDef(name string, strategy catalog.Strategy) *catalog.View {
+	return &catalog.View{
+		Name:   name,
+		Tables: []string{"a", "b"},
+		Joins:  []catalog.JoinPred{{Left: "a", LeftCol: "c", Right: "b", RightCol: "d"}},
+		Out: []catalog.OutCol{
+			{Table: "a", Col: "id"}, {Table: "a", Col: "c"},
+			{Table: "b", Col: "id"}, {Table: "b", Col: "payload"},
+		},
+		PartitionTable: "a", PartitionCol: "id",
+		Strategy: strategy,
+	}
+}
+
+// Load creates A (empty) and B (JoinValues × Fanout rows), the view, and
+// resets the metrics window. The view starts empty because A is empty; the
+// experiments then insert into A and measure maintenance cost.
+func (s TwoRel) Load(c *cluster.Cluster, strategy catalog.Strategy) error {
+	s = s.Defaulted()
+	if err := c.CreateTable(ATable()); err != nil {
+		return err
+	}
+	if err := c.CreateTable(s.BTable()); err != nil {
+		return err
+	}
+	rows := make([]types.Tuple, 0, s.BRows())
+	id := int64(0)
+	for v := int64(0); v < int64(s.JoinValues); v++ {
+		for f := 0; f < s.Fanout; f++ {
+			id++
+			rows = append(rows, types.Tuple{types.Int(id), types.Int(v), types.Int(id % 97)})
+		}
+	}
+	if err := c.Insert("b", rows); err != nil {
+		return err
+	}
+	if err := c.RefreshStats("b"); err != nil {
+		return err
+	}
+	if err := c.CreateView(ViewDef("jv", strategy)); err != nil {
+		return err
+	}
+	c.ResetMetrics()
+	return nil
+}
+
+// AInserts generates n tuples for A with join values drawn from B's
+// join-value domain — uniformly (assumption 9: "uniformly distributed on
+// the join attribute") or Zipf-skewed when ZipfS > 1. Deterministic under
+// seed.
+func (s TwoRel) AInserts(n int, seed int64) []types.Tuple {
+	s = s.Defaulted()
+	rng := rand.New(rand.NewSource(seed))
+	var draw func() int64
+	if s.ZipfS > 1 {
+		z := rand.NewZipf(rng, s.ZipfS, 1, uint64(s.JoinValues-1))
+		draw = func() int64 { return int64(z.Uint64()) }
+	} else {
+		draw = func() int64 { return int64(rng.Intn(s.JoinValues)) }
+	}
+	out := make([]types.Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, types.Tuple{
+			types.Int(int64(1_000_000 + i)),
+			types.Int(draw()),
+			types.Int(int64(i)),
+		})
+	}
+	return out
+}
+
+// String describes the workload for experiment logs.
+func (s TwoRel) String() string {
+	s = s.Defaulted()
+	return fmt.Sprintf("two-rel: |B|=%d rows (%d join values × fanout %d), B clustered on join attr: %v",
+		s.BRows(), s.JoinValues, s.Fanout, s.ClusterBOnJoin)
+}

@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"testing"
+
+	"joinview/internal/catalog"
+	"joinview/internal/cluster"
+	"joinview/internal/types"
+)
+
+func TestTPCRDefaultsAndRatios(t *testing.T) {
+	s := TPCR{}.Defaulted()
+	if s.Customers != 1500 || s.CustkeySpan != 15000 || s.LinesPerOrder != 4 {
+		t.Errorf("defaults = %+v", s)
+	}
+	// Table 1 ratios: orders = 10× customers, lineitems = 4× orders.
+	if s.Orders() != 10*s.Customers {
+		t.Errorf("orders = %d", s.Orders())
+	}
+	if s.Lineitems() != 4*s.Orders() {
+		t.Errorf("lineitems = %d", s.Lineitems())
+	}
+}
+
+func TestTPCRGenerate(t *testing.T) {
+	s := TPCR{Customers: 20, CustkeySpan: 200, LinesPerOrder: 3}
+	customers, orders, lineitems := s.Generate()
+	if len(customers) != 20 || len(orders) != 200 || len(lineitems) != 600 {
+		t.Fatalf("sizes = %d/%d/%d", len(customers), len(orders), len(lineitems))
+	}
+	// Each customer's custkey matches exactly one order.
+	orderByCust := map[int64]int{}
+	for _, o := range orders {
+		orderByCust[o[1].I]++
+	}
+	for _, c := range customers {
+		if orderByCust[c[0].I] != 1 {
+			t.Fatalf("customer %d matches %d orders, want 1", c[0].I, orderByCust[c[0].I])
+		}
+	}
+	// Each order matches LinesPerOrder lineitems.
+	linesByOrder := map[int64]int{}
+	for _, l := range lineitems {
+		linesByOrder[l[0].I]++
+	}
+	for _, o := range orders {
+		if linesByOrder[o[0].I] != 3 {
+			t.Fatalf("order %d matches %d lineitems, want 3", o[0].I, linesByOrder[o[0].I])
+		}
+	}
+}
+
+func TestNewCustomersMatchExactlyOneOrder(t *testing.T) {
+	s := TPCR{Customers: 20, CustkeySpan: 200}
+	newCust, err := s.NewCustomers(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(newCust) != 5 {
+		t.Fatal("wrong count")
+	}
+	_, orders, _ := s.Generate()
+	orderByCust := map[int64]int{}
+	for _, o := range orders {
+		orderByCust[o[1].I]++
+	}
+	for _, c := range newCust {
+		if c[0].I < 20 {
+			t.Errorf("new customer reuses existing custkey %d", c[0].I)
+		}
+		if orderByCust[c[0].I] != 1 {
+			t.Errorf("new customer %d matches %d orders, want 1", c[0].I, orderByCust[c[0].I])
+		}
+	}
+	if _, err := s.NewCustomers(1000); err == nil {
+		t.Error("overflowing the custkey span should fail")
+	}
+}
+
+func TestTPCRLoad(t *testing.T) {
+	c, err := cluster.New(cluster.Config{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s := TPCR{Customers: 10, CustkeySpan: 100, LinesPerOrder: 2}
+	if err := s.Load(c); err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]int{"customer": 10, "orders": 100, "lineitem": 200} {
+		rows, err := c.TableRows(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != want {
+			t.Errorf("%s has %d rows, want %d", name, len(rows), want)
+		}
+	}
+	// Stats refreshed and metrics reset.
+	if c.Metrics().TotalIOs() != 0 {
+		t.Error("Load should end with a clean metrics window")
+	}
+	if f := c.Stats().Fanout("lineitem", "orderkey"); f != 2 {
+		t.Errorf("lineitem orderkey fanout = %g, want 2", f)
+	}
+}
+
+func TestTwoRelLoadAndFanout(t *testing.T) {
+	for _, clustered := range []bool{false, true} {
+		c, err := cluster.New(cluster.Config{Nodes: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := TwoRel{JoinValues: 50, Fanout: 5, ClusterBOnJoin: clustered}
+		if err := s.Load(c, catalog.StrategyAuxRel); err != nil {
+			t.Fatal(err)
+		}
+		rows, err := c.TableRows("b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 250 {
+			t.Fatalf("b has %d rows, want 250", len(rows))
+		}
+		// Every join value appears exactly Fanout times.
+		counts := map[int64]int{}
+		for _, r := range rows {
+			counts[r[1].I]++
+		}
+		for v, n := range counts {
+			if n != 5 {
+				t.Fatalf("join value %d has fanout %d, want 5", v, n)
+			}
+		}
+		// Inserting into a maintains the view.
+		if err := c.Insert("a", s.AInserts(20, 7)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.CheckViewConsistency("jv"); err != nil {
+			t.Fatal(err)
+		}
+		vrows, _ := c.ViewRows("jv")
+		if len(vrows) != 20*5 {
+			t.Errorf("view has %d rows, want 100", len(vrows))
+		}
+		if s.String() == "" {
+			t.Error("String empty")
+		}
+		c.Close()
+	}
+}
+
+func TestAInsertsDeterministic(t *testing.T) {
+	s := TwoRel{JoinValues: 10, Fanout: 2}
+	a := s.AInserts(10, 3)
+	b := s.AInserts(10, 3)
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatal("AInserts must be deterministic under a seed")
+		}
+	}
+	other := s.AInserts(10, 4)
+	same := true
+	for i := range a {
+		if !a[i].Equal(other[i]) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should give different streams")
+	}
+}
+
+func TestTupleBuilders(t *testing.T) {
+	c := Customer(5)
+	if c[0].I != 5 || c[1].K != types.KindFloat {
+		t.Error("Customer builder wrong")
+	}
+	o := Order(7, 5)
+	if o[0].I != 7 || o[1].I != 5 {
+		t.Error("Order builder wrong")
+	}
+	l := Lineitem(7, 3, 1)
+	if l[0].I != 7 || len(l) != 5 {
+		t.Error("Lineitem builder wrong")
+	}
+}

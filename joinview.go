@@ -1,0 +1,333 @@
+// Package joinview is a parallel-RDBMS simulator with materialized join
+// views, reproducing "A Comparison of Three Methods for Join View
+// Maintenance in Parallel RDBMS" (Luo, Naughton, Ellmann, Watzke —
+// ICDE 2003).
+//
+// A DB is an L-node shared-nothing database: base relations are
+// hash-partitioned across the nodes, and join views over them are kept
+// incrementally consistent under inserts, deletes and updates by one of
+// three maintenance methods:
+//
+//   - StrategyNaive — broadcast each delta to every node and probe there;
+//   - StrategyAuxRel — keep auxiliary relations re-partitioned on the join
+//     attributes, so a delta touches one node;
+//   - StrategyGlobalIndex — keep global indexes mapping join values to
+//     global row ids, touching 1 + K nodes;
+//   - StrategyAuto — pick per update with the paper's cost model.
+//
+// Every operation is metered in the paper's logical I/O units (SEARCH = 1,
+// FETCH = 1, INSERT = 2) plus interconnect messages, so the experiments in
+// the paper's evaluation can be regenerated; see EXPERIMENTS.md.
+//
+// The surface is both programmatic (CreateTable/CreateView/Insert/...) and
+// SQL (Exec/ExecScript with the paper's CREATE VIEW ... statements).
+package joinview
+
+import (
+	"time"
+
+	"joinview/internal/catalog"
+	"joinview/internal/cluster"
+	"joinview/internal/expr"
+	"joinview/internal/node"
+	"joinview/internal/sql"
+	"joinview/internal/types"
+)
+
+// Re-exported schema and metadata types. These aliases are the public
+// names; the implementation lives under internal/.
+type (
+	// Value is a SQL value (NULL, BIGINT, DOUBLE or VARCHAR).
+	Value = types.Value
+	// Tuple is one row.
+	Tuple = types.Tuple
+	// Schema is an ordered list of named, typed columns.
+	Schema = types.Schema
+	// Column is one schema attribute.
+	Column = types.Column
+	// Kind enumerates value types.
+	Kind = types.Kind
+
+	// Table describes a base relation: schema, partitioning attribute,
+	// optional local cluster column and secondary indexes.
+	Table = catalog.Table
+	// Index is a non-clustered local secondary index.
+	Index = catalog.Index
+	// View describes a materialized join view.
+	View = catalog.View
+	// JoinPred is one equijoin predicate of a view definition.
+	JoinPred = catalog.JoinPred
+	// OutCol names one output column of a view.
+	OutCol = catalog.OutCol
+	// AuxRel describes an auxiliary relation (π(σ(R)) re-partitioned on a
+	// join attribute).
+	AuxRel = catalog.AuxRel
+	// GlobalIndex describes a global index on a non-partitioning
+	// attribute.
+	GlobalIndex = catalog.GlobalIndex
+	// Strategy selects a view-maintenance method.
+	Strategy = catalog.Strategy
+
+	// Metrics is a snapshot of per-node I/O counters and message counts.
+	Metrics = cluster.Metrics
+	// Result is the outcome of one SQL statement.
+	Result = sql.Result
+
+	// Expr is a scalar predicate for DELETE/UPDATE and auxiliary-relation
+	// selections.
+	Expr = expr.Expr
+)
+
+// Maintenance strategies.
+const (
+	StrategyNaive       = catalog.StrategyNaive
+	StrategyAuxRel      = catalog.StrategyAuxRel
+	StrategyGlobalIndex = catalog.StrategyGlobalIndex
+	StrategyAuto        = catalog.StrategyAuto
+)
+
+// Value kinds.
+const (
+	KindNull   = types.KindNull
+	KindInt    = types.KindInt
+	KindFloat  = types.KindFloat
+	KindString = types.KindString
+)
+
+// Int builds a BIGINT value.
+func Int(v int64) Value { return types.Int(v) }
+
+// Float builds a DOUBLE value.
+func Float(v float64) Value { return types.Float(v) }
+
+// String builds a VARCHAR value.
+func String(v string) Value { return types.String(v) }
+
+// Null builds the NULL value.
+func Null() Value { return types.Null() }
+
+// NewSchema builds a schema from columns.
+func NewSchema(cols ...Column) *Schema { return types.NewSchema(cols...) }
+
+// Col references a column in a predicate.
+func Col(name string) Expr { return expr.Col{Name: name} }
+
+// Lit embeds a literal in a predicate.
+func Lit(v Value) Expr { return expr.Const{V: v} }
+
+// Eq builds the predicate `col = value`.
+func Eq(col string, v Value) Expr {
+	return expr.Cmp{Op: expr.EQ, L: expr.Col{Name: col}, R: expr.Const{V: v}}
+}
+
+// Lt builds the predicate `col < value`.
+func Lt(col string, v Value) Expr {
+	return expr.Cmp{Op: expr.LT, L: expr.Col{Name: col}, R: expr.Const{V: v}}
+}
+
+// Gt builds the predicate `col > value`.
+func Gt(col string, v Value) Expr {
+	return expr.Cmp{Op: expr.GT, L: expr.Col{Name: col}, R: expr.Const{V: v}}
+}
+
+// And conjoins predicates.
+func And(terms ...Expr) Expr { return expr.And{Terms: terms} }
+
+// True is the always-true predicate (DELETE without WHERE).
+var True Expr = expr.And{}
+
+// Options configures a database.
+type Options struct {
+	// Nodes is the number of data-server nodes L (required, >= 1).
+	Nodes int
+	// PageRows is tuples per page for the I/O cost accounting
+	// (default 10).
+	PageRows int
+	// MemPages is the per-node sort memory M in pages (default 10, the
+	// paper's value).
+	MemPages int
+	// UseChannels runs each node as its own goroutine with channel
+	// message passing; the default is the deterministic in-process
+	// transport.
+	UseChannels bool
+	// ForceIndexJoin / ForceSortMerge pin the maintenance join algorithm;
+	// by default each node applies the paper's §3.2 cost crossover.
+	ForceIndexJoin bool
+	ForceSortMerge bool
+	// BufferPages attaches a per-node LRU buffer pool of that many pages
+	// (0 disables caching simulation). With a pool, Metrics additionally
+	// reports physical I/O — the §3.3 buffering effect.
+	BufferPages int
+	// NetLatency delays every inter-node message by this duration
+	// (requires UseChannels): makes the SEND cost the analytical model
+	// neglects visible in wall-clock.
+	NetLatency time.Duration
+}
+
+// DB is an open parallel database.
+type DB struct {
+	c *cluster.Cluster
+}
+
+// Open creates a database with empty catalog and storage.
+func Open(opts Options) (*DB, error) {
+	algo := node.AlgoAuto
+	if opts.ForceIndexJoin {
+		algo = node.AlgoIndex
+	}
+	if opts.ForceSortMerge {
+		algo = node.AlgoSortMerge
+	}
+	c, err := cluster.New(cluster.Config{
+		Nodes:       opts.Nodes,
+		PageRows:    opts.PageRows,
+		MemPages:    opts.MemPages,
+		UseChannels: opts.UseChannels,
+		Algo:        algo,
+		BufferPages: opts.BufferPages,
+		NetLatency:  opts.NetLatency,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{c: c}, nil
+}
+
+// Close releases the database's resources.
+func (db *DB) Close() { db.c.Close() }
+
+// NumNodes returns the node count L.
+func (db *DB) NumNodes() int { return db.c.NumNodes() }
+
+// Exec parses and executes one SQL statement.
+func (db *DB) Exec(query string) (*Result, error) { return sql.Exec(db.c, query) }
+
+// ExecScript executes a semicolon-separated SQL script, stopping at the
+// first error.
+func (db *DB) ExecScript(script string) ([]*Result, error) { return sql.ExecScript(db.c, script) }
+
+// CreateTable registers a base table and allocates its fragments.
+func (db *DB) CreateTable(t *Table) error { return db.c.CreateTable(t) }
+
+// CreateIndex adds a non-clustered secondary index to a base table.
+func (db *DB) CreateIndex(table, name, col string) error {
+	return db.c.CreateIndex(table, name, col)
+}
+
+// CreateAuxRel creates and backfills an auxiliary relation.
+func (db *DB) CreateAuxRel(a *AuxRel) error { return db.c.CreateAuxRel(a) }
+
+// CreateGlobalIndex creates and backfills a global index.
+func (db *DB) CreateGlobalIndex(g *GlobalIndex) error { return db.c.CreateGlobalIndex(g) }
+
+// CreateView registers a join view, creates any auxiliary structures its
+// strategy needs, and materializes the initial contents.
+func (db *DB) CreateView(v *View) error { return db.c.CreateView(v) }
+
+// DropView removes a view and its fragments.
+func (db *DB) DropView(name string) error { return db.c.DropView(name) }
+
+// DropTable removes a base table, cascading over its auxiliary relations
+// and global indexes; it refuses while a view references the table.
+func (db *DB) DropTable(name string) error { return db.c.DropTable(name) }
+
+// DropAuxRel removes an auxiliary relation unless a view's maintenance
+// still depends on it.
+func (db *DB) DropAuxRel(name string) error { return db.c.DropAuxRel(name) }
+
+// DropGlobalIndex removes a global index and its fragments.
+func (db *DB) DropGlobalIndex(name string) error { return db.c.DropGlobalIndex(name) }
+
+// Insert runs one insert transaction: stores the tuples and maintains all
+// auxiliary relations, global indexes and views of the table.
+func (db *DB) Insert(table string, tuples []Tuple) error { return db.c.Insert(table, tuples) }
+
+// Delete removes the tuples matching pred, maintaining all structures and
+// views, and returns the deleted tuples.
+func (db *DB) Delete(table string, pred Expr) ([]Tuple, error) { return db.c.Delete(table, pred) }
+
+// Update rewrites matching tuples (delete + insert of the modified rows),
+// returning the affected count.
+func (db *DB) Update(table string, set map[string]Value, pred Expr) (int, error) {
+	return db.c.Update(table, set, pred)
+}
+
+// TableRows returns every stored tuple of a base or auxiliary relation.
+func (db *DB) TableRows(name string) ([]Tuple, error) { return db.c.TableRows(name) }
+
+// ViewRows returns the materialized content of a view.
+func (db *DB) ViewRows(name string) ([]Tuple, error) { return db.c.ViewRows(name) }
+
+// CheckViewConsistency verifies a view equals a from-scratch recomputation
+// of its definition.
+func (db *DB) CheckViewConsistency(name string) error { return db.c.CheckViewConsistency(name) }
+
+// RefreshStats recomputes optimizer statistics for a table.
+func (db *DB) RefreshStats(table string) error { return db.c.RefreshStats(table) }
+
+// Metrics snapshots the per-node I/O counters and message statistics.
+func (db *DB) Metrics() Metrics { return db.c.Metrics() }
+
+// ResetMetrics zeroes all counters, opening a fresh measurement window.
+func (db *DB) ResetMetrics() { db.c.ResetMetrics() }
+
+// ResolveStrategy reports which maintenance method an auto-strategy view
+// would use for an update of the given size on the given table.
+func (db *DB) ResolveStrategy(viewName, table string, deltaSize int) (Strategy, error) {
+	v, err := db.c.Catalog().View(viewName)
+	if err != nil {
+		return 0, err
+	}
+	return db.c.ResolveStrategy(v, table, deltaSize)
+}
+
+// Tx is an open multi-statement transaction (Begin/Insert/Delete/Update/
+// Commit/Rollback) — the paper's "begin transaction ... end transaction"
+// scope.
+type Tx = cluster.Txn
+
+// Begin opens a multi-statement transaction. Statements apply atomically;
+// Rollback undoes all of them in reverse order, including all view and
+// auxiliary-structure maintenance.
+func (db *DB) Begin() *Tx { return db.c.Begin() }
+
+// Session is a SQL session with transaction state (BEGIN/COMMIT/ROLLBACK).
+type Session = sql.Session
+
+// NewSession opens a SQL session; DML between BEGIN and COMMIT shares one
+// undo scope.
+func (db *DB) NewSession() *Session { return sql.NewSession(db.c) }
+
+// QuerySpec is an ad-hoc distributed equijoin query.
+type QuerySpec = cluster.QuerySpec
+
+// QueryJoin executes an ad-hoc equijoin the way the parallel engine would
+// without a view: shuffles on join attributes (reusing covering auxiliary
+// relations) and co-partitioned local hash joins, fully metered. Compare
+// its cost against scanning a materialized view to see why warehouses
+// materialize.
+func (db *DB) QueryJoin(spec QuerySpec) ([]Tuple, *Schema, error) {
+	return db.c.QueryJoin(spec)
+}
+
+// ScanViewMetered reads a view with scan I/O charged (the query-side
+// counterpart of ViewRows).
+func (db *DB) ScanViewMetered(name string) ([]Tuple, error) {
+	return db.c.ScanFragmentMetered(name)
+}
+
+// StorageReport is the cluster-wide space accounting: the footprint of
+// every table, auxiliary relation, global index and view.
+type StorageReport = cluster.StorageReport
+
+// StorageReport gathers the sizes of all stored objects — the space side
+// of the paper's space-for-time trade-off.
+func (db *DB) StorageReport() (StorageReport, error) { return db.c.StorageReport() }
+
+// CheckAllStructures verifies every auxiliary relation, global index and
+// view against the current base relations.
+func (db *DB) CheckAllStructures() error { return db.c.CheckAllStructures() }
+
+// Cluster exposes the underlying engine for the in-repo benchmarks and
+// examples that need lower-level access (experiment harnesses).
+func (db *DB) Cluster() *cluster.Cluster { return db.c }

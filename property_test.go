@@ -1,0 +1,200 @@
+package joinview
+
+// Facade-level property tests: across random cluster shapes (node counts,
+// page sizes, transports, buffer pools) and random update streams, every
+// maintenance strategy keeps every view — plain and aggregate — equal to a
+// from-scratch recomputation, and all auxiliary structures stay in sync.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func buildRandomDB(t testing.TB, rng *rand.Rand) *DB {
+	opts := Options{
+		Nodes:       1 + rng.Intn(8),
+		PageRows:    1 + rng.Intn(20),
+		UseChannels: rng.Intn(2) == 1,
+	}
+	if rng.Intn(2) == 1 {
+		opts.BufferPages = 50 + rng.Intn(200)
+	}
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := `
+		create table customer (custkey bigint, acctbal double) partition on custkey;
+		create table orders (orderkey bigint, custkey bigint, totalprice double) partition on orderkey;
+		create index ix_oc on orders (custkey);
+	`
+	if _, err := db.ExecScript(script); err != nil {
+		db.Close()
+		t.Fatal(err)
+	}
+	return db
+}
+
+func seedData(t testing.TB, db *DB, rng *rand.Rand) {
+	var customers, orders []Tuple
+	nCust := 4 + rng.Intn(8)
+	for i := 0; i < nCust; i++ {
+		customers = append(customers, Tuple{Int(int64(i)), Float(float64(i))})
+	}
+	for i := 0; i < nCust*2; i++ {
+		orders = append(orders, Tuple{Int(int64(i)), Int(int64(rng.Intn(nCust + 2))), Float(float64(i % 7))})
+	}
+	if err := db.Insert("customer", customers); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("orders", orders); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyViewsSurviveRandomStreams is the repository's core invariant
+// as a quick property: any configuration, any stream, every strategy, both
+// view shapes — materialized state equals recomputation.
+func TestPropertyViewsSurviveRandomStreams(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long property test")
+	}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := buildRandomDB(t, rng)
+		defer db.Close()
+		seedData(t, db, rng)
+
+		strategies := []Strategy{StrategyNaive, StrategyAuxRel, StrategyGlobalIndex, StrategyAuto}
+		for i, strat := range strategies {
+			plain := &View{
+				Name:   fmt.Sprintf("pv%d", i),
+				Tables: []string{"customer", "orders"},
+				Joins: []JoinPred{
+					{Left: "customer", LeftCol: "custkey", Right: "orders", RightCol: "custkey"},
+				},
+				Out: []OutCol{
+					{Table: "customer", Col: "custkey"},
+					{Table: "orders", Col: "orderkey"},
+					{Table: "orders", Col: "totalprice"},
+				},
+				PartitionTable: "customer", PartitionCol: "custkey",
+				Strategy: strat,
+			}
+			if err := db.CreateView(plain); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		if _, err := db.Exec(`
+			create view agg as
+			select c.custkey, count(*), sum(o.totalprice)
+			from customer c, orders o
+			where c.custkey = o.custkey
+			group by c.custkey
+			partition on c.custkey using auto`); err != nil {
+			t.Log(err)
+			return false
+		}
+
+		nextOK := int64(10000)
+		for step := 0; step < 25; step++ {
+			var err error
+			switch rng.Intn(5) {
+			case 0:
+				nextOK++
+				err = db.Insert("orders", []Tuple{{Int(nextOK), Int(int64(rng.Intn(12))), Float(1.5)}})
+			case 1:
+				err = db.Insert("customer", []Tuple{{Int(int64(rng.Intn(14))), Float(2)}})
+			case 2:
+				_, err = db.Delete("orders", Eq("custkey", Int(int64(rng.Intn(12)))))
+			case 3:
+				_, err = db.Delete("customer", Eq("custkey", Int(int64(rng.Intn(12)))))
+			case 4:
+				_, err = db.Update("orders",
+					map[string]Value{"custkey": Int(int64(rng.Intn(10)))},
+					Eq("orderkey", Int(int64(rng.Intn(20)))))
+			}
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		if err := db.CheckAllStructures(); err != nil {
+			t.Log(err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyTransactionsAreAtomic: any random transaction body either
+// commits completely or rolls back without a trace.
+func TestPropertyTransactionsAreAtomic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long property test")
+	}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := buildRandomDB(t, rng)
+		defer db.Close()
+		seedData(t, db, rng)
+		if _, err := db.Exec(`
+			create view v as
+			select c.custkey, o.orderkey from customer c, orders o
+			where c.custkey = o.custkey
+			partition on c.custkey using auxrel`); err != nil {
+			t.Log(err)
+			return false
+		}
+		before, err := db.ViewRows("v")
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		baseBefore, _ := db.TableRows("orders")
+
+		tx := db.Begin()
+		for i := 0; i < 1+rng.Intn(6); i++ {
+			switch rng.Intn(3) {
+			case 0:
+				err = tx.Insert("orders", []Tuple{{Int(int64(5000 + i)), Int(int64(rng.Intn(10))), Float(1)}})
+			case 1:
+				_, err = tx.Delete("orders", Eq("custkey", Int(int64(rng.Intn(10)))))
+			case 2:
+				_, err = tx.Update("orders",
+					map[string]Value{"custkey": Int(int64(rng.Intn(10)))},
+					Eq("orderkey", Int(int64(rng.Intn(25)))))
+			}
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		if rng.Intn(2) == 0 {
+			if err := tx.Rollback(); err != nil {
+				t.Log(err)
+				return false
+			}
+			after, _ := db.ViewRows("v")
+			baseAfter, _ := db.TableRows("orders")
+			if len(after) != len(before) || len(baseAfter) != len(baseBefore) {
+				t.Logf("rollback leaked: view %d->%d, base %d->%d",
+					len(before), len(after), len(baseBefore), len(baseAfter))
+				return false
+			}
+		} else if err := tx.Commit(); err != nil {
+			t.Log(err)
+			return false
+		}
+		return db.CheckAllStructures() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
