@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	jvbench [-exp all|table1|fig7..fig14|storage|buffering|skew|network]
-//	        [-measured] [-maxl 128] [-scale 100] [-a 128] [-csv dir]
+//	jvbench [-exp all|table1|fig7..fig14|storage|buffering|skew|network|faults]
+//	        [-measured] [-maxl 128] [-scale 100] [-a 128] [-faults 0.02] [-csv dir]
 //
 // -measured additionally runs the simulator for figures that have a
 // measured counterpart (7, 8, 9, 10, 11); figure 14 and the extension
@@ -26,11 +26,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, fig7..fig14, storage, buffering, skew, network")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, fig7..fig14, storage, buffering, skew, network, faults")
 	measured := flag.Bool("measured", false, "also run the measured (simulator) variants of figs 7-11")
 	maxL := flag.Int("maxl", 128, "largest node count to sweep")
 	scale := flag.Int("scale", 100, "Table 1 scale divisor for fig14 (100 = 1,500 customers)")
 	deltaA := flag.Int("a", 128, "tuples inserted into customer for fig14")
+	faultRate := flag.Float64("faults", 0.02, "per-kind fault probability for -exp faults")
 	csvDir := flag.String("csv", "", "also write each result table as CSV into this directory")
 	flag.Parse()
 
@@ -41,7 +42,7 @@ func main() {
 		}
 	}
 	csvOut = *csvDir
-	if err := run(*exp, *measured, *maxL, *scale, *deltaA); err != nil {
+	if err := run(*exp, *measured, *maxL, *scale, *deltaA, *faultRate); err != nil {
 		fmt.Fprintln(os.Stderr, "jvbench:", err)
 		os.Exit(1)
 	}
@@ -50,7 +51,7 @@ func main() {
 // csvOut, when set, receives one CSV file per result grid.
 var csvOut string
 
-func run(exp string, measured bool, maxL, scale, deltaA int) error {
+func run(exp string, measured bool, maxL, scale, deltaA int, faultRate float64) error {
 	ls := capLs(experiments.DefaultLs, maxL)
 	smallLs := capLs([]int{2, 4, 8}, maxL)
 	show := func(g experiments.Grid) {
@@ -163,6 +164,13 @@ func run(exp string, measured bool, maxL, scale, deltaA int) error {
 			return err
 		}
 	}
+	if want("faults") {
+		if err := showMeasured(func() (experiments.Grid, error) {
+			return experiments.FaultOverhead(min(8, maxL), 200, faultRate, 1)
+		}); err != nil {
+			return err
+		}
+	}
 	if want("fig14") {
 		start := time.Now()
 		results, err := experiments.Fig14Measured(smallLs, scale, deltaA)
@@ -174,7 +182,7 @@ func run(exp string, measured bool, maxL, scale, deltaA int) error {
 			time.Since(start).Round(time.Millisecond))
 	}
 	switch exp {
-	case "all", "table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "storage", "skew", "buffering", "network":
+	case "all", "table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "storage", "skew", "buffering", "network", "faults":
 		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)

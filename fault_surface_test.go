@@ -1,0 +1,86 @@
+package joinview
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestFacadeFaultInjection drives the public fault surface end to end:
+// open with an injector, survive a transient storm, crash a node, observe
+// degraded semantics (ErrDegraded / ErrPartial), recover, and verify the
+// view is still exactly its definition.
+func TestFacadeFaultInjection(t *testing.T) {
+	inj := NewFaultInjector(FaultConfig{
+		Seed:        42,
+		DropRequest: 0.05,
+		DropReply:   0.05,
+		HandlerErr:  0.05,
+		Duplicate:   0.05,
+	})
+	db := openTestDB(t, Options{Nodes: 4, Faults: inj, RetryAttempts: 4})
+	if _, err := db.ExecScript(`
+		create table customer (custkey bigint, acctbal double) partition on custkey;
+		create table orders (orderkey bigint, custkey bigint, totalprice double) partition on orderkey;
+		create index ix_oc on orders (custkey);
+		insert into customer values (1, 10.0), (2, 20.0), (3, 30.0), (4, 40.0);
+		insert into orders values (100, 1, 5.5), (101, 2, 6.5), (102, 3, 7.5), (103, 4, 8.5);
+		create view jv1 as
+			select c.custkey, c.acctbal, o.orderkey, o.totalprice
+			from orders o, customer c
+			where c.custkey = o.custkey
+			partition on c.custkey using auxrel;
+	`); err != nil {
+		t.Fatal(err)
+	}
+
+	// Transient storm: retries and dedup must hide it completely.
+	inj.Arm()
+	for i := int64(0); i < 20; i++ {
+		if err := db.Insert("orders", []Tuple{{Int(200 + i), Int(1 + i%4), Float(1.0)}}); err != nil {
+			t.Fatalf("insert %d under transient faults: %v", i, err)
+		}
+	}
+	inj.Disarm()
+	if inj.Stats().Total() == 0 {
+		t.Fatal("storm injected nothing")
+	}
+	if err := db.CheckViewConsistency("jv1"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash a node: maintenance degrades, reads go partial.
+	inj.Crash(1)
+	if err := db.MarkNodeDown(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("orders", []Tuple{{Int(900), Int(1), Float(1.0)}}); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("insert while degraded: %v, want ErrDegraded", err)
+	}
+	if _, err := db.TableRows("orders"); !errors.Is(err, ErrPartial) {
+		t.Fatalf("TableRows while degraded: %v, want ErrPartial", err)
+	}
+	if d := db.Degraded(); len(d) != 1 || d[0] != 1 {
+		t.Fatalf("Degraded() = %v, want [1]", d)
+	}
+
+	// Restart and recover: full service, consistent structures.
+	inj.Restart(1)
+	if err := db.Recover(1); err != nil {
+		t.Fatal(err)
+	}
+	if d := db.Degraded(); len(d) != 0 {
+		t.Fatalf("still degraded after Recover: %v", d)
+	}
+	if err := db.Insert("orders", []Tuple{{Int(901), Int(2), Float(2.0)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CheckViewConsistency("jv1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CheckAllStructures(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Metrics().Retries; got < 1 {
+		t.Fatalf("Metrics.Retries = %d, want >= 1", got)
+	}
+}

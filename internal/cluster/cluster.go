@@ -7,10 +7,12 @@ package cluster
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"joinview/internal/buffer"
 	"joinview/internal/catalog"
+	"joinview/internal/fault"
 	"joinview/internal/hashpart"
 	"joinview/internal/maintain"
 	"joinview/internal/netsim"
@@ -45,6 +47,21 @@ type Config struct {
 	// duration (channel transport only): the SEND cost the analytical
 	// model deliberately neglects, made tunable.
 	NetLatency time.Duration
+	// CallTimeout bounds every transport call (channel transport only):
+	// a stuck node yields netsim.ErrTimeout instead of hanging the
+	// coordinator. Zero means unbounded.
+	CallTimeout time.Duration
+	// RetryAttempts is the maximum delivery attempts per call for
+	// transient failures (injected faults, timeouts). Default 3; with no
+	// faults and no timeout configured, retries never trigger.
+	RetryAttempts int
+	// RetryBackoff is the base sleep between retry attempts, doubling per
+	// attempt. Zero disables sleeping (the deterministic chaos tests keep
+	// it zero so storms run at full speed).
+	RetryBackoff time.Duration
+	// Faults installs a fault injector between the coordinator and the
+	// nodes: every delivery consults its schedule. Nil disables injection.
+	Faults *fault.Injector
 }
 
 // Cluster is a running parallel RDBMS instance.
@@ -54,8 +71,24 @@ type Cluster struct {
 	st    *stats.Stats
 	part  *hashpart.Partitioner
 	nodes []*node.DataNode
+	// inner is the raw delivery layer (Direct/Chan, optionally wrapped by
+	// the fault injector); tr is the resilient transport over it that all
+	// cluster and maintenance code uses.
+	inner netsim.Transport
 	tr    netsim.Transport
 	env   maintain.Env
+
+	// seq numbers mutating sub-requests for idempotent retry; retries
+	// counts re-deliveries for Metrics.
+	seq     atomic.Uint64
+	retries atomic.Int64
+
+	// dmu guards the degraded-mode state: nodes considered down, queued
+	// repair work per node, and nodes awaiting a derived-fragment rebuild.
+	dmu         sync.Mutex
+	downNodes   map[int]bool
+	repairs     map[int][]repair
+	needRebuild map[int]bool
 
 	// mu serializes DML statements at the coordinator, standing in for
 	// the paper's transaction-level locking; individual statements still
@@ -74,11 +107,17 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.MemPages <= 0 {
 		cfg.MemPages = 10
 	}
+	if cfg.RetryAttempts <= 0 {
+		cfg.RetryAttempts = 3
+	}
 	c := &Cluster{
-		cfg:  cfg,
-		cat:  catalog.New(),
-		st:   stats.New(),
-		part: hashpart.New(cfg.Nodes),
+		cfg:         cfg,
+		cat:         catalog.New(),
+		st:          stats.New(),
+		part:        hashpart.New(cfg.Nodes),
+		downNodes:   map[int]bool{},
+		repairs:     map[int][]repair{},
+		needRebuild: map[int]bool{},
 	}
 	handlers := make([]netsim.Handler, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
@@ -91,12 +130,18 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	switch {
 	case cfg.UseChannels:
-		c.tr = netsim.NewChanLatency(handlers, cfg.NetLatency)
+		c.inner = netsim.NewChanTimeout(handlers, cfg.NetLatency, cfg.CallTimeout)
 	case cfg.NetLatency > 0:
 		return nil, fmt.Errorf("cluster: NetLatency requires the channel transport (UseChannels)")
+	case cfg.CallTimeout > 0:
+		return nil, fmt.Errorf("cluster: CallTimeout requires the channel transport (UseChannels)")
 	default:
-		c.tr = netsim.NewDirect(handlers)
+		c.inner = netsim.NewDirect(handlers)
 	}
+	if cfg.Faults != nil {
+		c.inner = fault.Wrap(c.inner, cfg.Faults)
+	}
+	c.tr = &resilientTransport{c: c}
 	c.env = maintain.Env{T: c.tr, Part: c.part, Cat: c.cat}
 	return c, nil
 }
@@ -140,6 +185,9 @@ type Metrics struct {
 	Pool []buffer.Stats
 	// Net is the interconnect's message statistics.
 	Net netsim.Stats
+	// Retries counts re-deliveries the coordinator performed for
+	// transient failures (zero in fault-free runs).
+	Retries int64
 }
 
 // TotalIOs is the paper's total workload TW: I/Os summed over all nodes.
@@ -211,6 +259,7 @@ func (m Metrics) Sub(o Metrics) Metrics {
 		Messages:   m.Net.Messages - o.Net.Messages,
 		LocalCalls: m.Net.LocalCalls - o.Net.LocalCalls,
 	}
+	out.Retries = m.Retries - o.Retries
 	return out
 }
 
@@ -218,9 +267,10 @@ func (m Metrics) Sub(o Metrics) Metrics {
 // atomic, so this is safe alongside the channel transport.
 func (c *Cluster) Metrics() Metrics {
 	m := Metrics{
-		Node: make([]storage.Counts, len(c.nodes)),
-		Pool: make([]buffer.Stats, len(c.nodes)),
-		Net:  c.tr.Stats(),
+		Node:    make([]storage.Counts, len(c.nodes)),
+		Pool:    make([]buffer.Stats, len(c.nodes)),
+		Net:     c.tr.Stats(),
+		Retries: c.retries.Load(),
 	}
 	for i, n := range c.nodes {
 		m.Node[i] = n.Meter().Snapshot()
@@ -239,6 +289,7 @@ func (c *Cluster) ResetMetrics() {
 		n.ResetPoolStats()
 	}
 	c.tr.ResetStats()
+	c.retries.Store(0)
 }
 
 // RefreshStats recomputes exact statistics for the named table from its
@@ -261,7 +312,10 @@ func (c *Cluster) RefreshStats(table string) error {
 }
 
 // gather collects every tuple of a fragment across all nodes, unmetered
-// (verification, statistics, backfill input).
+// (verification, statistics, backfill input). It requires every node: a
+// degraded cluster fails with a node-down error, so derived computations
+// never silently run over partial inputs (degraded reads go through
+// gatherPartial instead).
 func (c *Cluster) gather(frag string) ([]types.Tuple, error) {
 	resps, err := c.tr.Broadcast(netsim.Coordinator, node.AllRows{Frag: frag})
 	if err != nil {
@@ -274,16 +328,51 @@ func (c *Cluster) gather(frag string) ([]types.Tuple, error) {
 	return out, nil
 }
 
-// TableRows returns every stored tuple of a base relation or auxiliary
-// relation, unmetered.
-func (c *Cluster) TableRows(name string) ([]types.Tuple, error) {
-	return c.gather(name)
+// gatherPartial collects a fragment's tuples from the surviving nodes,
+// returning ErrPartial alongside the rows when any node was skipped or
+// unreachable. The rows are valid but incomplete.
+func (c *Cluster) gatherPartial(frag string, req func() any) ([]types.Tuple, error) {
+	var out []types.Tuple
+	partial := false
+	for n := 0; n < c.cfg.Nodes; n++ {
+		resp, err := c.tr.Call(netsim.Coordinator, n, req())
+		if err != nil {
+			if _, down := fault.IsNodeDown(err); down {
+				partial = true
+				continue
+			}
+			return nil, err
+		}
+		out = append(out, resp.(node.RowsResult).Tuples...)
+	}
+	if partial {
+		return out, fmt.Errorf("%w: fragment %q", ErrPartial, frag)
+	}
+	return out, nil
 }
 
-// ViewRows returns the materialized content of a view, unmetered.
+// readRows answers TableRows/ViewRows: a full broadcast when healthy, the
+// explicit partial path when degraded.
+func (c *Cluster) readRows(frag string) ([]types.Tuple, error) {
+	if len(c.Degraded()) > 0 {
+		return c.gatherPartial(frag, func() any { return node.AllRows{Frag: frag} })
+	}
+	return c.gather(frag)
+}
+
+// TableRows returns every stored tuple of a base relation or auxiliary
+// relation, unmetered. When the cluster is degraded the surviving nodes'
+// rows are returned together with ErrPartial.
+func (c *Cluster) TableRows(name string) ([]types.Tuple, error) {
+	return c.readRows(name)
+}
+
+// ViewRows returns the materialized content of a view, unmetered. When the
+// cluster is degraded the surviving nodes' rows are returned together with
+// ErrPartial.
 func (c *Cluster) ViewRows(name string) ([]types.Tuple, error) {
 	if _, err := c.cat.View(name); err != nil {
 		return nil, err
 	}
-	return c.gather(name)
+	return c.readRows(name)
 }

@@ -34,6 +34,9 @@ func (c *Cluster) Insert(table string, tuples []types.Tuple) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.failIfDegraded(); err != nil {
+		return err
+	}
 
 	t, err := c.cat.Table(table)
 	if err != nil {
@@ -98,8 +101,7 @@ func (c *Cluster) insertBase(tx *txn.Txn, t *catalog.Table, tuples []types.Tuple
 		n := n
 		rowsCopy := append([]storage.RowID(nil), rows...)
 		tx.OnRollback(func() error {
-			_, err := c.call(n, node.DeleteRows{Frag: t.Name, Rows: rowsCopy})
-			return err
+			return c.undoCall(n, node.DeleteRows{Frag: t.Name, Rows: rowsCopy})
 		})
 		for bi, row := range rows {
 			locs[bucketIdx[n][bi]] = located{node: n, row: row, tuple: bucket[bi]}
@@ -134,18 +136,16 @@ func (c *Cluster) updateAuxRels(tx *txn.Txn, t *catalog.Table, tuples []types.Tu
 				}
 				rows := append([]storage.RowID(nil), resp.(node.InsertResult).Rows...)
 				tx.OnRollback(func() error {
-					_, err := c.call(n, node.DeleteRows{Frag: arName, Rows: rows})
-					return err
+					return c.undoCall(n, node.DeleteRows{Frag: arName, Rows: rows})
 				})
 			} else {
 				resp, err := c.call(n, node.DeleteMatch{Frag: arName, HintCol: partCol, Tuples: bucket})
 				if err != nil {
 					return err
 				}
-				deleted := resp.(node.DeleteResult).Tuples
+				dr := resp.(node.DeleteResult)
 				tx.OnRollback(func() error {
-					_, err := c.call(n, node.Insert{Frag: arName, Tuples: deleted})
-					return err
+					return c.undoCall(n, node.RestoreRows{Frag: arName, Rows: dr.Rows, Tuples: dr.Tuples})
 				})
 			}
 		}
@@ -169,8 +169,7 @@ func (c *Cluster) updateGlobalIndexes(tx *txn.Txn, t *catalog.Table, locs []loca
 					return err
 				}
 				tx.OnRollback(func() error {
-					_, err := c.tr.Call(netsim.Coordinator, home, node.GIDelete{GI: giName, Val: val, G: g})
-					return err
+					return c.undoCall(home, node.GIDelete{GI: giName, Val: val, G: g})
 				})
 			} else {
 				resp, err := c.tr.Call(loc.node, home, node.GIDelete{GI: giName, Val: val, G: g})
@@ -181,8 +180,7 @@ func (c *Cluster) updateGlobalIndexes(tx *txn.Txn, t *catalog.Table, locs []loca
 					return fmt.Errorf("cluster: global index %q missing entry for %v (out of sync)", giName, val)
 				}
 				tx.OnRollback(func() error {
-					_, err := c.tr.Call(netsim.Coordinator, home, node.GIInsert{GI: giName, Val: val, G: g})
-					return err
+					return c.undoCall(home, node.GIInsert{GI: giName, Val: val, G: g})
 				})
 			}
 		}
@@ -215,7 +213,10 @@ func (c *Cluster) propagateToViews(tx *txn.Txn, t *catalog.Table, tuples []types
 			undoOp = maintain.OpInsert
 		}
 		tx.OnRollback(func() error {
-			return maintain.ApplyToView(c.env, v, delta, undoOp)
+			// Node-down failures are absorbed: a crashed node's view
+			// fragments are rebuilt from base relations during Recover,
+			// which subsumes the unapplied part of this undo.
+			return absorbNodeDown(maintain.ApplyToView(c.env, v, delta, undoOp))
 		})
 	}
 	return nil
@@ -235,6 +236,9 @@ func (c *Cluster) Delete(table string, pred expr.Expr) ([]types.Tuple, error) {
 }
 
 func (c *Cluster) deleteLocked(table string, pred expr.Expr) ([]types.Tuple, error) {
+	if err := c.failIfDegraded(); err != nil {
+		return nil, err
+	}
 	t, err := c.cat.Table(table)
 	if err != nil {
 		return nil, err
@@ -291,11 +295,13 @@ func (c *Cluster) applyDelete(tx *txn.Txn, t *catalog.Table, victims []types.Tup
 		if err != nil {
 			return err
 		}
-		delTuples := resp.(node.DeleteResult).Tuples
+		dr := resp.(node.DeleteResult)
 		n := n
+		// Restore at the original row ids: global-index entries reference
+		// (node, row) pairs, so a plain re-insert (which allocates fresh
+		// ids) would leave every GI entry for these tuples dangling.
 		tx.OnRollback(func() error {
-			_, err := c.call(n, node.Insert{Frag: t.Name, Tuples: delTuples})
-			return err
+			return c.undoCall(n, node.RestoreRows{Frag: t.Name, Rows: dr.Rows, Tuples: dr.Tuples})
 		})
 	}
 	// 2. Auxiliary relations.
@@ -326,7 +332,10 @@ func (c *Cluster) Update(table string, set map[string]types.Value, pred expr.Exp
 			return 0, fmt.Errorf("cluster: update %q: unknown column %q", table, col)
 		}
 	}
-	victims, err := c.deleteLocked(table, pred)
+	if err := c.failIfDegraded(); err != nil {
+		return 0, err
+	}
+	victims, locs, err := c.findVictims(table, pred)
 	if err != nil {
 		return 0, err
 	}
@@ -341,15 +350,17 @@ func (c *Cluster) Update(table string, set map[string]types.Value, pred expr.Exp
 		}
 		replacement[i] = nt
 	}
+	// Both halves run inside one undo scope, so a failure anywhere leaves
+	// neither the delete nor the insert applied.
 	var tx txn.Txn
-	if err := c.insertLocked(&tx, t, replacement); err != nil {
-		// Restore the deleted tuples, then unwind the partial insert.
-		rbErr := tx.Rollback()
-		var restore txn.Txn
-		if insErr := c.insertLocked(&restore, t, victims); insErr == nil {
-			restore.Commit()
+	if err := c.applyDelete(&tx, t, victims, locs); err != nil {
+		if rbErr := tx.Rollback(); rbErr != nil {
+			return 0, fmt.Errorf("%w (rollback also failed: %v)", err, rbErr)
 		}
-		if rbErr != nil {
+		return 0, err
+	}
+	if err := c.insertLocked(&tx, t, replacement); err != nil {
+		if rbErr := tx.Rollback(); rbErr != nil {
 			return 0, fmt.Errorf("%w (rollback also failed: %v)", err, rbErr)
 		}
 		return 0, err

@@ -32,6 +32,12 @@ type QuerySpec struct {
 func (c *Cluster) QueryJoin(spec QuerySpec) ([]types.Tuple, *types.Schema, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// Distributed joins shuffle data across every node, so a partial
+	// answer cannot be assembled; fail fast (simple scans degrade to
+	// partial results instead — see ScanFragmentMetered).
+	if err := c.failIfDegraded(); err != nil {
+		return nil, nil, err
+	}
 	if len(spec.Tables) == 0 {
 		return nil, nil, fmt.Errorf("cluster: query needs at least one table")
 	}
@@ -232,8 +238,12 @@ func (c *Cluster) shuffle(frag string, schema *types.Schema, col string, newTemp
 // ScanFragmentMetered reads a whole relation or view with scan I/O charged
 // (the query-side counterpart of ViewRows, which is an unmetered
 // verification helper). Use it to compare "query the materialized view"
-// against QueryJoin's recompute cost.
+// against QueryJoin's recompute cost. When the cluster is degraded the
+// surviving nodes' rows are returned together with ErrPartial.
 func (c *Cluster) ScanFragmentMetered(name string) ([]types.Tuple, error) {
+	if len(c.Degraded()) > 0 {
+		return c.gatherPartial(name, func() any { return node.Scan{Frag: name} })
+	}
 	resps, err := c.tr.Broadcast(netsim.Coordinator, node.Scan{Frag: name})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,616 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"joinview/internal/catalog"
+	"joinview/internal/fault"
+	"joinview/internal/netsim"
+	"joinview/internal/node"
+	"joinview/internal/storage"
+	"joinview/internal/types"
+)
+
+// ErrDegraded marks a statement refused because a data-server node is down:
+// maintenance must touch every fragment of the affected structures, so a
+// write cannot commit consistently until the node recovers.
+var ErrDegraded = errors.New("cluster: degraded (node down)")
+
+// ErrPartial marks a read answered from the surviving nodes only. The rows
+// returned alongside it are valid but incomplete.
+var ErrPartial = errors.New("cluster: partial result (node down)")
+
+// resilientTransport is the coordinator's delivery layer: every call to the
+// underlying transport (possibly fault-injecting) gets bounded retries with
+// exponential backoff for transient failures, sequence-number wrapping of
+// mutating requests so retries are idempotent, in-doubt resolution via
+// SeqQuery when the retry budget runs out, and node-down bookkeeping that
+// moves the cluster into degraded mode. It implements netsim.Transport, so
+// installing it as maintain.Env's transport upgrades every maintenance path
+// without touching the call sites.
+type resilientTransport struct {
+	c *Cluster
+}
+
+// isMutating reports whether a request changes node state, and therefore
+// needs sequence-number dedup for safe retry. Reads are naturally
+// idempotent and go unwrapped.
+func isMutating(req any) bool {
+	switch req.(type) {
+	case node.Insert, node.DeleteRows, node.DeleteMatch, node.RestoreRows,
+		node.GIInsert, node.GIInsertBatch, node.GIDelete, node.AggApply,
+		node.LocalJoin, node.CreateFragment, node.CreateIndex,
+		node.CreateGlobalIndex, node.DropFragment, node.DropGlobalIndexFrag:
+		return true
+	}
+	return false
+}
+
+// Call implements netsim.Transport.
+func (t *resilientTransport) Call(from, to int, req any) (any, error) {
+	return t.c.resilientCall(from, to, req, false)
+}
+
+// Broadcast implements netsim.Transport. The fan-out runs once through the
+// inner transport (preserving its message accounting and, for the channel
+// transport, its parallel delivery); slots that failed are then retried
+// individually under the same sequence number, so a node that executed the
+// request but lost the reply answers the retry from its dedup cache.
+func (t *resilientTransport) Broadcast(from int, req any) ([]any, error) {
+	c := t.c
+	if n, degraded := c.firstDown(); degraded {
+		return nil, fault.NodeDownError{Node: n}
+	}
+	wreq, id, mut := req, uint64(0), isMutating(req)
+	if mut {
+		id = c.seq.Add(1)
+		wreq = node.Seq{ID: id, Req: req}
+	}
+	out, err := c.inner.Broadcast(from, wreq)
+	if err == nil {
+		return out, nil
+	}
+	if out == nil {
+		out = make([]any, c.inner.NumNodes())
+	}
+	var errs []error
+	for to := range out {
+		if out[to] != nil {
+			continue
+		}
+		resp, cerr := c.deliver(from, to, wreq, id, mut, false)
+		if cerr != nil {
+			errs = append(errs, fmt.Errorf("netsim: broadcast to node %d: %w", to, cerr))
+			continue
+		}
+		out[to] = resp
+	}
+	return out, errors.Join(errs...)
+}
+
+// NumNodes implements netsim.Transport.
+func (t *resilientTransport) NumNodes() int { return t.c.inner.NumNodes() }
+
+// Stats implements netsim.Transport.
+func (t *resilientTransport) Stats() netsim.Stats { return t.c.inner.Stats() }
+
+// ResetStats implements netsim.Transport.
+func (t *resilientTransport) ResetStats() { t.c.inner.ResetStats() }
+
+// Close implements netsim.Transport.
+func (t *resilientTransport) Close() { t.c.inner.Close() }
+
+// resilientCall delivers one request with the full retry/dedup/in-doubt
+// protocol. undo marks compensating actions: when the destination is (or
+// becomes) unreachable, the request is queued for replay during Recover and
+// the failure is absorbed, because a rollback must make as much progress as
+// it can rather than abandon the surviving nodes.
+func (c *Cluster) resilientCall(from, to int, req any, undo bool) (any, error) {
+	mut := isMutating(req)
+	if c.isDown(to) {
+		if undo && mut {
+			c.queueRepair(to, repair{kind: repairRedo, id: c.seq.Add(1), req: req})
+			return nil, nil
+		}
+		return nil, fault.NodeDownError{Node: to}
+	}
+	var wreq any = req
+	var id uint64
+	if mut {
+		id = c.seq.Add(1)
+		wreq = node.Seq{ID: id, Req: req}
+	}
+	return c.deliver(from, to, wreq, id, mut, undo)
+}
+
+// deliver runs the bounded retry loop for an already-wrapped request, then
+// resolves in-doubt outcomes.
+func (c *Cluster) deliver(from, to int, wreq any, id uint64, mut, undo bool) (any, error) {
+	raw := wreq
+	if s, ok := wreq.(node.Seq); ok {
+		raw = s.Req
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.RetryAttempts; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			if d := c.cfg.RetryBackoff; d > 0 {
+				time.Sleep(d << (attempt - 1))
+			}
+		}
+		resp, err := c.inner.Call(from, to, wreq)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if n, down := fault.IsNodeDown(err); down {
+			// The fault layer refuses deliveries to a crashed node before
+			// they reach it, so the request was not applied.
+			c.noteDown(n)
+			if undo && mut {
+				c.queueRepair(to, repair{kind: repairRedo, id: id, req: raw})
+				return nil, nil
+			}
+			// Tag with ErrDegraded so the statement that discovers the
+			// crash fails the same way every later statement will.
+			return nil, fmt.Errorf("%w: %w", ErrDegraded, err)
+		}
+		if !fault.IsTransient(err) {
+			return nil, err
+		}
+	}
+	if !mut {
+		return nil, lastErr
+	}
+	// Retry budget exhausted on a transient failure: the node may or may
+	// not have applied the request (a lost reply looks identical to a lost
+	// request). Ask it.
+	resp, applied, qerr := c.resolveInDoubt(from, to, id)
+	if qerr == nil {
+		if applied {
+			return resp, nil
+		}
+		return nil, lastErr
+	}
+	// The node cannot even answer the outcome query: treat it as down and
+	// leave a repair record for Recover.
+	c.noteDown(to)
+	if undo {
+		c.queueRepair(to, repair{kind: repairRedo, id: id, req: raw})
+		return nil, nil
+	}
+	c.queueRepair(to, repair{kind: repairInDoubt, id: id, req: raw})
+	return nil, fmt.Errorf("cluster: call to node %d in doubt: %w", to, lastErr)
+}
+
+// resolveInDoubt asks the node whether it applied the sequence number,
+// retrying the (idempotent) query itself through the fault storm.
+func (c *Cluster) resolveInDoubt(from, to int, id uint64) (any, bool, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.RetryAttempts; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			if d := c.cfg.RetryBackoff; d > 0 {
+				time.Sleep(d << (attempt - 1))
+			}
+		}
+		resp, err := c.inner.Call(from, to, node.SeqQuery{ID: id})
+		if err == nil {
+			r := resp.(node.SeqQueryResult)
+			return r.Resp, r.Applied, nil
+		}
+		lastErr = err
+		if !fault.IsTransient(err) {
+			return nil, false, err
+		}
+	}
+	return nil, false, lastErr
+}
+
+// rawCall delivers recovery traffic over the raw transport with transient
+// retries. Mutating requests get a fresh sequence envelope so a retried
+// delivery cannot double-apply — repair crosses the same faulty network as
+// maintenance. Unlike resilientCall it ignores the degraded set (Recover
+// talks to nodes still marked down) and surfaces in-doubt outcomes as
+// plain errors: Recover's work is idempotent, so the operator reruns it.
+func (c *Cluster) rawCall(to int, req any) (any, error) {
+	var wreq any = req
+	if isMutating(req) {
+		wreq = node.Seq{ID: c.seq.Add(1), Req: req}
+	}
+	return c.rawDeliver(to, wreq)
+}
+
+// rawDeliver is rawCall's retry loop for an already-wrapped request.
+func (c *Cluster) rawDeliver(to int, wreq any) (any, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.RetryAttempts; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			if d := c.cfg.RetryBackoff; d > 0 {
+				time.Sleep(d << (attempt - 1))
+			}
+		}
+		resp, err := c.inner.Call(netsim.Coordinator, to, wreq)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !fault.IsTransient(err) {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// undoCall delivers a compensating action. Unreachable destinations are
+// absorbed: the request is queued and replayed during Recover against the
+// node's preserved (durable) state.
+func (c *Cluster) undoCall(to int, req any) error {
+	_, err := c.resilientCall(netsim.Coordinator, to, req, true)
+	return err
+}
+
+// absorbNodeDown drops node-down failures from a derived-structure undo
+// (auxiliary relation, global index or view compensation): Recover rebuilds
+// the crashed node's derived fragments from the base relations, which
+// subsumes the unapplied undo. Other failures keep propagating.
+func absorbNodeDown(err error) error {
+	if err == nil {
+		return nil
+	}
+	if _, down := fault.IsNodeDown(err); down {
+		return nil
+	}
+	return err
+}
+
+// repairKind distinguishes what Recover must do with a queued request.
+type repairKind uint8
+
+const (
+	// repairRedo is a compensating action that could not reach the node:
+	// replay it (under its original sequence number, so a delivery that
+	// did land is deduplicated).
+	repairRedo repairKind = iota
+	// repairInDoubt is forward work whose outcome is unknown and whose
+	// statement was rolled back: if the node applied it, apply the inverse.
+	repairInDoubt
+)
+
+type repair struct {
+	kind repairKind
+	id   uint64
+	req  any
+}
+
+func (c *Cluster) noteDown(n int) {
+	c.dmu.Lock()
+	defer c.dmu.Unlock()
+	c.downNodes[n] = true
+}
+
+func (c *Cluster) isDown(n int) bool {
+	c.dmu.Lock()
+	defer c.dmu.Unlock()
+	return c.downNodes[n]
+}
+
+func (c *Cluster) firstDown() (int, bool) {
+	c.dmu.Lock()
+	defer c.dmu.Unlock()
+	best, found := 0, false
+	for n := range c.downNodes {
+		if !found || n < best {
+			best, found = n, true
+		}
+	}
+	return best, found
+}
+
+func (c *Cluster) queueRepair(n int, r repair) {
+	c.dmu.Lock()
+	defer c.dmu.Unlock()
+	c.repairs[n] = append(c.repairs[n], r)
+}
+
+func (c *Cluster) takeRepairs(n int) []repair {
+	c.dmu.Lock()
+	defer c.dmu.Unlock()
+	rs := c.repairs[n]
+	delete(c.repairs, n)
+	return rs
+}
+
+// Degraded returns the nodes the coordinator currently considers down
+// (sorted; empty when the cluster is healthy). A crash is discovered
+// lazily, by the first delivery that fails against the crashed node.
+func (c *Cluster) Degraded() []int {
+	c.dmu.Lock()
+	defer c.dmu.Unlock()
+	out := make([]int, 0, len(c.downNodes))
+	for n := range c.downNodes {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// failIfDegraded refuses DML while any node is down: every maintenance
+// flow must reach all fragments of the affected structures, so failing
+// fast (and letting the caller retry after Recover) beats starting work
+// that is guaranteed to roll back.
+func (c *Cluster) failIfDegraded() error {
+	if down := c.Degraded(); len(down) > 0 {
+		return fmt.Errorf("%w: nodes %v unavailable", ErrDegraded, down)
+	}
+	return nil
+}
+
+// MarkNodeDown tells the coordinator a node is unavailable without waiting
+// for a delivery to fail against it (an external failure detector, or a
+// test arranging a deterministic degraded state).
+func (c *Cluster) MarkNodeDown(n int) error {
+	if n < 0 || n >= c.cfg.Nodes {
+		return fmt.Errorf("cluster: node %d out of range [0,%d)", n, c.cfg.Nodes)
+	}
+	c.noteDown(n)
+	return nil
+}
+
+// Recover repairs a restarted node and returns the cluster to service:
+//
+//  1. verify the node answers (it must have been restarted at the
+//     transport/fault layer first);
+//  2. drain the node's repair queue in order — replay compensating actions
+//     that could not be delivered, and resolve in-doubt calls by querying
+//     their sequence numbers and inverting any that were applied (their
+//     statements rolled back at the surviving nodes);
+//  3. clear the node from the degraded set;
+//  4. once every node is back, rebuild the derived fragments (auxiliary
+//     relations, global indexes, view fragments) of all recovered nodes
+//     from the base relations, using the same gather/backfill machinery
+//     DDL uses.
+//
+// The model is fail-stop with durable storage: a crash makes a node
+// unavailable but loses no state, so repair works against what the node
+// last stored.
+func (c *Cluster) Recover(n int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n < 0 || n >= c.cfg.Nodes {
+		return fmt.Errorf("cluster: node %d out of range [0,%d)", n, c.cfg.Nodes)
+	}
+	if _, err := c.rawDeliver(n, node.Ping{}); err != nil {
+		return fmt.Errorf("cluster: node %d not answering, restart it first: %w", n, err)
+	}
+	repairs := c.takeRepairs(n)
+	drain := func(r repair) error {
+		switch r.kind {
+		case repairRedo:
+			// Replay under the original sequence id: if the compensation
+			// did land before the crash, the node's dedup absorbs it.
+			if _, err := c.rawDeliver(n, node.Seq{ID: r.id, Req: r.req}); err != nil {
+				return fmt.Errorf("cluster: replaying compensation %T at node %d: %w", r.req, n, err)
+			}
+		case repairInDoubt:
+			resp, err := c.rawDeliver(n, node.SeqQuery{ID: r.id})
+			if err != nil {
+				return fmt.Errorf("cluster: resolving in-doubt %T at node %d: %w", r.req, n, err)
+			}
+			sq := resp.(node.SeqQueryResult)
+			if !sq.Applied {
+				return nil
+			}
+			inv := inverseOf(r.req, sq.Resp)
+			if inv == nil {
+				return nil // derived structure: the rebuild below repairs it
+			}
+			if _, err := c.rawCall(n, inv); err != nil {
+				return fmt.Errorf("cluster: inverting in-doubt %T at node %d: %w", r.req, n, err)
+			}
+		}
+		return nil
+	}
+	for i, r := range repairs {
+		if err := drain(r); err != nil {
+			// Put the unprocessed tail back so a rerun of Recover picks
+			// up where this one stopped.
+			for _, rest := range repairs[i:] {
+				c.queueRepair(n, rest)
+			}
+			return err
+		}
+	}
+	c.dmu.Lock()
+	delete(c.downNodes, n)
+	c.needRebuild[n] = true
+	stillDown := len(c.downNodes) > 0
+	c.dmu.Unlock()
+	if stillDown {
+		// Derived rebuild needs every base fragment reachable; it runs
+		// when the last node recovers.
+		return nil
+	}
+	c.dmu.Lock()
+	pending := make([]int, 0, len(c.needRebuild))
+	for rn := range c.needRebuild {
+		pending = append(pending, rn)
+	}
+	c.needRebuild = map[int]bool{}
+	c.dmu.Unlock()
+	sort.Ints(pending)
+	for _, rn := range pending {
+		if err := c.rebuildDerived(rn); err != nil {
+			return fmt.Errorf("cluster: rebuilding node %d: %w", rn, err)
+		}
+	}
+	return nil
+}
+
+// inverseOf builds the request that undoes an applied request, given the
+// response the node cached for it. Nil means no exact inverse exists (the
+// caller falls back to rebuilding).
+func inverseOf(req, resp any) any {
+	switch r := req.(type) {
+	case node.Insert:
+		ir, ok := resp.(node.InsertResult)
+		if !ok {
+			return nil
+		}
+		return node.DeleteRows{Frag: r.Frag, Rows: ir.Rows}
+	case node.RestoreRows:
+		return node.DeleteRows{Frag: r.Frag, Rows: r.Rows}
+	case node.DeleteRows:
+		dr, ok := resp.(node.DeleteResult)
+		if !ok {
+			return nil
+		}
+		return node.RestoreRows{Frag: r.Frag, Rows: dr.Rows, Tuples: dr.Tuples}
+	case node.DeleteMatch:
+		dr, ok := resp.(node.DeleteResult)
+		if !ok {
+			return nil
+		}
+		return node.RestoreRows{Frag: r.Frag, Rows: dr.Rows, Tuples: dr.Tuples}
+	case node.GIInsert:
+		return node.GIDelete{GI: r.GI, Val: r.Val, G: r.G}
+	case node.GIDelete:
+		gd, ok := resp.(node.GIDeleted)
+		if !ok || !gd.OK {
+			return nil
+		}
+		return node.GIInsert{GI: r.GI, Val: r.Val, G: r.G}
+	case node.AggApply:
+		neg := r
+		neg.Deltas = make([]types.Tuple, len(r.Deltas))
+		for i, d := range r.Deltas {
+			nd := make(types.Tuple, len(d))
+			for j, v := range d {
+				switch v.K {
+				case types.KindInt:
+					nd[j] = types.Int(-v.I)
+				case types.KindFloat:
+					nd[j] = types.Float(-v.F)
+				default:
+					nd[j] = v
+				}
+			}
+			neg.Deltas[i] = nd
+		}
+		return neg
+	}
+	return nil
+}
+
+// rebuildDerived reconstructs every derived fragment homed at node n —
+// auxiliary relations, view fragments and global-index fragments — from the
+// base relations, reusing the DDL backfill machinery. Repair work is
+// unmetered, like DDL.
+func (c *Cluster) rebuildDerived(n int) error {
+	replace := func(name string, schema *types.Schema, clusterCol string, mine []types.Tuple) error {
+		if _, err := c.rawCall(n, node.DropFragment{Name: name}); err != nil {
+			return err
+		}
+		if _, err := c.rawCall(n, node.CreateFragment{
+			Name: name, Schema: schema, ClusterCol: clusterCol, PageRows: c.cfg.PageRows,
+		}); err != nil {
+			return err
+		}
+		if len(mine) == 0 {
+			return nil
+		}
+		_, err := c.rawCall(n, node.Insert{Frag: name, Tuples: mine, Unmetered: true})
+		return err
+	}
+	for _, table := range c.cat.Tables() {
+		base, err := c.cat.Table(table)
+		if err != nil {
+			return err
+		}
+		ars := c.cat.AuxRelsFor(table)
+		gis := c.cat.GlobalIndexesFor(table)
+		if len(ars) == 0 && len(gis) == 0 {
+			continue
+		}
+		rows, err := c.gather(table)
+		if err != nil {
+			return err
+		}
+		for _, ar := range ars {
+			projected, err := projectForAuxRel(base, ar, rows)
+			if err != nil {
+				return err
+			}
+			buckets, err := c.part.Spread(ar.Schema, ar.PartitionCol, projected)
+			if err != nil {
+				return err
+			}
+			if err := replace(ar.Name, ar.Schema, ar.PartitionCol, buckets[n]); err != nil {
+				return err
+			}
+		}
+		for _, gi := range gis {
+			if err := c.rebuildGIFrag(gi.Name, gi.Col, gi.DistClustered, base, n); err != nil {
+				return err
+			}
+		}
+	}
+	for _, vn := range c.cat.Views() {
+		v, err := c.cat.View(vn)
+		if err != nil {
+			return err
+		}
+		content, err := c.computeJoin(v)
+		if err != nil {
+			return err
+		}
+		buckets, err := c.part.Spread(v.Schema, v.PartitionQualified(), content)
+		if err != nil {
+			return err
+		}
+		if err := replace(v.Name, v.Schema, v.PartitionQualified(), buckets[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rebuildGIFrag reconstructs node n's fragment of one global index by
+// scanning every base fragment for entries homed at n.
+func (c *Cluster) rebuildGIFrag(name, col string, distClustered bool, base *catalog.Table, n int) error {
+	if _, err := c.rawCall(n, node.DropGlobalIndexFrag{Name: name}); err != nil {
+		return err
+	}
+	if _, err := c.rawCall(n, node.CreateGlobalIndex{Name: name, DistClustered: distClustered}); err != nil {
+		return err
+	}
+	ci := base.Schema.MustColIndex(col)
+	for src := 0; src < c.cfg.Nodes; src++ {
+		resp, err := c.rawDeliver(src, node.ScanWithRows{Frag: base.Name})
+		if err != nil {
+			return err
+		}
+		rr := resp.(node.RowsResult)
+		var vals []types.Value
+		var gs []storage.GlobalRowID
+		for i, tup := range rr.Tuples {
+			v := tup[ci]
+			if c.part.NodeFor(v) != n {
+				continue
+			}
+			vals = append(vals, v)
+			gs = append(gs, storage.GlobalRowID{Node: int32(src), Row: rr.Rows[i]})
+		}
+		if len(vals) == 0 {
+			continue
+		}
+		if _, err := c.rawCall(n, node.GIInsertBatch{GI: name, Vals: vals, Gs: gs}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -51,6 +51,9 @@ func (t *Txn) Insert(table string, tuples []types.Tuple) error {
 	}
 	t.c.mu.Lock()
 	defer t.c.mu.Unlock()
+	if err := t.c.failIfDegraded(); err != nil {
+		return err
+	}
 	tab, err := t.c.cat.Table(table)
 	if err != nil {
 		return err
@@ -109,6 +112,9 @@ func (t *Txn) Update(table string, set map[string]types.Value, pred expr.Expr) (
 	}
 	t.c.mu.Lock()
 	defer t.c.mu.Unlock()
+	if err := t.c.failIfDegraded(); err != nil {
+		return 0, err
+	}
 	tab, err := t.c.cat.Table(table)
 	if err != nil {
 		return 0, err

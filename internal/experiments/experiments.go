@@ -16,6 +16,7 @@ import (
 	"joinview/internal/catalog"
 	"joinview/internal/cluster"
 	"joinview/internal/cost"
+	"joinview/internal/fault"
 	"joinview/internal/node"
 	"joinview/internal/types"
 	"joinview/internal/workload"
@@ -738,4 +739,98 @@ func paperJV2(s catalog.Strategy) *catalog.View {
 		PartitionTable: "customer", PartitionCol: "custkey",
 		Strategy: s,
 	}
+}
+
+// FaultOverhead measures what fault tolerance costs each maintenance
+// method (extension): a stream of single-row inserts runs once on a clean
+// network and once with a seeded injector dropping requests and replies,
+// duplicating deliveries and raising transient handler errors at the
+// given per-kind rate. Retries and sequence-number dedup must mask every
+// fault, so the visible difference is overhead: extra messages and
+// coordinator retries per update. The naive method's broadcasts give a
+// fault more deliveries to hit per statement; the routed methods expose
+// fewer.
+func FaultOverhead(l, streamLen int, rate float64, seed int64) (Grid, error) {
+	g := Grid{
+		Title: fmt.Sprintf("Fault overhead (extension): %d single-row inserts, L=%d, %.1f%% per-kind fault rate",
+			streamLen, l, rate*100),
+		Header: []string{"method", "I/Os clean", "I/Os faulty", "msgs clean", "msgs faulty", "retries", "faults injected"},
+	}
+	for _, v := range []Variant{
+		{Label: "auxiliary relation", Strategy: catalog.StrategyAuxRel},
+		{Label: "global index", Strategy: catalog.StrategyGlobalIndex},
+		{Label: "naive (clustered index)", Strategy: catalog.StrategyNaive, ClusterB: true},
+	} {
+		var ios, msgs [2]int64
+		var retries, injected int64
+		for i, faulty := range []bool{false, true} {
+			var inj *fault.Injector
+			if faulty {
+				inj = fault.New(fault.Config{
+					Seed:        seed,
+					DropRequest: rate,
+					DropReply:   rate,
+					Duplicate:   rate,
+					HandlerErr:  rate,
+				})
+			}
+			c, err := cluster.New(cluster.Config{
+				Nodes: l, Algo: node.AlgoIndex, Faults: inj, RetryAttempts: 8,
+			})
+			if err != nil {
+				return Grid{}, err
+			}
+			spec := workload.TwoRel{JoinValues: 640, Fanout: PaperN, ClusterBOnJoin: v.ClusterB}
+			if err := spec.Load(c, v.Strategy); err != nil {
+				c.Close()
+				return Grid{}, err
+			}
+			delta := spec.AInserts(streamLen, 1)
+			c.ResetMetrics()
+			if inj != nil {
+				inj.Arm()
+			}
+			for _, tup := range delta {
+				// A fault burst can outlast the per-call retry budget; the
+				// statement rolls back cleanly, so rerun it like an
+				// operator would (repairing any node the coordinator
+				// fenced first). Statement retries are part of the
+				// overhead being measured.
+				var err error
+				for attempt := 0; attempt < 20; attempt++ {
+					for _, n := range c.Degraded() {
+						if rerr := c.Recover(n); rerr != nil {
+							c.Close()
+							return Grid{}, rerr
+						}
+					}
+					if err = c.Insert("a", []types.Tuple{tup}); err == nil {
+						break
+					}
+				}
+				if err != nil {
+					c.Close()
+					return Grid{}, err
+				}
+			}
+			m := c.Metrics()
+			ios[i] = m.TotalIOs()
+			msgs[i] = m.Net.Messages
+			if faulty {
+				retries = m.Retries
+				injected = int64(inj.Stats().Total())
+			}
+			c.Close()
+		}
+		g.Rows = append(g.Rows, []string{
+			v.Label,
+			fmt.Sprintf("%d", ios[0]),
+			fmt.Sprintf("%d", ios[1]),
+			fmt.Sprintf("%d", msgs[0]),
+			fmt.Sprintf("%d", msgs[1]),
+			fmt.Sprintf("%d", retries),
+			fmt.Sprintf("%d", injected),
+		})
+	}
+	return g, nil
 }

@@ -281,3 +281,32 @@ func atoi(t *testing.T, s string) int64 {
 	}
 	return v
 }
+
+func TestFaultOverhead(t *testing.T) {
+	g, err := FaultOverhead(4, 40, 0.02, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Rows) != 3 {
+		t.Fatalf("FaultOverhead rows = %d, want 3", len(g.Rows))
+	}
+	for _, row := range g.Rows {
+		// I/Os must not balloon: retries resend messages, but dedup keeps
+		// the work idempotent, so faulty I/Os stay within a few percent.
+		clean, faulty := atoi(t, row[1]), atoi(t, row[2])
+		msgsClean, msgsFaulty := atoi(t, row[3]), atoi(t, row[4])
+		injected := atoi(t, row[6])
+		if injected == 0 {
+			t.Errorf("%s: no faults injected", row[0])
+		}
+		if faulty < clean {
+			t.Errorf("%s: faulty I/Os %d < clean %d", row[0], faulty, clean)
+		}
+		if faulty > clean+clean/5 {
+			t.Errorf("%s: faulty I/Os %d exceed clean %d by more than 20%%", row[0], faulty, clean)
+		}
+		if msgsFaulty < msgsClean {
+			t.Errorf("%s: faulty msgs %d < clean %d", row[0], msgsFaulty, msgsClean)
+		}
+	}
+}

@@ -18,6 +18,7 @@
 package netsim
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -28,6 +29,16 @@ import (
 // cluster coordinator rather than at a data-server node.
 const Coordinator = -1
 
+// ErrTimeout marks a call that exceeded the transport's per-call timeout:
+// the destination node never picked the request up, or picked it up and
+// failed to answer in time. The outcome at the destination is unknown —
+// callers that retry must be prepared for the request to have been applied
+// (see the sequence-number dedup in internal/node).
+var ErrTimeout = errors.New("netsim: call timed out")
+
+// ErrClosed marks a call issued after the transport was shut down.
+var ErrClosed = errors.New("netsim: transport closed")
+
 // Handler processes one request at a node and returns a response.
 type Handler func(req any) (any, error)
 
@@ -37,7 +48,11 @@ type Transport interface {
 	// response. `from` may be Coordinator.
 	Call(from, to int, req any) (any, error)
 	// Broadcast delivers req from `from` to every node, returning the
-	// responses indexed by node. It stops at (but reports) the first error.
+	// responses indexed by node. Every delivery is attempted even when
+	// some fail: slots of failed nodes are nil and the returned error
+	// joins every per-node failure (each wrapped with its node id), so a
+	// half-failed broadcast is observable and recoverable rather than
+	// silently truncated.
 	Broadcast(from int, req any) ([]any, error)
 	// NumNodes returns the cluster size L.
 	NumNodes() int
@@ -111,17 +126,20 @@ func (d *Direct) Call(from, to int, req any) (any, error) {
 	return d.handlers[to](req)
 }
 
-// Broadcast implements Transport.
+// Broadcast implements Transport: every node is attempted, failures are
+// joined into the returned error.
 func (d *Direct) Broadcast(from int, req any) ([]any, error) {
 	out := make([]any, len(d.handlers))
+	var errs []error
 	for to := range d.handlers {
 		resp, err := d.Call(from, to, req)
 		if err != nil {
-			return out, fmt.Errorf("netsim: broadcast to node %d: %w", to, err)
+			errs = append(errs, fmt.Errorf("netsim: broadcast to node %d: %w", to, err))
+			continue
 		}
 		out[to] = resp
 	}
-	return out, nil
+	return out, errors.Join(errs...)
 }
 
 // NumNodes implements Transport.
@@ -146,9 +164,16 @@ func (d *Direct) Close() {}
 type Chan struct {
 	inboxes []chan envelope
 	latency time.Duration
+	timeout time.Duration
 	ctr     counters
 	wg      sync.WaitGroup
-	closed  atomic.Bool
+
+	// mu guards closed and every send on the inboxes: senders hold the
+	// read lock, Close takes the write lock before closing the channels,
+	// so a Call racing a Close sees `closed` instead of panicking with a
+	// send on a closed channel.
+	mu     sync.RWMutex
+	closed bool
 }
 
 type envelope struct {
@@ -168,7 +193,21 @@ func NewChan(handlers []Handler) *Chan { return NewChanLatency(handlers, 0) }
 // message by the given wall-clock latency (self-deliveries stay free, as
 // in the paper's Figure 2).
 func NewChanLatency(handlers []Handler, latency time.Duration) *Chan {
-	c := &Chan{inboxes: make([]chan envelope, len(handlers)), latency: latency}
+	return NewChanTimeout(handlers, latency, 0)
+}
+
+// NewChanTimeout additionally bounds every Call: if the destination's inbox
+// stays full or its handler does not answer within timeout, Call returns
+// ErrTimeout instead of blocking forever (a zero timeout means unbounded,
+// the historical behavior). A timed-out request may still be executed by
+// the node later — exactly the ambiguity a real interconnect has — so
+// retrying callers must deduplicate (see internal/node's sequence numbers).
+func NewChanTimeout(handlers []Handler, latency, timeout time.Duration) *Chan {
+	c := &Chan{
+		inboxes: make([]chan envelope, len(handlers)),
+		latency: latency,
+		timeout: timeout,
+	}
 	for i, h := range handlers {
 		inbox := make(chan envelope, 128)
 		c.inboxes[i] = inbox
@@ -193,31 +232,66 @@ func safeHandle(h Handler, req any) (res result) {
 	return result{resp: resp, err: err}
 }
 
+// send enqueues one envelope under the read lock, so it cannot race Close.
+// With a timeout configured, a full inbox (stuck handler) yields ErrTimeout
+// instead of blocking indefinitely. The message counter records only
+// deliveries that actually entered an inbox.
+func (c *Chan) send(from, to int, env envelope) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if c.timeout > 0 {
+		timer := time.NewTimer(c.timeout)
+		defer timer.Stop()
+		select {
+		case c.inboxes[to] <- env:
+		case <-timer.C:
+			return fmt.Errorf("netsim: node %d inbox full: %w", to, ErrTimeout)
+		}
+	} else {
+		c.inboxes[to] <- env
+	}
+	c.ctr.record(from, to)
+	return nil
+}
+
+// recv waits for the reply, bounded by the configured timeout.
+func (c *Chan) recv(to int, reply chan result) (any, error) {
+	if c.timeout > 0 {
+		timer := time.NewTimer(c.timeout)
+		defer timer.Stop()
+		select {
+		case r := <-reply:
+			return r.resp, r.err
+		case <-timer.C:
+			return nil, fmt.Errorf("netsim: node %d did not answer: %w", to, ErrTimeout)
+		}
+	}
+	r := <-reply
+	return r.resp, r.err
+}
+
 // Call implements Transport.
 func (c *Chan) Call(from, to int, req any) (any, error) {
 	if err := checkDest(to, len(c.inboxes)); err != nil {
 		return nil, err
 	}
-	if c.closed.Load() {
-		return nil, fmt.Errorf("netsim: transport closed")
-	}
-	c.ctr.record(from, to)
 	if c.latency > 0 && from != to {
 		time.Sleep(c.latency)
 	}
 	reply := make(chan result, 1)
-	c.inboxes[to] <- envelope{req: req, reply: reply}
-	r := <-reply
-	return r.resp, r.err
+	if err := c.send(from, to, envelope{req: req, reply: reply}); err != nil {
+		return nil, err
+	}
+	return c.recv(to, reply)
 }
 
 // Broadcast implements Transport. Deliveries run concurrently; the
-// response slice is indexed by node. The first error (lowest node id)
-// is returned.
+// response slice is indexed by node. Every delivery is attempted; the
+// returned error joins all per-node failures.
 func (c *Chan) Broadcast(from int, req any) ([]any, error) {
-	if c.closed.Load() {
-		return nil, fmt.Errorf("netsim: transport closed")
-	}
 	n := len(c.inboxes)
 	// Fan-out wires run in parallel: one latency covers the whole
 	// broadcast.
@@ -225,22 +299,28 @@ func (c *Chan) Broadcast(from int, req any) ([]any, error) {
 		time.Sleep(c.latency)
 	}
 	replies := make([]chan result, n)
+	var errs []error
 	for to := 0; to < n; to++ {
-		c.ctr.record(from, to)
 		reply := make(chan result, 1)
+		if err := c.send(from, to, envelope{req: req, reply: reply}); err != nil {
+			errs = append(errs, fmt.Errorf("netsim: broadcast to node %d: %w", to, err))
+			continue
+		}
 		replies[to] = reply
-		c.inboxes[to] <- envelope{req: req, reply: reply}
 	}
 	out := make([]any, n)
-	var firstErr error
 	for to := 0; to < n; to++ {
-		r := <-replies[to]
-		if r.err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("netsim: broadcast to node %d: %w", to, r.err)
+		if replies[to] == nil {
+			continue
 		}
-		out[to] = r.resp
+		resp, err := c.recv(to, replies[to])
+		if err != nil {
+			errs = append(errs, fmt.Errorf("netsim: broadcast to node %d: %w", to, err))
+			continue
+		}
+		out[to] = resp
 	}
-	return out, firstErr
+	return out, errors.Join(errs...)
 }
 
 // NumNodes implements Transport.
@@ -252,13 +332,19 @@ func (c *Chan) Stats() Stats { return c.ctr.stats() }
 // ResetStats implements Transport.
 func (c *Chan) ResetStats() { c.ctr.reset() }
 
-// Close stops the node goroutines. Calls after Close fail.
+// Close stops the node goroutines. Calls after Close fail with ErrClosed;
+// a Call concurrent with Close either completes or observes ErrClosed —
+// never a send on a closed channel.
 func (c *Chan) Close() {
-	if c.closed.Swap(true) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
 		return
 	}
+	c.closed = true
 	for _, inbox := range c.inboxes {
 		close(inbox)
 	}
+	c.mu.Unlock()
 	c.wg.Wait()
 }

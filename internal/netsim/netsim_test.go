@@ -197,3 +197,86 @@ func TestBroadcastErrorReportsNode(t *testing.T) {
 		})
 	}
 }
+
+// TestBroadcastCompletesPastErrors pins the unified contract: both
+// transports attempt every delivery, fill the surviving slots, and join
+// the per-node failures — a half-failed broadcast must not silently skip
+// the remaining nodes.
+func TestBroadcastCompletesPastErrors(t *testing.T) {
+	mk := func() []Handler {
+		hs := echoHandlers(4)
+		hs[1] = func(any) (any, error) { return nil, errors.New("bad node 1") }
+		return hs
+	}
+	for name, tr := range map[string]Transport{"direct": NewDirect(mk()), "chan": NewChan(mk())} {
+		t.Run(name, func(t *testing.T) {
+			defer tr.Close()
+			resps, err := tr.Broadcast(Coordinator, "x")
+			if err == nil {
+				t.Fatal("broadcast must report the failure")
+			}
+			for _, want := range []int{0, 2, 3} {
+				if resps[want] != fmt.Sprintf("node%d:x", want) {
+					t.Errorf("node %d response = %v: delivery must complete despite node 1's error", want, resps[want])
+				}
+			}
+			if resps[1] != nil {
+				t.Errorf("failed node's slot = %v, want nil", resps[1])
+			}
+		})
+	}
+}
+
+// TestChanCallTimeout demonstrates the per-call timeout firing on a stuck
+// handler instead of hanging the coordinator forever.
+func TestChanCallTimeout(t *testing.T) {
+	stuck := make(chan struct{})
+	hs := echoHandlers(2)
+	hs[1] = func(req any) (any, error) {
+		<-stuck // never answers until released
+		return "late", nil
+	}
+	tr := NewChanTimeout(hs, 0, 20*time.Millisecond)
+	defer func() {
+		close(stuck)
+		tr.Close()
+	}()
+	start := time.Now()
+	_, err := tr.Call(Coordinator, 1, "x")
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Call to stuck handler = %v, want ErrTimeout", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("timeout took %v, should fire promptly", d)
+	}
+	// The healthy node still answers.
+	if resp, err := tr.Call(Coordinator, 0, "ok"); err != nil || resp != "node0:ok" {
+		t.Fatalf("healthy node after timeout: %v, %v", resp, err)
+	}
+}
+
+// TestChanCloseCallRace is the regression test for the send-on-closed-
+// channel panic: hammer Call and Broadcast from many goroutines while
+// Close runs concurrently. Run with -race; any panic fails the test.
+func TestChanCloseCallRace(t *testing.T) {
+	for iter := 0; iter < 20; iter++ {
+		tr := NewChan(echoHandlers(4))
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					// Errors (ErrClosed) are expected once Close lands;
+					// only a panic is a failure.
+					_, _ = tr.Call(Coordinator, (g+i)%4, i)
+					if i%10 == 0 {
+						_, _ = tr.Broadcast(Coordinator, i)
+					}
+				}
+			}(g)
+		}
+		tr.Close()
+		wg.Wait()
+	}
+}

@@ -28,7 +28,18 @@ type DataNode struct {
 	pool     *buffer.Pool
 	frags    map[string]*storage.Fragment
 	gidx     map[string]*gindex.Fragment
+
+	// seen caches the responses of successfully applied Seq-wrapped
+	// requests so retried deliveries (lost reply, timeout, duplicate) are
+	// answered without re-executing. seenOrder bounds the cache FIFO:
+	// retries arrive promptly, so only the recent window matters.
+	seen      map[uint64]any
+	seenOrder []uint64
 }
+
+// seqCacheSize bounds the per-node dedup cache. Retries happen within a
+// statement, so a window of recent sequence numbers is sufficient.
+const seqCacheSize = 4096
 
 // New creates an empty node. memPages is the sort memory M (pages) used by
 // sort-merge joins; it defaults to 10 if non-positive (the paper's M).
@@ -42,6 +53,7 @@ func New(id, memPages int) *DataNode {
 		memPages: memPages,
 		frags:    map[string]*storage.Fragment{},
 		gidx:     map[string]*gindex.Fragment{},
+		seen:     map[uint64]any{},
 	}
 }
 
@@ -91,9 +103,42 @@ func (n *DataNode) gi(name string) (*gindex.Fragment, error) {
 	return g, nil
 }
 
+// remember caches a sequence number's response, evicting the oldest entry
+// once the cache is full.
+func (n *DataNode) remember(id uint64, resp any) {
+	if len(n.seenOrder) >= seqCacheSize {
+		delete(n.seen, n.seenOrder[0])
+		n.seenOrder = n.seenOrder[1:]
+	}
+	n.seen[id] = resp
+	n.seenOrder = append(n.seenOrder, id)
+}
+
 // Handle dispatches one request.
 func (n *DataNode) Handle(req any) (any, error) {
 	switch r := req.(type) {
+	case Seq:
+		// At-most-once execution: a duplicate delivery (retry after a lost
+		// reply or a retransmission race) is answered from the cache
+		// without re-running the wrapped request. Failures are not cached —
+		// the request was not applied, so a retry must execute it.
+		if resp, applied := n.seen[r.ID]; applied {
+			return resp, nil
+		}
+		resp, err := n.Handle(r.Req)
+		if err != nil {
+			return nil, err
+		}
+		n.remember(r.ID, resp)
+		return resp, nil
+
+	case SeqQuery:
+		resp, applied := n.seen[r.ID]
+		return SeqQueryResult{Applied: applied, Resp: resp}, nil
+
+	case Ping:
+		return Ack{}, nil
+
 	case CreateFragment:
 		if _, dup := n.frags[r.Name]; dup {
 			return nil, fmt.Errorf("node %d: fragment %q already exists", n.id, r.Name)
@@ -157,9 +202,25 @@ func (n *DataNode) Handle(req any) (any, error) {
 		for _, row := range r.Rows {
 			if t, ok := f.Delete(row); ok {
 				res.Tuples = append(res.Tuples, t)
+				res.Rows = append(res.Rows, row)
 			}
 		}
 		return res, nil
+
+	case RestoreRows:
+		f, err := n.frag(r.Frag)
+		if err != nil {
+			return nil, err
+		}
+		if len(r.Rows) != len(r.Tuples) {
+			return nil, fmt.Errorf("node %d: RestoreRows: %d rows vs %d tuples", n.id, len(r.Rows), len(r.Tuples))
+		}
+		for i, row := range r.Rows {
+			if err := f.InsertAt(row, r.Tuples[i]); err != nil {
+				return nil, fmt.Errorf("node %d: restore into %q: %w", n.id, r.Frag, err)
+			}
+		}
+		return Ack{}, nil
 
 	case DeleteMatch:
 		f, err := n.frag(r.Frag)
@@ -177,6 +238,7 @@ func (n *DataNode) Handle(req any) (any, error) {
 			}
 			if del, ok := f.Delete(rows[0]); ok {
 				res.Tuples = append(res.Tuples, del)
+				res.Rows = append(res.Rows, rows[0])
 			}
 		}
 		return res, nil

@@ -80,8 +80,22 @@ type DeleteMatch struct {
 	Tuples  []types.Tuple
 }
 
-// DeleteResult returns the tuples actually removed.
+// DeleteResult returns the tuples actually removed and the row ids they
+// occupied (parallel slices). Compensating actions restore the tuples at
+// those exact ids via RestoreRows, so global-index entries referencing the
+// rows stay valid across a delete + undo.
 type DeleteResult struct {
+	Tuples []types.Tuple
+	Rows   []storage.RowID
+}
+
+// RestoreRows re-inserts previously deleted tuples at their original row
+// ids (parallel slices). This is the inverse of DeleteRows/DeleteMatch:
+// plain re-insertion would allocate fresh ids and dangle any global-index
+// entry pointing at the old ones.
+type RestoreRows struct {
+	Frag   string
+	Rows   []storage.RowID
 	Tuples []types.Tuple
 }
 
@@ -267,6 +281,33 @@ type FragInfoResult struct {
 	Len   int
 	Pages int
 }
+
+// Seq wraps a mutating request with a coordinator-assigned sequence number
+// so retried deliveries are idempotent: the node executes each ID at most
+// once and answers duplicates from a cached response. The coordinator's
+// resilient transport wraps every mutating sub-request automatically; read
+// requests are naturally idempotent and go unwrapped.
+type Seq struct {
+	ID  uint64
+	Req any
+}
+
+// SeqQuery asks whether the node has applied the given sequence number —
+// the in-doubt resolution step after a retry budget is exhausted on a
+// lost-reply or timeout. If Applied, the cached response lets the
+// coordinator treat the call as having succeeded.
+type SeqQuery struct {
+	ID uint64
+}
+
+// SeqQueryResult reports a sequence number's outcome at the node.
+type SeqQueryResult struct {
+	Applied bool
+	Resp    any
+}
+
+// Ping checks node liveness (used by Recover before repairing a node).
+type Ping struct{}
 
 // MeterSnapshot asks for the node's I/O counters.
 type MeterSnapshot struct{}

@@ -1,0 +1,110 @@
+package node
+
+import (
+	"testing"
+
+	"joinview/internal/storage"
+	"joinview/internal/types"
+)
+
+// TestSeqDedup is the double-apply regression test: a Seq-wrapped insert
+// delivered twice (a retry after a lost reply) must execute once and answer
+// the duplicate from the cache.
+func TestSeqDedup(t *testing.T) {
+	n := newNodeWithOrders(t, "")
+	req := Seq{ID: 1, Req: Insert{Frag: "orders", Tuples: []types.Tuple{order(1, 5)}}}
+	first := mustHandle(t, n, req).(InsertResult)
+	second := mustHandle(t, n, req).(InsertResult)
+	if len(second.Rows) != 1 || second.Rows[0] != first.Rows[0] {
+		t.Fatalf("duplicate delivery answered %v, want cached %v", second, first)
+	}
+	info := mustHandle(t, n, FragInfo{Frag: "orders"}).(FragInfoResult)
+	if info.Len != 1 {
+		t.Fatalf("duplicate delivery applied twice: %d rows", info.Len)
+	}
+}
+
+func TestSeqFailureNotCached(t *testing.T) {
+	n := newNodeWithOrders(t, "")
+	bad := Seq{ID: 7, Req: Insert{Frag: "ghost", Tuples: []types.Tuple{order(1, 5)}}}
+	if _, err := n.Handle(bad); err == nil {
+		t.Fatal("insert into missing fragment should fail")
+	}
+	q := mustHandle(t, n, SeqQuery{ID: 7}).(SeqQueryResult)
+	if q.Applied {
+		t.Fatal("failed request must not be recorded as applied")
+	}
+	// The same sequence number retried against a fixed request executes.
+	good := Seq{ID: 7, Req: Insert{Frag: "orders", Tuples: []types.Tuple{order(1, 5)}}}
+	mustHandle(t, n, good)
+	if q := mustHandle(t, n, SeqQuery{ID: 7}).(SeqQueryResult); !q.Applied {
+		t.Fatal("applied request must be queryable")
+	}
+}
+
+func TestSeqQueryResolvesInDoubt(t *testing.T) {
+	n := newNodeWithOrders(t, "")
+	if q := mustHandle(t, n, SeqQuery{ID: 42}).(SeqQueryResult); q.Applied {
+		t.Fatal("unseen sequence number reported applied")
+	}
+	res := mustHandle(t, n, Seq{ID: 42, Req: Insert{Frag: "orders", Tuples: []types.Tuple{order(3, 9)}}}).(InsertResult)
+	q := mustHandle(t, n, SeqQuery{ID: 42}).(SeqQueryResult)
+	if !q.Applied {
+		t.Fatal("applied sequence number reported unseen")
+	}
+	if cached, ok := q.Resp.(InsertResult); !ok || cached.Rows[0] != res.Rows[0] {
+		t.Fatalf("SeqQuery cached response = %v, want %v", q.Resp, res)
+	}
+}
+
+func TestSeqCacheEviction(t *testing.T) {
+	n := newNodeWithOrders(t, "")
+	for id := uint64(0); id < seqCacheSize+10; id++ {
+		mustHandle(t, n, Seq{ID: id, Req: Ping{}})
+	}
+	if q := mustHandle(t, n, SeqQuery{ID: 0}).(SeqQueryResult); q.Applied {
+		t.Fatal("oldest entry should have been evicted")
+	}
+	if q := mustHandle(t, n, SeqQuery{ID: seqCacheSize + 9}).(SeqQueryResult); !q.Applied {
+		t.Fatal("newest entry must survive eviction")
+	}
+}
+
+// TestRestoreRowsKeepsRowIDs pins the delete-undo contract: restoring a
+// deleted tuple at its original row id, so references held elsewhere (the
+// global index stores (node, row) pairs) stay valid.
+func TestRestoreRowsKeepsRowIDs(t *testing.T) {
+	n := newNodeWithOrders(t, "custkey")
+	ins := mustHandle(t, n, Insert{Frag: "orders", Tuples: []types.Tuple{order(1, 5), order(2, 6), order(3, 7)}}).(InsertResult)
+	del := mustHandle(t, n, DeleteRows{Frag: "orders", Rows: []storage.RowID{ins.Rows[1]}}).(DeleteResult)
+	if len(del.Rows) != 1 || del.Rows[0] != ins.Rows[1] {
+		t.Fatalf("DeleteResult.Rows = %v, want [%d]", del.Rows, ins.Rows[1])
+	}
+	mustHandle(t, n, RestoreRows{Frag: "orders", Rows: del.Rows, Tuples: del.Tuples})
+	// A later insert must not collide with the restored id.
+	later := mustHandle(t, n, Insert{Frag: "orders", Tuples: []types.Tuple{order(4, 8)}}).(InsertResult)
+	if later.Rows[0] == ins.Rows[1] {
+		t.Fatal("restored row id was reallocated")
+	}
+	// The restored row is findable at its original id via LocateMatch.
+	loc := mustHandle(t, n, LocateMatch{Frag: "orders", HintCol: "custkey", Tuples: []types.Tuple{order(2, 6)}}).(RowsResult)
+	if len(loc.Rows) != 1 || loc.Rows[0] != ins.Rows[1] {
+		t.Fatalf("restored tuple at row %v, want %d", loc.Rows, ins.Rows[1])
+	}
+	// Restoring into an occupied slot fails.
+	if _, err := n.Handle(RestoreRows{Frag: "orders", Rows: []storage.RowID{ins.Rows[0]}, Tuples: []types.Tuple{order(9, 9)}}); err == nil {
+		t.Fatal("restore into occupied row id should fail")
+	}
+	if _, err := n.Handle(RestoreRows{Frag: "orders", Rows: []storage.RowID{99}, Tuples: nil}); err == nil {
+		t.Fatal("mismatched rows/tuples should fail")
+	}
+}
+
+func TestDeleteMatchReportsRows(t *testing.T) {
+	n := newNodeWithOrders(t, "custkey")
+	ins := mustHandle(t, n, Insert{Frag: "orders", Tuples: []types.Tuple{order(1, 5)}}).(InsertResult)
+	del := mustHandle(t, n, DeleteMatch{Frag: "orders", HintCol: "custkey", Tuples: []types.Tuple{order(1, 5)}}).(DeleteResult)
+	if len(del.Rows) != 1 || del.Rows[0] != ins.Rows[0] {
+		t.Fatalf("DeleteMatch rows = %v, want [%d]", del.Rows, ins.Rows[0])
+	}
+}

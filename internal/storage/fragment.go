@@ -157,6 +157,32 @@ func (f *Fragment) Insert(t types.Tuple) (RowID, error) {
 	return row, nil
 }
 
+// InsertAt stores a tuple under a specific row id, maintains all secondary
+// indexes, and charges one INSERT. It is the undo path for deletes: row ids
+// are otherwise never reused (Insert allocates monotonically), so restoring
+// a deleted tuple at its original id keeps every global-index entry that
+// references the row valid. The id must not be occupied.
+func (f *Fragment) InsertAt(row RowID, t types.Tuple) error {
+	if err := f.schema.Validate(t); err != nil {
+		return err
+	}
+	if _, occupied := f.loc[row]; occupied {
+		return fmt.Errorf("storage: row %d already occupied in %q", row, f.name)
+	}
+	if row >= f.nextRow {
+		f.nextRow = row + 1
+	}
+	key := f.primaryKey(row, t)
+	f.rows.Insert(key, types.EncodeTuple(t))
+	f.loc[row] = key
+	for _, idx := range f.secondary {
+		idx.tree.Insert(types.EncodeKey(t[idx.col]), encodeRowID(row))
+	}
+	f.meter.Insert(1)
+	f.touchStored(row, t)
+	return nil
+}
+
 // Delete removes the tuple with the given row id, maintains secondary
 // indexes, charges one DELETE, and returns the removed tuple.
 func (f *Fragment) Delete(row RowID) (types.Tuple, bool) {

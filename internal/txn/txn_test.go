@@ -91,3 +91,64 @@ func TestRollbackCollectsErrors(t *testing.T) {
 		t.Error("later undo actions must still run after an error")
 	}
 }
+
+func TestRollbackJoinsMultipleErrors(t *testing.T) {
+	var tx Txn
+	e1, e2 := errors.New("one"), errors.New("two")
+	var order []string
+	tx.OnRollback(func() error { order = append(order, "a"); return e1 })
+	tx.OnRollback(func() error { order = append(order, "b"); return nil })
+	tx.OnRollback(func() error { order = append(order, "c"); return e2 })
+	err := tx.Rollback()
+	if !errors.Is(err, e1) || !errors.Is(err, e2) {
+		t.Fatalf("Rollback = %v, want both errors joined", err)
+	}
+	if len(order) != 3 || order[0] != "c" || order[1] != "b" || order[2] != "a" {
+		t.Errorf("undo order with errors = %v", order)
+	}
+}
+
+func TestRollbackToAfterFinishIsNoOp(t *testing.T) {
+	var tx Txn
+	ran := false
+	tx.OnRollback(func() error { ran = true; return nil })
+	tx.Commit()
+	if err := tx.RollbackTo(0); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Error("RollbackTo after Commit must not run undo actions")
+	}
+
+	var tx2 Txn
+	runs := 0
+	tx2.OnRollback(func() error { runs++; return nil })
+	if err := tx2.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.RollbackTo(0); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 1 {
+		t.Errorf("undo ran %d times, want 1", runs)
+	}
+}
+
+func TestRollbackToErrorStillTruncates(t *testing.T) {
+	var tx Txn
+	e1 := errors.New("boom")
+	runs := 0
+	tx.OnRollback(func() error { return nil }) // below the mark, stays
+	mark := tx.Mark()
+	tx.OnRollback(func() error { runs++; return e1 })
+	if err := tx.RollbackTo(mark); !errors.Is(err, e1) {
+		t.Fatalf("RollbackTo = %v, want e1", err)
+	}
+	// The failed step is off the log: a full Rollback must not retry it.
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 1 {
+		t.Errorf("erroring undo ran %d times, want 1", runs)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"joinview/internal/catalog"
 	"joinview/internal/cluster"
 	"joinview/internal/expr"
+	"joinview/internal/fault"
 	"joinview/internal/node"
 	"joinview/internal/sql"
 	"joinview/internal/types"
@@ -162,7 +163,46 @@ type Options struct {
 	// (requires UseChannels): makes the SEND cost the analytical model
 	// neglects visible in wall-clock.
 	NetLatency time.Duration
+	// CallTimeout bounds each coordinator-to-node call (requires
+	// UseChannels); a stuck node surfaces as a retryable timeout instead
+	// of hanging the statement.
+	CallTimeout time.Duration
+	// RetryAttempts is the number of delivery attempts per call before
+	// the coordinator gives up and rolls the statement back (default 3).
+	RetryAttempts int
+	// RetryBackoff is the base sleep between attempts, doubled each retry
+	// (default 0: retry immediately, which keeps simulations fast).
+	RetryBackoff time.Duration
+	// Faults wires a fault injector into the transport for chaos testing:
+	// build one with NewFaultInjector, Arm it when the storm should start,
+	// and use Crash/Restart plus DB.Recover to exercise node failures.
+	Faults *FaultInjector
 }
+
+// Fault-injection surface, re-exported from the internal fault package.
+type (
+	// FaultInjector decides, deterministically from a seed, which
+	// deliveries suffer drops, duplicates, delays, transient handler
+	// errors or node crashes.
+	FaultInjector = fault.Injector
+	// FaultConfig is the injector's probability schedule.
+	FaultConfig = fault.Config
+	// FaultStats counts injected faults by kind.
+	FaultStats = fault.Stats
+)
+
+// NewFaultInjector builds a disarmed injector with the given schedule.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector { return fault.New(cfg) }
+
+// Degradation sentinels: match with errors.Is.
+var (
+	// ErrDegraded reports a maintenance statement refused because a node
+	// is down; the statement left no partial effects.
+	ErrDegraded = cluster.ErrDegraded
+	// ErrPartial tags a read that returned only the surviving nodes'
+	// rows while the cluster is degraded.
+	ErrPartial = cluster.ErrPartial
+)
 
 // DB is an open parallel database.
 type DB struct {
@@ -179,13 +219,17 @@ func Open(opts Options) (*DB, error) {
 		algo = node.AlgoSortMerge
 	}
 	c, err := cluster.New(cluster.Config{
-		Nodes:       opts.Nodes,
-		PageRows:    opts.PageRows,
-		MemPages:    opts.MemPages,
-		UseChannels: opts.UseChannels,
-		Algo:        algo,
-		BufferPages: opts.BufferPages,
-		NetLatency:  opts.NetLatency,
+		Nodes:         opts.Nodes,
+		PageRows:      opts.PageRows,
+		MemPages:      opts.MemPages,
+		UseChannels:   opts.UseChannels,
+		Algo:          algo,
+		BufferPages:   opts.BufferPages,
+		NetLatency:    opts.NetLatency,
+		CallTimeout:   opts.CallTimeout,
+		RetryAttempts: opts.RetryAttempts,
+		RetryBackoff:  opts.RetryBackoff,
+		Faults:        opts.Faults,
 	})
 	if err != nil {
 		return nil, err
@@ -327,6 +371,21 @@ func (db *DB) StorageReport() (StorageReport, error) { return db.c.StorageReport
 // CheckAllStructures verifies every auxiliary relation, global index and
 // view against the current base relations.
 func (db *DB) CheckAllStructures() error { return db.c.CheckAllStructures() }
+
+// Degraded lists the nodes the coordinator currently considers down
+// (discovered from failed deliveries or marked explicitly). Empty means
+// full service.
+func (db *DB) Degraded() []int { return db.c.Degraded() }
+
+// MarkNodeDown tells the coordinator to treat a node as failed without
+// waiting for a delivery to discover it.
+func (db *DB) MarkNodeDown(n int) error { return db.c.MarkNodeDown(n) }
+
+// Recover repairs a restarted node: replays compensations that could not
+// reach it, resolves in-doubt deliveries, and — once every node is back —
+// rebuilds the node's auxiliary-relation, global-index and view fragments
+// from the base relations.
+func (db *DB) Recover(n int) error { return db.c.Recover(n) }
 
 // Cluster exposes the underlying engine for the in-repo benchmarks and
 // examples that need lower-level access (experiment harnesses).
