@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	jvbench [-exp all|table1|fig7..fig14|storage|buffering|skew|network|faults]
+//	jvbench [-exp all|table1|fig7..fig14|storage|buffering|skew|network|faults|durability]
 //	        [-measured] [-maxl 128] [-scale 100] [-a 128] [-faults 0.02] [-csv dir]
 //
 // -measured additionally runs the simulator for figures that have a
@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, fig7..fig14, storage, buffering, skew, network, faults")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, fig7..fig14, storage, buffering, skew, network, faults, durability")
 	measured := flag.Bool("measured", false, "also run the measured (simulator) variants of figs 7-11")
 	maxL := flag.Int("maxl", 128, "largest node count to sweep")
 	scale := flag.Int("scale", 100, "Table 1 scale divisor for fig14 (100 = 1,500 customers)")
@@ -171,6 +171,13 @@ func run(exp string, measured bool, maxL, scale, deltaA int, faultRate float64) 
 			return err
 		}
 	}
+	if want("durability") {
+		if err := showMeasured(func() (experiments.Grid, error) {
+			return experiments.Durability(min(8, maxL), 200, 64)
+		}); err != nil {
+			return err
+		}
+	}
 	if want("fig14") {
 		start := time.Now()
 		results, err := experiments.Fig14Measured(smallLs, scale, deltaA)
@@ -182,7 +189,7 @@ func run(exp string, measured bool, maxL, scale, deltaA int, faultRate float64) 
 			time.Since(start).Round(time.Millisecond))
 	}
 	switch exp {
-	case "all", "table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "storage", "skew", "buffering", "network", "faults":
+	case "all", "table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "storage", "skew", "buffering", "network", "faults", "durability":
 		return nil
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)

@@ -6,6 +6,7 @@ package cluster
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -20,6 +21,7 @@ import (
 	"joinview/internal/stats"
 	"joinview/internal/storage"
 	"joinview/internal/types"
+	"joinview/internal/wal"
 )
 
 // Config parameterizes a cluster.
@@ -59,9 +61,26 @@ type Config struct {
 	// attempt. Zero disables sleeping (the deterministic chaos tests keep
 	// it zero so storms run at full speed).
 	RetryBackoff time.Duration
+	// RetryBackoffMax caps the exponential backoff (default 1s when
+	// RetryBackoff is set): without a cap the doubling both overflows at
+	// high attempt counts and grows sleeps past any useful bound.
+	RetryBackoffMax time.Duration
+	// RetrySeed seeds the deterministic backoff jitter (default 1). Jitter
+	// desynchronizes concurrent retry loops; seeding keeps runs repeatable.
+	RetrySeed int64
 	// Faults installs a fault injector between the coordinator and the
 	// nodes: every delivery consults its schedule. Nil disables injection.
 	Faults *fault.Injector
+	// Durability attaches a write-ahead log and checkpoint store to every
+	// node and switches cross-node statement atomicity from coordinator
+	// compensation alone to presumed-abort two-phase commit. A node can
+	// then fail-stop (CrashNode), losing all volatile state, and recover
+	// from its own checkpoint + log tail (RestartNode/Recover) instead of
+	// a full derived-fragment rebuild.
+	Durability bool
+	// CheckpointEvery makes each durable node take an automatic checkpoint
+	// after that many logged redo records (0 = manual checkpoints only).
+	CheckpointEvery int
 }
 
 // Cluster is a running parallel RDBMS instance.
@@ -72,9 +91,12 @@ type Cluster struct {
 	part  *hashpart.Partitioner
 	nodes []*node.DataNode
 	// inner is the raw delivery layer (Direct/Chan, optionally wrapped by
-	// the fault injector); tr is the resilient transport over it that all
-	// cluster and maintenance code uses.
+	// the fault injector); base is the same layer before fault wrapping
+	// (crash/restart control must reach a node the fault layer refuses to
+	// talk to); tr is the resilient transport over inner that all cluster
+	// and maintenance code uses.
 	inner netsim.Transport
+	base  netsim.Transport
 	tr    netsim.Transport
 	env   maintain.Env
 
@@ -82,6 +104,24 @@ type Cluster struct {
 	// counts re-deliveries for Metrics.
 	seq     atomic.Uint64
 	retries atomic.Int64
+
+	// rng drives the deterministic retry-backoff jitter.
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	// Two-phase commit state (Durability mode): tids numbers transactions,
+	// curTID is the statement in progress (0 between statements; mutating
+	// sub-requests are stamped with it), parts collects the nodes the
+	// current statement touched, coordLog is the coordinator's forced
+	// decision log and decided its logical content, coordMeter the
+	// coordinator's own I/O meter.
+	tids       atomic.Uint64
+	curTID     atomic.Uint64
+	pmu        sync.Mutex
+	parts      map[int]bool
+	coordMeter *storage.Meter
+	coordLog   *wal.Log
+	decided    map[uint64]bool
 
 	// dmu guards the degraded-mode state: nodes considered down, queued
 	// repair work per node, and nodes awaiting a derived-fragment rebuild.
@@ -110,20 +150,34 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.RetryAttempts <= 0 {
 		cfg.RetryAttempts = 3
 	}
+	if cfg.RetryBackoffMax <= 0 {
+		cfg.RetryBackoffMax = time.Second
+	}
+	if cfg.RetrySeed == 0 {
+		cfg.RetrySeed = 1
+	}
 	c := &Cluster{
 		cfg:         cfg,
 		cat:         catalog.New(),
 		st:          stats.New(),
 		part:        hashpart.New(cfg.Nodes),
+		rng:         rand.New(rand.NewSource(cfg.RetrySeed)),
 		downNodes:   map[int]bool{},
 		repairs:     map[int][]repair{},
 		needRebuild: map[int]bool{},
+		parts:       map[int]bool{},
+		coordMeter:  &storage.Meter{},
+		decided:     map[uint64]bool{},
 	}
+	c.coordLog = wal.NewLog(c.coordMeter, cfg.PageRows)
 	handlers := make([]netsim.Handler, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
 		n := node.New(i, cfg.MemPages)
 		if cfg.BufferPages > 0 {
 			n.SetBufferPages(cfg.BufferPages)
+		}
+		if cfg.Durability {
+			n.EnableDurability(cfg.PageRows, cfg.CheckpointEvery)
 		}
 		c.nodes = append(c.nodes, n)
 		handlers[i] = n.Handler()
@@ -138,6 +192,7 @@ func New(cfg Config) (*Cluster, error) {
 	default:
 		c.inner = netsim.NewDirect(handlers)
 	}
+	c.base = c.inner
 	if cfg.Faults != nil {
 		c.inner = fault.Wrap(c.inner, cfg.Faults)
 	}
@@ -188,6 +243,9 @@ type Metrics struct {
 	// Retries counts re-deliveries the coordinator performed for
 	// transient failures (zero in fault-free runs).
 	Retries int64
+	// Coord is the coordinator's own I/O (the forced two-phase-commit
+	// decision log; zero when durability is off).
+	Coord storage.Counts
 }
 
 // TotalIOs is the paper's total workload TW: I/Os summed over all nodes.
@@ -260,6 +318,7 @@ func (m Metrics) Sub(o Metrics) Metrics {
 		LocalCalls: m.Net.LocalCalls - o.Net.LocalCalls,
 	}
 	out.Retries = m.Retries - o.Retries
+	out.Coord = m.Coord.Sub(o.Coord)
 	return out
 }
 
@@ -271,6 +330,7 @@ func (c *Cluster) Metrics() Metrics {
 		Pool:    make([]buffer.Stats, len(c.nodes)),
 		Net:     c.tr.Stats(),
 		Retries: c.retries.Load(),
+		Coord:   c.coordMeter.Snapshot(),
 	}
 	for i, n := range c.nodes {
 		m.Node[i] = n.Meter().Snapshot()
@@ -290,6 +350,7 @@ func (c *Cluster) ResetMetrics() {
 	}
 	c.tr.ResetStats()
 	c.retries.Store(0)
+	c.coordMeter.Reset()
 }
 
 // RefreshStats recomputes exact statistics for the named table from its

@@ -42,14 +42,11 @@ func (c *Cluster) Insert(table string, tuples []types.Tuple) error {
 	if err != nil {
 		return err
 	}
-	var tx txn.Txn
-	if err := c.insertLocked(&tx, t, tuples); err != nil {
-		if rbErr := tx.Rollback(); rbErr != nil {
-			return fmt.Errorf("%w (rollback also failed: %v)", err, rbErr)
-		}
+	if err := c.runStmt(func(tx *txn.Txn) error {
+		return c.insertLocked(tx, t, tuples)
+	}); err != nil {
 		return err
 	}
-	tx.Commit()
 	c.bumpRows(table, int64(len(tuples)))
 	return nil
 }
@@ -250,14 +247,11 @@ func (c *Cluster) deleteLocked(table string, pred expr.Expr) ([]types.Tuple, err
 	if len(victims) == 0 {
 		return nil, nil
 	}
-	var tx txn.Txn
-	if err := c.applyDelete(&tx, t, victims, locs); err != nil {
-		if rbErr := tx.Rollback(); rbErr != nil {
-			return nil, fmt.Errorf("%w (rollback also failed: %v)", err, rbErr)
-		}
+	if err := c.runStmt(func(tx *txn.Txn) error {
+		return c.applyDelete(tx, t, victims, locs)
+	}); err != nil {
 		return nil, err
 	}
-	tx.Commit()
 	return victims, nil
 }
 
@@ -350,22 +344,16 @@ func (c *Cluster) Update(table string, set map[string]types.Value, pred expr.Exp
 		}
 		replacement[i] = nt
 	}
-	// Both halves run inside one undo scope, so a failure anywhere leaves
-	// neither the delete nor the insert applied.
-	var tx txn.Txn
-	if err := c.applyDelete(&tx, t, victims, locs); err != nil {
-		if rbErr := tx.Rollback(); rbErr != nil {
-			return 0, fmt.Errorf("%w (rollback also failed: %v)", err, rbErr)
+	// Both halves run inside one statement scope, so a failure anywhere
+	// leaves neither the delete nor the insert applied.
+	if err := c.runStmt(func(tx *txn.Txn) error {
+		if err := c.applyDelete(tx, t, victims, locs); err != nil {
+			return err
 		}
+		return c.insertLocked(tx, t, replacement)
+	}); err != nil {
 		return 0, err
 	}
-	if err := c.insertLocked(&tx, t, replacement); err != nil {
-		if rbErr := tx.Rollback(); rbErr != nil {
-			return 0, fmt.Errorf("%w (rollback also failed: %v)", err, rbErr)
-		}
-		return 0, err
-	}
-	tx.Commit()
 	return len(victims), nil
 }
 

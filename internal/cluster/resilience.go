@@ -37,16 +37,50 @@ type resilientTransport struct {
 
 // isMutating reports whether a request changes node state, and therefore
 // needs sequence-number dedup for safe retry. Reads are naturally
-// idempotent and go unwrapped.
-func isMutating(req any) bool {
-	switch req.(type) {
-	case node.Insert, node.DeleteRows, node.DeleteMatch, node.RestoreRows,
-		node.GIInsert, node.GIInsertBatch, node.GIDelete, node.AggApply,
-		node.LocalJoin, node.CreateFragment, node.CreateIndex,
-		node.CreateGlobalIndex, node.DropFragment, node.DropGlobalIndexFrag:
-		return true
+// idempotent and go unwrapped. The classification lives in the node
+// package (node.IsMutating) next to the request types and the redo log
+// that shares it.
+func isMutating(req any) bool { return node.IsMutating(req) }
+
+// backoffDelay computes the sleep before retry attempt (attempt >= 1):
+// exponential doubling from base, shift-clamped and capped by max, then
+// jittered into [d/2, d) so concurrent retry loops desynchronize. jitter
+// returns a value in [0, n); a deterministic seeded source keeps test runs
+// repeatable. Zero base disables sleeping entirely.
+func backoffDelay(base, max time.Duration, attempt int, jitter func(n int64) int64) time.Duration {
+	if base <= 0 {
+		return 0
 	}
-	return false
+	shift := attempt - 1
+	if shift < 0 {
+		shift = 0
+	}
+	if shift > 16 {
+		shift = 16 // 1<<17 on any sane base is already past every cap
+	}
+	d := base << shift
+	if d <= 0 || (max > 0 && d > max) {
+		d = max
+	}
+	if half := d / 2; half > 0 {
+		d = half + time.Duration(jitter(int64(half)))
+	}
+	return d
+}
+
+// jitter draws from the cluster's seeded backoff rng.
+func (c *Cluster) jitter(n int64) int64 {
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	return c.rng.Int63n(n)
+}
+
+// sleepBackoff counts the retry and sleeps the bounded, jittered backoff.
+func (c *Cluster) sleepBackoff(attempt int) {
+	c.retries.Add(1)
+	if d := backoffDelay(c.cfg.RetryBackoff, c.cfg.RetryBackoffMax, attempt, c.jitter); d > 0 {
+		time.Sleep(d)
+	}
 }
 
 // Call implements netsim.Transport.
@@ -67,7 +101,13 @@ func (t *resilientTransport) Broadcast(from int, req any) ([]any, error) {
 	wreq, id, mut := req, uint64(0), isMutating(req)
 	if mut {
 		id = c.seq.Add(1)
-		wreq = node.Seq{ID: id, Req: req}
+		tid := c.curTID.Load()
+		wreq = node.Seq{ID: id, TID: tid, Req: req}
+		if tid != 0 {
+			for n := 0; n < c.inner.NumNodes(); n++ {
+				c.addParticipant(n)
+			}
+		}
 	}
 	out, err := c.inner.Broadcast(from, wreq)
 	if err == nil {
@@ -112,6 +152,10 @@ func (c *Cluster) resilientCall(from, to int, req any, undo bool) (any, error) {
 	mut := isMutating(req)
 	if c.isDown(to) {
 		if undo && mut {
+			// In durable mode the compensation is simply absorbed: the
+			// crashed node undoes the transaction itself at recovery, from
+			// its own log (presumed abort), so queueing the undo here would
+			// double-apply it.
 			c.queueRepair(to, repair{kind: repairRedo, id: c.seq.Add(1), req: req})
 			return nil, nil
 		}
@@ -121,7 +165,11 @@ func (c *Cluster) resilientCall(from, to int, req any, undo bool) (any, error) {
 	var id uint64
 	if mut {
 		id = c.seq.Add(1)
-		wreq = node.Seq{ID: id, Req: req}
+		tid := c.curTID.Load()
+		wreq = node.Seq{ID: id, TID: tid, Req: req}
+		if tid != 0 {
+			c.addParticipant(to)
+		}
 	}
 	return c.deliver(from, to, wreq, id, mut, undo)
 }
@@ -136,10 +184,7 @@ func (c *Cluster) deliver(from, to int, wreq any, id uint64, mut, undo bool) (an
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.RetryAttempts; attempt++ {
 		if attempt > 0 {
-			c.retries.Add(1)
-			if d := c.cfg.RetryBackoff; d > 0 {
-				time.Sleep(d << (attempt - 1))
-			}
+			c.sleepBackoff(attempt)
 		}
 		resp, err := c.inner.Call(from, to, wreq)
 		if err == nil {
@@ -192,10 +237,7 @@ func (c *Cluster) resolveInDoubt(from, to int, id uint64) (any, bool, error) {
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.RetryAttempts; attempt++ {
 		if attempt > 0 {
-			c.retries.Add(1)
-			if d := c.cfg.RetryBackoff; d > 0 {
-				time.Sleep(d << (attempt - 1))
-			}
+			c.sleepBackoff(attempt)
 		}
 		resp, err := c.inner.Call(from, to, node.SeqQuery{ID: id})
 		if err == nil {
@@ -229,10 +271,7 @@ func (c *Cluster) rawDeliver(to int, wreq any) (any, error) {
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.RetryAttempts; attempt++ {
 		if attempt > 0 {
-			c.retries.Add(1)
-			if d := c.cfg.RetryBackoff; d > 0 {
-				time.Sleep(d << (attempt - 1))
-			}
+			c.sleepBackoff(attempt)
 		}
 		resp, err := c.inner.Call(netsim.Coordinator, to, wreq)
 		if err == nil {
@@ -312,6 +351,13 @@ func (c *Cluster) firstDown() (int, bool) {
 }
 
 func (c *Cluster) queueRepair(n int, r repair) {
+	if c.cfg.Durability {
+		// A durable node recovers from its own log: undecided transactions
+		// are aborted locally (ResolveAbort), which subsumes both queued
+		// compensations and in-doubt inversions. Queueing them as well
+		// would undo the same work twice.
+		return
+	}
 	c.dmu.Lock()
 	defer c.dmu.Unlock()
 	c.repairs[n] = append(c.repairs[n], r)
@@ -361,7 +407,14 @@ func (c *Cluster) MarkNodeDown(n int) error {
 	return nil
 }
 
-// Recover repairs a restarted node and returns the cluster to service:
+// Recover repairs a restarted node and returns the cluster to service.
+//
+// In Durability mode it is per-node log replay: restart the node from its
+// checkpoint + log tail and resolve its in-doubt transactions against the
+// coordinator's decision log (commit if a decision was forced, local
+// inverse replay otherwise — presumed abort). No other node is touched.
+//
+// Without durability, the legacy fail-stop-with-durable-storage model:
 //
 //  1. verify the node answers (it must have been restarted at the
 //     transport/fault layer first);
@@ -374,18 +427,27 @@ func (c *Cluster) MarkNodeDown(n int) error {
 //     relations, global indexes, view fragments) of all recovered nodes
 //     from the base relations, using the same gather/backfill machinery
 //     DDL uses.
-//
-// The model is fail-stop with durable storage: a crash makes a node
-// unavailable but loses no state, so repair works against what the node
-// last stored.
 func (c *Cluster) Recover(n int) error {
+	_, err := c.RecoverWithReport(n)
+	return err
+}
+
+// RecoverWithReport is Recover returning the recovery cost accounting:
+// what mode ran, pages read and replayed, repairs drained, in-doubt
+// transactions resolved, and the I/O and message cost.
+func (c *Cluster) RecoverWithReport(n int) (RecoveryReport, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if n < 0 || n >= c.cfg.Nodes {
-		return fmt.Errorf("cluster: node %d out of range [0,%d)", n, c.cfg.Nodes)
+		return RecoveryReport{}, fmt.Errorf("cluster: node %d out of range [0,%d)", n, c.cfg.Nodes)
 	}
+	if c.cfg.Durability {
+		return c.recoverDurable(n)
+	}
+	rep := RecoveryReport{Node: n, Mode: "rebuild"}
+	netBefore := c.tr.Stats()
 	if _, err := c.rawDeliver(n, node.Ping{}); err != nil {
-		return fmt.Errorf("cluster: node %d not answering, restart it first: %w", n, err)
+		return rep, fmt.Errorf("cluster: node %d not answering, restart it first: %w", n, err)
 	}
 	repairs := c.takeRepairs(n)
 	drain := func(r repair) error {
@@ -422,8 +484,10 @@ func (c *Cluster) Recover(n int) error {
 			for _, rest := range repairs[i:] {
 				c.queueRepair(n, rest)
 			}
-			return err
+			rep.Messages = c.tr.Stats().Messages - netBefore.Messages
+			return rep, err
 		}
+		rep.RepairsReplayed++
 	}
 	c.dmu.Lock()
 	delete(c.downNodes, n)
@@ -433,7 +497,8 @@ func (c *Cluster) Recover(n int) error {
 	if stillDown {
 		// Derived rebuild needs every base fragment reachable; it runs
 		// when the last node recovers.
-		return nil
+		rep.Messages = c.tr.Stats().Messages - netBefore.Messages
+		return rep, nil
 	}
 	c.dmu.Lock()
 	pending := make([]int, 0, len(c.needRebuild))
@@ -444,73 +509,40 @@ func (c *Cluster) Recover(n int) error {
 	c.dmu.Unlock()
 	sort.Ints(pending)
 	for _, rn := range pending {
-		if err := c.rebuildDerived(rn); err != nil {
-			return fmt.Errorf("cluster: rebuilding node %d: %w", rn, err)
+		pages, err := c.rebuildDerived(rn)
+		rep.PageIOs += pages
+		if err != nil {
+			rep.Messages = c.tr.Stats().Messages - netBefore.Messages
+			return rep, fmt.Errorf("cluster: rebuilding node %d: %w", rn, err)
 		}
 	}
-	return nil
+	rep.Messages = c.tr.Stats().Messages - netBefore.Messages
+	return rep, nil
 }
 
 // inverseOf builds the request that undoes an applied request, given the
 // response the node cached for it. Nil means no exact inverse exists (the
-// caller falls back to rebuilding).
-func inverseOf(req, resp any) any {
-	switch r := req.(type) {
-	case node.Insert:
-		ir, ok := resp.(node.InsertResult)
-		if !ok {
-			return nil
-		}
-		return node.DeleteRows{Frag: r.Frag, Rows: ir.Rows}
-	case node.RestoreRows:
-		return node.DeleteRows{Frag: r.Frag, Rows: r.Rows}
-	case node.DeleteRows:
-		dr, ok := resp.(node.DeleteResult)
-		if !ok {
-			return nil
-		}
-		return node.RestoreRows{Frag: r.Frag, Rows: dr.Rows, Tuples: dr.Tuples}
-	case node.DeleteMatch:
-		dr, ok := resp.(node.DeleteResult)
-		if !ok {
-			return nil
-		}
-		return node.RestoreRows{Frag: r.Frag, Rows: dr.Rows, Tuples: dr.Tuples}
-	case node.GIInsert:
-		return node.GIDelete{GI: r.GI, Val: r.Val, G: r.G}
-	case node.GIDelete:
-		gd, ok := resp.(node.GIDeleted)
-		if !ok || !gd.OK {
-			return nil
-		}
-		return node.GIInsert{GI: r.GI, Val: r.Val, G: r.G}
-	case node.AggApply:
-		neg := r
-		neg.Deltas = make([]types.Tuple, len(r.Deltas))
-		for i, d := range r.Deltas {
-			nd := make(types.Tuple, len(d))
-			for j, v := range d {
-				switch v.K {
-				case types.KindInt:
-					nd[j] = types.Int(-v.I)
-				case types.KindFloat:
-					nd[j] = types.Float(-v.F)
-				default:
-					nd[j] = v
-				}
-			}
-			neg.Deltas[i] = nd
-		}
-		return neg
+// caller falls back to rebuilding). The construction lives in the node
+// package (node.InverseOf): local abort resolution uses the same algebra
+// against the node's own log records.
+func inverseOf(req, resp any) any { return node.InverseOf(req, resp) }
+
+// pageCount converts a row count to pages under the cluster's geometry.
+func (c *Cluster) pageCount(rows int) int64 {
+	if rows <= 0 {
+		return 0
 	}
-	return nil
+	return int64((rows + c.cfg.PageRows - 1) / c.cfg.PageRows)
 }
 
 // rebuildDerived reconstructs every derived fragment homed at node n —
 // auxiliary relations, view fragments and global-index fragments — from the
 // base relations, reusing the DDL backfill machinery. Repair work is
-// unmetered, like DDL.
-func (c *Cluster) rebuildDerived(n int) error {
+// unmetered, like DDL, so the returned tally accounts its page traffic
+// explicitly (base pages scanned + derived pages written): the cost the
+// durability layer's log replay is measured against.
+func (c *Cluster) rebuildDerived(n int) (int64, error) {
+	var pages int64
 	replace := func(name string, schema *types.Schema, clusterCol string, mine []types.Tuple) error {
 		if _, err := c.rawCall(n, node.DropFragment{Name: name}); err != nil {
 			return err
@@ -520,6 +552,7 @@ func (c *Cluster) rebuildDerived(n int) error {
 		}); err != nil {
 			return err
 		}
+		pages += c.pageCount(len(mine))
 		if len(mine) == 0 {
 			return nil
 		}
@@ -529,7 +562,7 @@ func (c *Cluster) rebuildDerived(n int) error {
 	for _, table := range c.cat.Tables() {
 		base, err := c.cat.Table(table)
 		if err != nil {
-			return err
+			return pages, err
 		}
 		ars := c.cat.AuxRelsFor(table)
 		gis := c.cat.GlobalIndexesFor(table)
@@ -538,63 +571,74 @@ func (c *Cluster) rebuildDerived(n int) error {
 		}
 		rows, err := c.gather(table)
 		if err != nil {
-			return err
+			return pages, err
 		}
+		pages += c.pageCount(len(rows))
 		for _, ar := range ars {
 			projected, err := projectForAuxRel(base, ar, rows)
 			if err != nil {
-				return err
+				return pages, err
 			}
 			buckets, err := c.part.Spread(ar.Schema, ar.PartitionCol, projected)
 			if err != nil {
-				return err
+				return pages, err
 			}
 			if err := replace(ar.Name, ar.Schema, ar.PartitionCol, buckets[n]); err != nil {
-				return err
+				return pages, err
 			}
 		}
 		for _, gi := range gis {
-			if err := c.rebuildGIFrag(gi.Name, gi.Col, gi.DistClustered, base, n); err != nil {
-				return err
+			giPages, err := c.rebuildGIFrag(gi.Name, gi.Col, gi.DistClustered, base, n)
+			pages += giPages
+			if err != nil {
+				return pages, err
 			}
 		}
 	}
 	for _, vn := range c.cat.Views() {
 		v, err := c.cat.View(vn)
 		if err != nil {
-			return err
+			return pages, err
+		}
+		for _, table := range v.Tables {
+			if ts, ok := c.st.Get(table); ok {
+				pages += c.pageCount(int(ts.Rows))
+			}
 		}
 		content, err := c.computeJoin(v)
 		if err != nil {
-			return err
+			return pages, err
 		}
 		buckets, err := c.part.Spread(v.Schema, v.PartitionQualified(), content)
 		if err != nil {
-			return err
+			return pages, err
 		}
 		if err := replace(v.Name, v.Schema, v.PartitionQualified(), buckets[n]); err != nil {
-			return err
+			return pages, err
 		}
 	}
-	return nil
+	return pages, nil
 }
 
 // rebuildGIFrag reconstructs node n's fragment of one global index by
-// scanning every base fragment for entries homed at n.
-func (c *Cluster) rebuildGIFrag(name, col string, distClustered bool, base *catalog.Table, n int) error {
+// scanning every base fragment for entries homed at n, returning the page
+// tally (scans read + entries written).
+func (c *Cluster) rebuildGIFrag(name, col string, distClustered bool, base *catalog.Table, n int) (int64, error) {
+	var pages int64
 	if _, err := c.rawCall(n, node.DropGlobalIndexFrag{Name: name}); err != nil {
-		return err
+		return pages, err
 	}
 	if _, err := c.rawCall(n, node.CreateGlobalIndex{Name: name, DistClustered: distClustered}); err != nil {
-		return err
+		return pages, err
 	}
 	ci := base.Schema.MustColIndex(col)
 	for src := 0; src < c.cfg.Nodes; src++ {
 		resp, err := c.rawDeliver(src, node.ScanWithRows{Frag: base.Name})
 		if err != nil {
-			return err
+			return pages, err
 		}
 		rr := resp.(node.RowsResult)
+		pages += c.pageCount(len(rr.Tuples))
 		var vals []types.Value
 		var gs []storage.GlobalRowID
 		for i, tup := range rr.Tuples {
@@ -608,9 +652,10 @@ func (c *Cluster) rebuildGIFrag(name, col string, distClustered bool, base *cata
 		if len(vals) == 0 {
 			continue
 		}
+		pages += c.pageCount(len(vals))
 		if _, err := c.rawCall(n, node.GIInsertBatch{GI: name, Vals: vals, Gs: gs}); err != nil {
-			return err
+			return pages, err
 		}
 	}
-	return nil
+	return pages, nil
 }

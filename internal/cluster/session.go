@@ -88,16 +88,12 @@ func (t *Txn) deleteLockedStmt(table string, pred expr.Expr) ([]types.Tuple, err
 	victims := append([]types.Tuple(nil), deleted...)
 	t.u.OnRollback(func() error {
 		// Logical inverse: re-insert the victims through the full
-		// maintenance pipeline.
-		var undo txn.Txn
-		if err := t.c.insertLocked(&undo, tab, victims); err != nil {
-			rbErr := undo.Rollback()
-			if rbErr != nil {
-				return fmt.Errorf("%w (compensation rollback also failed: %v)", err, rbErr)
-			}
+		// maintenance pipeline, as an atomic statement of its own.
+		if err := t.c.runStmt(func(undo *txn.Txn) error {
+			return t.c.insertLocked(undo, tab, victims)
+		}); err != nil {
 			return err
 		}
-		undo.Commit()
 		t.c.bumpRows(table, int64(len(victims)))
 		return nil
 	})
@@ -153,14 +149,11 @@ func (t *Txn) Update(table string, set map[string]types.Value, pred expr.Expr) (
 // insertLockedStmt is the insert body shared by Insert and Update (mu
 // already held).
 func (t *Txn) insertLockedStmt(tab *catalog.Table, tuples []types.Tuple) error {
-	var stmt txn.Txn
-	if err := t.c.insertLocked(&stmt, tab, tuples); err != nil {
-		if rbErr := stmt.Rollback(); rbErr != nil {
-			return fmt.Errorf("%w (statement rollback also failed: %v)", err, rbErr)
-		}
+	if err := t.c.runStmt(func(stmt *txn.Txn) error {
+		return t.c.insertLocked(stmt, tab, tuples)
+	}); err != nil {
 		return err
 	}
-	stmt.Commit()
 	t.c.bumpRows(tab.Name, int64(len(tuples)))
 	inserted := append([]types.Tuple(nil), tuples...)
 	t.u.OnRollback(func() error {
@@ -225,13 +218,7 @@ func (c *Cluster) deleteTuplesLocked(tab *catalog.Table, tuples []types.Tuple) e
 			locs = append(locs, located{node: n, row: rr.Rows[i], tuple: rr.Tuples[i]})
 		}
 	}
-	var undo txn.Txn
-	if err := c.applyDelete(&undo, tab, victims, locs); err != nil {
-		if rbErr := undo.Rollback(); rbErr != nil {
-			return fmt.Errorf("%w (compensation rollback also failed: %v)", err, rbErr)
-		}
-		return err
-	}
-	undo.Commit()
-	return nil
+	return c.runStmt(func(undo *txn.Txn) error {
+		return c.applyDelete(undo, tab, victims, locs)
+	})
 }

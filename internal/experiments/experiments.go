@@ -705,6 +705,100 @@ func StorageTradeoff(l, fanout int) (Grid, error) {
 	return g, nil
 }
 
+// Durability measures what write-ahead logging and two-phase commit cost
+// each maintenance method, and what they buy at recovery (extension): the
+// same single-row insert stream runs once plain and once in Durability
+// mode (every statement redo-logged at its participants and committed via
+// presumed-abort 2PC; checkpoints every ckptEvery records). The durable
+// columns carry the overhead — log pages in the I/O totals (node logs plus
+// the coordinator's forced decision log) and Prepare/Decide rounds in the
+// messages. Then one node fail-stops: the durable cluster recovers it from
+// checkpoint + log-tail replay, the plain cluster from a full derived-
+// fragment rebuild off the base relations, and the last columns compare
+// the recovery page I/O the two paths cost.
+func Durability(l, streamLen, ckptEvery int) (Grid, error) {
+	g := Grid{
+		Title: fmt.Sprintf("Durability (extension): %d single-row inserts, L=%d, checkpoint every %d records",
+			streamLen, l, ckptEvery),
+		Header: []string{"method", "I/Os plain", "I/Os durable", "msgs plain", "msgs durable",
+			"replay pages", "rebuild pages"},
+	}
+	for _, v := range []Variant{
+		{Label: "auxiliary relation", Strategy: catalog.StrategyAuxRel},
+		{Label: "global index", Strategy: catalog.StrategyGlobalIndex},
+		{Label: "naive (clustered index)", Strategy: catalog.StrategyNaive, ClusterB: true},
+	} {
+		var ios, msgs [2]int64
+		var replayPages, rebuildPages int64
+		for i, durable := range []bool{false, true} {
+			c, err := cluster.New(cluster.Config{
+				Nodes: l, Algo: node.AlgoIndex,
+				Durability: durable, CheckpointEvery: ckptEvery,
+			})
+			if err != nil {
+				return Grid{}, err
+			}
+			spec := workload.TwoRel{JoinValues: 640, Fanout: PaperN, ClusterBOnJoin: v.ClusterB}
+			if err := spec.Load(c, v.Strategy); err != nil {
+				c.Close()
+				return Grid{}, err
+			}
+			if durable {
+				// Checkpoint after the bulk load (standard practice), so
+				// recovery replays from the image rather than from genesis;
+				// further checkpoints auto-trigger every ckptEvery records
+				// and count as stream overhead.
+				if _, err := c.Checkpoint(); err != nil {
+					c.Close()
+					return Grid{}, err
+				}
+			}
+			delta := spec.AInserts(streamLen, 1)
+			c.ResetMetrics()
+			for _, tup := range delta {
+				if err := c.Insert("a", []types.Tuple{tup}); err != nil {
+					c.Close()
+					return Grid{}, err
+				}
+			}
+			m := c.Metrics()
+			ios[i] = m.TotalIOs() + m.Coord.IOs()
+			msgs[i] = m.Net.Messages
+			if durable {
+				if err := c.CrashNode(0); err != nil {
+					c.Close()
+					return Grid{}, err
+				}
+			}
+			rep, err := c.RecoverWithReport(0)
+			if err != nil {
+				c.Close()
+				return Grid{}, err
+			}
+			if durable {
+				replayPages = rep.PageIOs
+			} else {
+				rebuildPages = rep.PageIOs
+			}
+			if err := c.CheckViewConsistency("jv"); err != nil {
+				c.Close()
+				return Grid{}, fmt.Errorf("%s after %s recovery: %w", v.Label, rep.Mode, err)
+			}
+			c.Close()
+		}
+		g.Rows = append(g.Rows, []string{
+			v.Label,
+			fmt.Sprintf("%d", ios[0]),
+			fmt.Sprintf("%d", ios[1]),
+			fmt.Sprintf("%d", msgs[0]),
+			fmt.Sprintf("%d", msgs[1]),
+			fmt.Sprintf("%d", replayPages),
+			fmt.Sprintf("%d", rebuildPages),
+		})
+	}
+	return g, nil
+}
+
 // paperJV1 is §3.3's JV1: customer ⋈ orders on custkey.
 func paperJV1(s catalog.Strategy) *catalog.View {
 	return &catalog.View{
@@ -754,7 +848,7 @@ func FaultOverhead(l, streamLen int, rate float64, seed int64) (Grid, error) {
 	g := Grid{
 		Title: fmt.Sprintf("Fault overhead (extension): %d single-row inserts, L=%d, %.1f%% per-kind fault rate",
 			streamLen, l, rate*100),
-		Header: []string{"method", "I/Os clean", "I/Os faulty", "msgs clean", "msgs faulty", "retries", "faults injected"},
+		Header: []string{"method", "I/Os clean", "I/Os faulty", "msgs clean", "msgs faulty", "retries", "faults injected", "repairs replayed", "recovery pages"},
 	}
 	for _, v := range []Variant{
 		{Label: "auxiliary relation", Strategy: catalog.StrategyAuxRel},
@@ -762,7 +856,7 @@ func FaultOverhead(l, streamLen int, rate float64, seed int64) (Grid, error) {
 		{Label: "naive (clustered index)", Strategy: catalog.StrategyNaive, ClusterB: true},
 	} {
 		var ios, msgs [2]int64
-		var retries, injected int64
+		var retries, injected, repairsReplayed, recoveryPages int64
 		for i, faulty := range []bool{false, true} {
 			var inj *fault.Injector
 			if faulty {
@@ -799,10 +893,13 @@ func FaultOverhead(l, streamLen int, rate float64, seed int64) (Grid, error) {
 				var err error
 				for attempt := 0; attempt < 20; attempt++ {
 					for _, n := range c.Degraded() {
-						if rerr := c.Recover(n); rerr != nil {
+						rep, rerr := c.RecoverWithReport(n)
+						if rerr != nil {
 							c.Close()
 							return Grid{}, rerr
 						}
+						repairsReplayed += int64(rep.RepairsReplayed)
+						recoveryPages += rep.PageIOs
 					}
 					if err = c.Insert("a", []types.Tuple{tup}); err == nil {
 						break
@@ -830,6 +927,8 @@ func FaultOverhead(l, streamLen int, rate float64, seed int64) (Grid, error) {
 			fmt.Sprintf("%d", msgs[1]),
 			fmt.Sprintf("%d", retries),
 			fmt.Sprintf("%d", injected),
+			fmt.Sprintf("%d", repairsReplayed),
+			fmt.Sprintf("%d", recoveryPages),
 		})
 	}
 	return g, nil

@@ -310,3 +310,31 @@ func TestFaultOverhead(t *testing.T) {
 		}
 	}
 }
+
+func TestDurabilityOverheadAndReplayWins(t *testing.T) {
+	g, err := Durability(8, 100, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Rows) != 3 {
+		t.Fatalf("Durability rows = %d, want 3", len(g.Rows))
+	}
+	for _, row := range g.Rows {
+		plain, durable := atoi(t, row[1]), atoi(t, row[2])
+		msgsPlain, msgsDurable := atoi(t, row[3]), atoi(t, row[4])
+		replay, rebuild := atoi(t, row[5]), atoi(t, row[6])
+		// Logging and 2PC cost something, visible in both I/Os (log pages)
+		// and messages (Prepare/Decide rounds).
+		if durable <= plain {
+			t.Errorf("%s: durable I/Os %d not above plain %d", row[0], durable, plain)
+		}
+		if msgsDurable <= msgsPlain {
+			t.Errorf("%s: durable msgs %d not above plain %d", row[0], msgsDurable, msgsPlain)
+		}
+		// What they buy: recovery by checkpoint + log-tail replay reads
+		// measurably fewer pages than a full derived-fragment rebuild.
+		if replay >= rebuild {
+			t.Errorf("%s: replay pages %d not below rebuild pages %d", row[0], replay, rebuild)
+		}
+	}
+}

@@ -90,6 +90,35 @@ func (f *Fragment) Scan(fn func(v types.Value, g storage.GlobalRowID) bool) {
 	})
 }
 
+// Snapshot is a self-contained image of a global-index fragment, for the
+// durability layer's checkpoints (parallel value/row-id slices).
+type Snapshot struct {
+	DistClustered bool
+	Vals          []types.Value
+	Gs            []storage.GlobalRowID
+}
+
+// Snapshot captures the fragment's current entries.
+func (f *Fragment) Snapshot() Snapshot {
+	s := Snapshot{DistClustered: f.distClustered}
+	f.Scan(func(v types.Value, g storage.GlobalRowID) bool {
+		s.Vals = append(s.Vals, v)
+		s.Gs = append(s.Gs, g)
+		return true
+	})
+	return s
+}
+
+// Restore reconstructs a fragment from a snapshot, unmetered (the recovery
+// path accounts checkpoint pages instead).
+func Restore(s Snapshot, meter *storage.Meter) *Fragment {
+	f := New(meter, s.DistClustered)
+	for i, v := range s.Vals {
+		f.InsertUnmetered(v, s.Gs[i])
+	}
+	return f
+}
+
 // NodeRows groups the rows of one node from a global-row-id list.
 type NodeRows struct {
 	Node int

@@ -16,18 +16,20 @@ import (
 	"joinview/internal/netsim"
 	"joinview/internal/storage"
 	"joinview/internal/types"
+	"joinview/internal/wal"
 )
 
 // DataNode is one data server. Access is serialized by the transport (the
 // Direct transport is single-threaded; the Chan transport gives each node
 // one goroutine).
 type DataNode struct {
-	id       int
-	meter    *storage.Meter
-	memPages int
-	pool     *buffer.Pool
-	frags    map[string]*storage.Fragment
-	gidx     map[string]*gindex.Fragment
+	id        int
+	meter     *storage.Meter
+	memPages  int
+	pool      *buffer.Pool
+	poolPages int
+	frags     map[string]*storage.Fragment
+	gidx      map[string]*gindex.Fragment
 
 	// seen caches the responses of successfully applied Seq-wrapped
 	// requests so retried deliveries (lost reply, timeout, duplicate) are
@@ -35,6 +37,15 @@ type DataNode struct {
 	// retries arrive promptly, so only the recent window matters.
 	seen      map[uint64]any
 	seenOrder []uint64
+
+	// Durability (nil store = the legacy fail-stop-with-durable-storage
+	// model, where a crash loses nothing and recovery is repair + rebuild).
+	store         *wal.Store
+	logPageRows   int
+	ckptEvery     int
+	recsSinceCkpt int
+	pending       map[uint64]uint64 // TID -> LSN of its first log record
+	wiped         bool              // crashed and not yet restarted
 }
 
 // seqCacheSize bounds the per-node dedup cache. Retries happen within a
@@ -62,6 +73,7 @@ func New(id, memPages int) *DataNode {
 // created; existing fragments keep their previous pool.
 func (n *DataNode) SetBufferPages(pages int) {
 	n.pool = buffer.New(pages)
+	n.poolPages = pages
 }
 
 // PoolStatsSnapshot returns the node's buffer-pool counters (zero when no
@@ -116,6 +128,15 @@ func (n *DataNode) remember(id uint64, resp any) {
 
 // Handle dispatches one request.
 func (n *DataNode) Handle(req any) (any, error) {
+	if n.wiped {
+		// A crashed node has no state to serve from; accepting anything
+		// before recovery would silently run against an empty database.
+		switch req.(type) {
+		case CrashReq, RestartReq:
+		default:
+			return nil, fmt.Errorf("node %d: crashed, awaiting restart", n.id)
+		}
+	}
 	switch r := req.(type) {
 	case Seq:
 		// At-most-once execution: a duplicate delivery (retry after a lost
@@ -130,6 +151,11 @@ func (n *DataNode) Handle(req any) (any, error) {
 			return nil, err
 		}
 		n.remember(r.ID, resp)
+		if n.store != nil && IsMutating(r.Req) {
+			if err := n.logRedo(r.TID, r.ID, r.Req, resp); err != nil {
+				return nil, err
+			}
+		}
 		return resp, nil
 
 	case SeqQuery:
@@ -413,6 +439,38 @@ func (n *DataNode) Handle(req any) (any, error) {
 			return nil, err
 		}
 		return FragInfoResult{Len: f.Len(), Pages: f.Pages()}, nil
+
+	case Prepare:
+		if err := n.prepare(r.TID); err != nil {
+			return nil, err
+		}
+		return Ack{}, nil
+
+	case Decide:
+		n.decide(r.TID, r.Commit)
+		return Ack{}, nil
+
+	case ResolveAbort:
+		if err := n.resolveAbort(r.TID); err != nil {
+			return nil, err
+		}
+		return Ack{}, nil
+
+	case InDoubtReq:
+		return InDoubtResult{TIDs: n.inDoubt()}, nil
+
+	case CheckpointReq:
+		return n.checkpoint()
+
+	case CrashReq:
+		if n.store == nil {
+			return nil, fmt.Errorf("node %d: cannot crash: durability not enabled", n.id)
+		}
+		n.crash()
+		return Ack{}, nil
+
+	case RestartReq:
+		return n.restart()
 
 	case MeterSnapshot:
 		return n.meter.Snapshot(), nil

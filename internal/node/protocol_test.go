@@ -1,0 +1,52 @@
+package node
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestHandleCoversAllRequests checks the request registry against Handle:
+// every type AllRequests lists must reach a real case, never the "unknown
+// request type" fallthrough. A zero-value request may fail for other
+// reasons (missing fragment, empty name); only recognition is asserted.
+func TestHandleCoversAllRequests(t *testing.T) {
+	for _, req := range AllRequests() {
+		n := New(0, 10)
+		n.EnableDurability(10, 0)
+		_, err := n.Handle(req)
+		if err != nil && strings.Contains(err.Error(), fmt.Sprintf("unknown request type %T", req)) {
+			t.Errorf("Handle does not recognize %T", req)
+		}
+	}
+}
+
+// TestIsMutatingStable pins the classification: requests that change node
+// state versus pure reads and control requests. A new request type added
+// to AllRequests lands here as a test failure until it is classified.
+func TestIsMutatingStable(t *testing.T) {
+	mutating := map[string]bool{
+		"node.Insert": true, "node.DeleteRows": true, "node.DeleteMatch": true,
+		"node.RestoreRows": true, "node.GIInsert": true, "node.GIInsertBatch": true,
+		"node.GIDelete": true, "node.AggApply": true, "node.LocalJoin": true,
+		"node.CreateFragment": true, "node.CreateIndex": true,
+		"node.CreateGlobalIndex": true, "node.DropFragment": true,
+		"node.DropGlobalIndexFrag": true,
+	}
+	seen := map[string]bool{}
+	for _, req := range AllRequests() {
+		name := fmt.Sprintf("%T", req)
+		if seen[name] {
+			t.Errorf("AllRequests lists %s twice", name)
+		}
+		seen[name] = true
+		if got, want := IsMutating(req), mutating[name]; got != want {
+			t.Errorf("IsMutating(%s) = %v, want %v", name, got, want)
+		}
+	}
+	for name := range mutating {
+		if !seen[name] {
+			t.Errorf("mutating type %s missing from AllRequests", name)
+		}
+	}
+}

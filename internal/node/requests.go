@@ -287,8 +287,14 @@ type FragInfoResult struct {
 // once and answers duplicates from a cached response. The coordinator's
 // resilient transport wraps every mutating sub-request automatically; read
 // requests are naturally idempotent and go unwrapped.
+//
+// TID is the enclosing transaction (statement) id of two-phase commit, zero
+// outside any transaction. A durable node logs each applied Seq request as
+// a redo record under its TID, which is what makes the transaction
+// preparable, replayable and locally abortable.
 type Seq struct {
 	ID  uint64
+	TID uint64
 	Req any
 }
 
@@ -308,6 +314,75 @@ type SeqQueryResult struct {
 
 // Ping checks node liveness (used by Recover before repairing a node).
 type Ping struct{}
+
+// Prepare is phase one of two-phase commit: the node makes the named
+// transaction's redo records durable (logs PREPARE and forces the log) and
+// a successful Ack is its yes vote. Only sent to nodes that executed work
+// under the TID. Idempotent.
+type Prepare struct {
+	TID uint64
+}
+
+// Decide delivers the coordinator's commit decision for a transaction. The
+// node logs it and forgets the transaction; it does NOT undo anything on
+// abort — live-path aborts are compensated by the coordinator's own undo
+// calls (logged under the same TID), and crash-path aborts go through
+// ResolveAbort. Under presumed abort the decision is delivered lazily and
+// its loss is harmless: the coordinator's log remains the authority.
+type Decide struct {
+	TID    uint64
+	Commit bool
+}
+
+// ResolveAbort orders the node to locally abort an in-doubt transaction
+// after a restart: apply the inverse of each of the TID's logged redo
+// records in reverse LSN order (logging the undos under the same TID, so a
+// crash mid-abort re-converges), then log ABORT. Idempotent.
+type ResolveAbort struct {
+	TID uint64
+}
+
+// InDoubtReq asks a durable node which transactions it holds redo or
+// prepare records for without a logged decision.
+type InDoubtReq struct{}
+
+// InDoubtResult lists in-doubt transaction ids in ascending order.
+type InDoubtResult struct {
+	TIDs []uint64
+}
+
+// CheckpointReq takes a checkpoint: snapshot every fragment and
+// global-index fragment plus the dedup cache, install it in the durable
+// store, and truncate the log prefix it covers (bounded by the oldest
+// undecided transaction's first record).
+type CheckpointReq struct{}
+
+// CheckpointResult reports the checkpoint position and image size.
+type CheckpointResult struct {
+	LSN   uint64
+	Pages int
+}
+
+// CrashReq fail-stops the node: all volatile state (fragments, global
+// indexes, dedup cache, buffer pool contents) is discarded; only the
+// durable store (log + checkpoint) survives. Until RestartReq the node
+// rejects every other request.
+type CrashReq struct{}
+
+// RestartReq recovers a crashed durable node: reload the last checkpoint,
+// replay the log tail, rebuild the dedup cache and the in-doubt set.
+type RestartReq struct{}
+
+// RestartResult reports what recovery did. PagesRead counts checkpoint
+// image plus log tail pages; in-doubt transactions still need resolution
+// by the coordinator (Decide or ResolveAbort).
+type RestartResult struct {
+	CheckpointLSN   uint64
+	CheckpointPages int
+	LogPagesRead    int
+	RecordsReplayed int
+	InDoubt         []uint64
+}
 
 // MeterSnapshot asks for the node's I/O counters.
 type MeterSnapshot struct{}

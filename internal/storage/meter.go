@@ -33,6 +33,7 @@ type Meter struct {
 	deletes   atomic.Int64
 	scanPages atomic.Int64
 	sortPages atomic.Int64
+	logPages  atomic.Int64
 }
 
 // Search records n index searches.
@@ -53,6 +54,10 @@ func (m *Meter) ScanPages(n int64) { m.scanPages.Add(n) }
 // SortPages records n page I/Os performed by external sorting.
 func (m *Meter) SortPages(n int64) { m.sortPages.Add(n) }
 
+// LogPages records n page I/Os performed by the write-ahead log: record
+// appends and forces, checkpoint image writes, and recovery-time reads.
+func (m *Meter) LogPages(n int64) { m.logPages.Add(n) }
+
 // Counts is an immutable snapshot of a meter.
 type Counts struct {
 	Searches  int64
@@ -61,6 +66,7 @@ type Counts struct {
 	Deletes   int64
 	ScanPages int64
 	SortPages int64
+	LogPages  int64
 }
 
 // Snapshot returns the current counter values.
@@ -72,6 +78,7 @@ func (m *Meter) Snapshot() Counts {
 		Deletes:   m.deletes.Load(),
 		ScanPages: m.scanPages.Load(),
 		SortPages: m.sortPages.Load(),
+		LogPages:  m.logPages.Load(),
 	}
 }
 
@@ -83,6 +90,7 @@ func (m *Meter) Reset() {
 	m.deletes.Store(0)
 	m.scanPages.Store(0)
 	m.sortPages.Store(0)
+	m.logPages.Store(0)
 }
 
 // Sub returns c - o, component-wise.
@@ -94,6 +102,7 @@ func (c Counts) Sub(o Counts) Counts {
 		Deletes:   c.Deletes - o.Deletes,
 		ScanPages: c.ScanPages - o.ScanPages,
 		SortPages: c.SortPages - o.SortPages,
+		LogPages:  c.LogPages - o.LogPages,
 	}
 }
 
@@ -106,16 +115,18 @@ func (c Counts) Add(o Counts) Counts {
 		Deletes:   c.Deletes + o.Deletes,
 		ScanPages: c.ScanPages + o.ScanPages,
 		SortPages: c.SortPages + o.SortPages,
+		LogPages:  c.LogPages + o.LogPages,
 	}
 }
 
 // IOs converts the counts to total I/Os under the paper's unit costs.
-// Scan and sort pages count one I/O per page.
+// Scan, sort and log pages count one I/O per page.
 func (c Counts) IOs() int64 {
 	return c.Searches*CostSearch +
 		c.Fetches*CostFetch +
 		c.Inserts*CostInsert +
 		c.Deletes*CostDelete +
 		c.ScanPages +
-		c.SortPages
+		c.SortPages +
+		c.LogPages
 }

@@ -1,0 +1,260 @@
+// Package wal implements the durability substrate of the parallel RDBMS: an
+// append-only, LSN-ordered redo log per data node plus fuzzy checkpoints of
+// the node's fragments, so a fail-stop crash that loses all volatile state
+// can be recovered by reloading the last checkpoint image and replaying the
+// log tail — instead of re-scanning the surviving nodes' base relations.
+//
+// The log also carries the node-side records of presumed-abort two-phase
+// commit: PREPARE when the coordinator asks the node to vote on a
+// sequence-numbered DML batch, COMMIT/ABORT when the decision arrives. A
+// restarted node derives its in-doubt transaction set from these records and
+// resolves it against the coordinator's decision log.
+//
+// Durable writes are metered as page I/Os through the existing
+// storage.Meter (Counts.LogPages): records accumulate into log pages, a
+// Force flushes the current partial page (the commit-point write), and
+// checkpoint images are charged at their data-page size. Everything is
+// in-memory — the Store is the simulator's stand-in for the node's disk,
+// surviving the wipe of the node's volatile state.
+package wal
+
+import (
+	"fmt"
+	"sync"
+
+	"joinview/internal/gindex"
+	"joinview/internal/storage"
+)
+
+// RecordKind tags a log record.
+type RecordKind uint8
+
+// Log record kinds.
+const (
+	// KindRedo is a logical redo record: one mutating request the node
+	// applied, with the response it produced (replay re-executes the
+	// request; abort resolution inverts it using the response).
+	KindRedo RecordKind = iota
+	// KindPrepare marks a transaction prepared at this node: its redo
+	// records are durable and the node votes yes. Written at the force
+	// point of two-phase commit's first phase.
+	KindPrepare
+	// KindCommit records the commit decision for a transaction (node side:
+	// learned from the coordinator; coordinator side: the decision itself).
+	KindCommit
+	// KindAbort records an abort decision. Under presumed abort the
+	// coordinator never logs these; nodes log one after undoing a
+	// transaction locally so a later replay does not resurrect it as
+	// in-doubt.
+	KindAbort
+)
+
+func (k RecordKind) String() string {
+	switch k {
+	case KindRedo:
+		return "redo"
+	case KindPrepare:
+		return "prepare"
+	case KindCommit:
+		return "commit"
+	case KindAbort:
+		return "abort"
+	default:
+		return "unknown"
+	}
+}
+
+// Record is one log entry. LSN is assigned by Append and strictly
+// increases; replay applies records in LSN order.
+type Record struct {
+	LSN  uint64
+	Kind RecordKind
+	// TID is the coordinator-assigned transaction (statement) id; zero for
+	// work outside any transaction (DDL backfill, recovery repairs).
+	TID uint64
+	// Seq is the request's idempotency sequence number (zero for records
+	// that did not travel in a Seq envelope). Replay rebuilds the node's
+	// dedup cache from it.
+	Seq uint64
+	// Req is the logical redo payload (a node request); Resp the response
+	// the node produced, kept for dedup-cache rebuild and abort inversion.
+	Req  any
+	Resp any
+}
+
+// Log is an append-only, LSN-ordered record log with page-grained I/O
+// metering. Safe for concurrent use.
+type Log struct {
+	mu          sync.Mutex
+	recs        []Record
+	nextLSN     uint64
+	truncated   uint64 // records dropped by truncation (LSNs 1..truncated)
+	meter       *storage.Meter
+	recsPerPage int
+	unflushed   int // records appended since the last page-boundary/force write
+}
+
+// NewLog creates an empty log charging page I/O to meter. recsPerPage is
+// how many records fit one log page (storage.DefaultPageRows if
+// non-positive, matching the data-page geometry).
+func NewLog(meter *storage.Meter, recsPerPage int) *Log {
+	if recsPerPage <= 0 {
+		recsPerPage = storage.DefaultPageRows
+	}
+	if meter == nil {
+		meter = &storage.Meter{}
+	}
+	return &Log{meter: meter, recsPerPage: recsPerPage, nextLSN: 1}
+}
+
+// Append assigns the next LSN, stores the record and returns the LSN. A
+// full page of records charges one log-page write; partial pages stay
+// buffered until Force (group commit).
+func (l *Log) Append(r Record) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r.LSN = l.nextLSN
+	l.nextLSN++
+	l.recs = append(l.recs, r)
+	l.unflushed++
+	if l.unflushed >= l.recsPerPage {
+		l.meter.LogPages(1)
+		l.unflushed = 0
+	}
+	return r.LSN
+}
+
+// Force flushes the buffered partial page, charging one log-page write if
+// anything was pending — the commit-point write of two-phase commit.
+func (l *Log) Force() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.unflushed > 0 {
+		l.meter.LogPages(1)
+		l.unflushed = 0
+	}
+}
+
+// LastLSN returns the highest assigned LSN (0 when empty).
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN - 1
+}
+
+// Len returns the number of retained records.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.recs)
+}
+
+// Pages returns the page count of the retained records (reading the whole
+// retained log costs this many page I/Os).
+func (l *Log) Pages() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return (len(l.recs) + l.recsPerPage - 1) / l.recsPerPage
+}
+
+// TailFrom returns a copy of all retained records with LSN > lsn, in LSN
+// order, charging the page reads to the meter (recovery replay).
+func (l *Log) TailFrom(lsn uint64) []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	i := 0
+	for i < len(l.recs) && l.recs[i].LSN <= lsn {
+		i++
+	}
+	out := append([]Record(nil), l.recs[i:]...)
+	l.meter.LogPages(int64((len(out) + l.recsPerPage - 1) / l.recsPerPage))
+	return out
+}
+
+// All returns a copy of every retained record without charging I/O
+// (in-doubt bookkeeping sweeps, tests).
+func (l *Log) All() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Record(nil), l.recs...)
+}
+
+// TruncateThrough drops records with LSN <= lsn (checkpoint reclamation).
+// Future LSN assignment is unaffected.
+func (l *Log) TruncateThrough(lsn uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	i := 0
+	for i < len(l.recs) && l.recs[i].LSN <= lsn {
+		i++
+	}
+	if i > 0 {
+		l.truncated += uint64(i)
+		l.recs = append([]Record(nil), l.recs[i:]...)
+	}
+}
+
+// Checkpoint is a consistent image of one node's durable state at a log
+// position: every fragment (base, auxiliary relation, view), every
+// global-index fragment, and the idempotency (dedup) cache. A node restart
+// loads the checkpoint and replays records with LSN > Checkpoint.LSN.
+type Checkpoint struct {
+	LSN       uint64
+	Frags     map[string]storage.FragmentSnapshot
+	GIdx      map[string]gindex.Snapshot
+	Seen      map[uint64]any
+	SeenOrder []uint64
+	// Pages is the data-page size of the image: what writing it cost, and
+	// what reloading it costs at recovery.
+	Pages int
+}
+
+// Store is one node's durable area: the log and the latest checkpoint. It
+// survives the wipe of the node's volatile state (the simulator's disk).
+type Store struct {
+	Log *Log
+
+	mu   sync.Mutex
+	ckpt *Checkpoint
+}
+
+// NewStore creates a durable area with an empty log.
+func NewStore(meter *storage.Meter, recsPerPage int) *Store {
+	return &Store{Log: NewLog(meter, recsPerPage)}
+}
+
+// SetCheckpoint installs a new checkpoint image, charges its page write,
+// and reclaims the log prefix it covers — except records of transactions
+// still undecided (their redo records must stay replayable for local abort),
+// whose earliest LSN bounds the truncation.
+func (s *Store) SetCheckpoint(c *Checkpoint, minPendingLSN uint64) {
+	s.mu.Lock()
+	s.ckpt = c
+	s.mu.Unlock()
+	s.Log.meterLogPages(int64(c.Pages))
+	limit := c.LSN
+	if minPendingLSN > 0 && minPendingLSN-1 < limit {
+		limit = minPendingLSN - 1
+	}
+	s.Log.TruncateThrough(limit)
+}
+
+// Checkpoint returns the latest installed checkpoint (nil if none).
+func (s *Store) Checkpoint() *Checkpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ckpt
+}
+
+// meterLogPages charges page I/O on the log's meter (checkpoint image
+// writes and reads share the log device in this model).
+func (l *Log) meterLogPages(n int64) {
+	if n > 0 {
+		l.meter.LogPages(n)
+	}
+}
+
+// String renders a record for diagnostics.
+func (r Record) String() string {
+	return fmt.Sprintf("lsn=%d %s tid=%d seq=%d %T", r.LSN, r.Kind, r.TID, r.Seq, r.Req)
+}

@@ -1,0 +1,97 @@
+package wal
+
+import (
+	"testing"
+
+	"joinview/internal/storage"
+)
+
+func TestAppendAssignsIncreasingLSNs(t *testing.T) {
+	l := NewLog(&storage.Meter{}, 4)
+	for i := 1; i <= 5; i++ {
+		lsn := l.Append(Record{Kind: KindRedo})
+		if lsn != uint64(i) {
+			t.Fatalf("append %d: lsn = %d", i, lsn)
+		}
+	}
+	if got := l.LastLSN(); got != 5 {
+		t.Fatalf("LastLSN = %d, want 5", got)
+	}
+}
+
+func TestPageMeteringAndForce(t *testing.T) {
+	m := &storage.Meter{}
+	l := NewLog(m, 4)
+	for i := 0; i < 4; i++ {
+		l.Append(Record{Kind: KindRedo})
+	}
+	if got := m.Snapshot().LogPages; got != 1 {
+		t.Fatalf("after full page: LogPages = %d, want 1", got)
+	}
+	l.Append(Record{Kind: KindRedo})
+	if got := m.Snapshot().LogPages; got != 1 {
+		t.Fatalf("partial page should stay buffered: LogPages = %d, want 1", got)
+	}
+	l.Force()
+	if got := m.Snapshot().LogPages; got != 2 {
+		t.Fatalf("after force: LogPages = %d, want 2", got)
+	}
+	// Force with nothing pending is free.
+	l.Force()
+	if got := m.Snapshot().LogPages; got != 2 {
+		t.Fatalf("idle force charged I/O: LogPages = %d, want 2", got)
+	}
+}
+
+func TestTailFromAndTruncate(t *testing.T) {
+	m := &storage.Meter{}
+	l := NewLog(m, 2)
+	for i := 0; i < 6; i++ {
+		l.Append(Record{Kind: KindRedo, TID: uint64(i + 1)})
+	}
+	tail := l.TailFrom(4)
+	if len(tail) != 2 || tail[0].LSN != 5 || tail[1].LSN != 6 {
+		t.Fatalf("TailFrom(4) = %+v", tail)
+	}
+
+	l.TruncateThrough(3)
+	if got := l.Len(); got != 3 {
+		t.Fatalf("after truncate: Len = %d, want 3", got)
+	}
+	all := l.All()
+	if all[0].LSN != 4 {
+		t.Fatalf("first retained LSN = %d, want 4", all[0].LSN)
+	}
+	// LSN assignment continues past truncation.
+	if lsn := l.Append(Record{Kind: KindRedo}); lsn != 7 {
+		t.Fatalf("post-truncate append lsn = %d, want 7", lsn)
+	}
+}
+
+func TestStoreCheckpointTruncation(t *testing.T) {
+	m := &storage.Meter{}
+	s := NewStore(m, 2)
+	for i := 0; i < 8; i++ {
+		s.Log.Append(Record{Kind: KindRedo, TID: 1})
+	}
+	before := m.Snapshot().LogPages
+
+	// Checkpoint at LSN 6 but a pending transaction's first record is LSN 4:
+	// truncation must stop at 3.
+	s.SetCheckpoint(&Checkpoint{LSN: 6, Pages: 3}, 4)
+	if got := m.Snapshot().LogPages - before; got != 3 {
+		t.Fatalf("checkpoint image charged %d pages, want 3", got)
+	}
+	if got := s.Log.All()[0].LSN; got != 4 {
+		t.Fatalf("first retained LSN = %d, want 4", got)
+	}
+	if c := s.Checkpoint(); c == nil || c.LSN != 6 {
+		t.Fatalf("Checkpoint() = %+v", c)
+	}
+
+	// No pending transactions: truncate all the way through the ckpt LSN.
+	s.SetCheckpoint(&Checkpoint{LSN: 8, Pages: 3}, 0)
+	if got := s.Log.Len(); got != 0 {
+		t.Fatalf("after full truncation: Len = %d, want 0", got)
+	}
+}

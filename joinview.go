@@ -173,10 +173,23 @@ type Options struct {
 	// RetryBackoff is the base sleep between attempts, doubled each retry
 	// (default 0: retry immediately, which keeps simulations fast).
 	RetryBackoff time.Duration
+	// RetryBackoffMax caps the exponential backoff delay (default 1s).
+	RetryBackoffMax time.Duration
+	// RetrySeed seeds the deterministic backoff jitter (default 1).
+	RetrySeed int64
 	// Faults wires a fault injector into the transport for chaos testing:
 	// build one with NewFaultInjector, Arm it when the storm should start,
 	// and use Crash/Restart plus DB.Recover to exercise node failures.
 	Faults *FaultInjector
+	// Durability gives every node a write-ahead log and checkpoint area and
+	// runs each DML statement under presumed-abort two-phase commit. A
+	// crashed node (CrashNode) loses its volatile state and recovers from
+	// its checkpoint plus log tail (RestartNode / Recover) instead of a
+	// full derived-fragment rebuild.
+	Durability bool
+	// CheckpointEvery takes an automatic per-node checkpoint after that
+	// many redo records (0: only explicit Checkpoint calls).
+	CheckpointEvery int
 }
 
 // Fault-injection surface, re-exported from the internal fault package.
@@ -219,17 +232,21 @@ func Open(opts Options) (*DB, error) {
 		algo = node.AlgoSortMerge
 	}
 	c, err := cluster.New(cluster.Config{
-		Nodes:         opts.Nodes,
-		PageRows:      opts.PageRows,
-		MemPages:      opts.MemPages,
-		UseChannels:   opts.UseChannels,
-		Algo:          algo,
-		BufferPages:   opts.BufferPages,
-		NetLatency:    opts.NetLatency,
-		CallTimeout:   opts.CallTimeout,
-		RetryAttempts: opts.RetryAttempts,
-		RetryBackoff:  opts.RetryBackoff,
-		Faults:        opts.Faults,
+		Nodes:           opts.Nodes,
+		PageRows:        opts.PageRows,
+		MemPages:        opts.MemPages,
+		UseChannels:     opts.UseChannels,
+		Algo:            algo,
+		BufferPages:     opts.BufferPages,
+		NetLatency:      opts.NetLatency,
+		CallTimeout:     opts.CallTimeout,
+		RetryAttempts:   opts.RetryAttempts,
+		RetryBackoff:    opts.RetryBackoff,
+		RetryBackoffMax: opts.RetryBackoffMax,
+		RetrySeed:       opts.RetrySeed,
+		Faults:          opts.Faults,
+		Durability:      opts.Durability,
+		CheckpointEvery: opts.CheckpointEvery,
 	})
 	if err != nil {
 		return nil, err
@@ -381,11 +398,43 @@ func (db *DB) Degraded() []int { return db.c.Degraded() }
 // waiting for a delivery to discover it.
 func (db *DB) MarkNodeDown(n int) error { return db.c.MarkNodeDown(n) }
 
-// Recover repairs a restarted node: replays compensations that could not
-// reach it, resolves in-doubt deliveries, and — once every node is back —
-// rebuilds the node's auxiliary-relation, global-index and view fragments
-// from the base relations.
+// Recover repairs a restarted node. In Durability mode it restarts the
+// node from its checkpoint plus write-ahead-log tail and resolves its
+// in-doubt transactions against the coordinator's decision log; otherwise
+// it replays compensations that could not reach the node, resolves
+// in-doubt deliveries, and rebuilds the node's derived fragments from the
+// base relations.
 func (db *DB) Recover(n int) error { return db.c.Recover(n) }
+
+// RecoveryReport accounts what one recovery did and what it cost (mode,
+// pages read, records replayed, in-doubt transactions resolved).
+type RecoveryReport = cluster.RecoveryReport
+
+// RecoverWithReport is Recover plus the cost accounting.
+func (db *DB) RecoverWithReport(n int) (RecoveryReport, error) {
+	return db.c.RecoverWithReport(n)
+}
+
+// CheckpointResult reports one node's checkpoint: the log position it
+// covers and the pages its state image cost.
+type CheckpointResult = node.CheckpointResult
+
+// Checkpoint snapshots every live node's state to its durable area and
+// truncates the covered log prefix (Durability mode only).
+func (db *DB) Checkpoint() ([]CheckpointResult, error) { return db.c.Checkpoint() }
+
+// CrashNode fail-stops a durable node: its fragments, indexes and dedup
+// cache are wiped; only the write-ahead log and last checkpoint survive
+// (Durability mode only).
+func (db *DB) CrashNode(n int) error { return db.c.CrashNode(n) }
+
+// RestartResult summarizes a node restart: the checkpoint it loaded, the
+// log tail it replayed, and the transactions still in doubt.
+type RestartResult = node.RestartResult
+
+// RestartNode brings a crashed durable node back from its checkpoint and
+// log tail, leaving in-doubt transactions for Recover to resolve.
+func (db *DB) RestartNode(n int) (RestartResult, error) { return db.c.RestartNode(n) }
 
 // Cluster exposes the underlying engine for the in-repo benchmarks and
 // examples that need lower-level access (experiment harnesses).
