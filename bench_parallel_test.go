@@ -1,0 +1,98 @@
+package joinview
+
+// Benchmarks for the scatter-gather execution layer: concurrent-session
+// throughput under the table-level lock manager (serial baseline vs
+// parallel dispatch) and the per-statement dispatch cost itself. The CI
+// smoke job runs BenchmarkParallelDispatch with -benchtime=1x; the full
+// numbers land in BENCH_parallel.json via `jvbench -parallel -json`.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"joinview/internal/catalog"
+	"joinview/internal/cluster"
+	"joinview/internal/experiments"
+	"joinview/internal/node"
+)
+
+// BenchmarkConcurrentSessions measures whole-cluster statement throughput
+// with 4 sessions on independent schemas at L=8, on the channel transport
+// with a simulated interconnect: the serial sub-benchmark pins the seed's
+// one-big-lock model (Config.SerialDML), the parallel one runs the lock
+// manager plus scatter-gather dispatch. Compare stmts/sec across the two.
+func BenchmarkConcurrentSessions(b *testing.B) {
+	const l, sessions, rows = 8, 4, 8
+	for _, mode := range []struct {
+		name   string
+		serial bool
+	}{{"serial", true}, {"parallel", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			c, err := cluster.New(cluster.Config{
+				Nodes: l, Algo: node.AlgoIndex, UseChannels: true,
+				SerialDML: mode.serial, NetLatency: experiments.DefaultNetLatency,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			if err := experiments.LoadSessionSchemas(c, sessions, catalog.StrategyAuxRel); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			// One op = every session issuing one statement concurrently.
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				errs := make([]error, sessions)
+				for s := 0; s < sessions; s++ {
+					wg.Add(1)
+					go func(s int) {
+						defer wg.Done()
+						errs[s] = c.Insert(fmt.Sprintf("a%d", s), experiments.SessionInserts(s, i, rows))
+					}(s)
+				}
+				wg.Wait()
+				for _, e := range errs {
+					if e != nil {
+						b.Fatal(e)
+					}
+				}
+			}
+			b.StopTimer()
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(b.N*sessions)/sec, "stmts/sec")
+			}
+		})
+	}
+}
+
+// BenchmarkParallelDispatch exercises one statement's scatter-gather path
+// (base-relation fan-out, auxiliary-relation fan-out, batched global-index
+// envelopes) on the channel transport with parallel dispatch. Run with
+// -benchmem to watch the bucketing and envelope allocation costs.
+func BenchmarkParallelDispatch(b *testing.B) {
+	const l, rows = 8, 64
+	c, err := cluster.New(cluster.Config{
+		Nodes: l, Algo: node.AlgoIndex, UseChannels: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if err := experiments.LoadSessionSchemas(c, 1, catalog.StrategyAuto); err != nil {
+		b.Fatal(err)
+	}
+	c.ResetMetrics()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Insert("a0", experiments.SessionInserts(0, i, rows)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	m := c.Metrics()
+	b.ReportMetric(float64(m.TotalIOs())/float64(b.N), "tw-ios/op")
+	b.ReportMetric(float64(m.Net.Messages)/float64(b.N), "msgs/op")
+	b.ReportMetric(float64(m.Net.Envelopes)/float64(b.N), "envelopes/op")
+}

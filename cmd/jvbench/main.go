@@ -16,25 +16,45 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"joinview/internal/experiments"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, fig7..fig14, storage, buffering, skew, network, faults, durability")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, fig7..fig14, storage, buffering, skew, network, faults, durability, parallel")
 	measured := flag.Bool("measured", false, "also run the measured (simulator) variants of figs 7-11")
 	maxL := flag.Int("maxl", 128, "largest node count to sweep")
 	scale := flag.Int("scale", 100, "Table 1 scale divisor for fig14 (100 = 1,500 customers)")
 	deltaA := flag.Int("a", 128, "tuples inserted into customer for fig14")
 	faultRate := flag.Float64("faults", 0.02, "per-kind fault probability for -exp faults")
 	csvDir := flag.String("csv", "", "also write each result table as CSV into this directory")
+	parallel := flag.Bool("parallel", false, "run the concurrent-sessions experiment (serial vs parallel dispatch)")
+	jsonOut := flag.String("json", "", "write the concurrent-sessions results as JSON to this file (implies -parallel)")
+	sessions := flag.Int("sessions", 4, "concurrent sessions for -parallel")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jvbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "jvbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "jvbench:", err)
@@ -42,10 +62,58 @@ func main() {
 		}
 	}
 	csvOut = *csvDir
-	if err := run(*exp, *measured, *maxL, *scale, *deltaA, *faultRate); err != nil {
+	exitCode := 0
+	if *parallel || *jsonOut != "" || *exp == "parallel" {
+		if err := runParallel(*maxL, *sessions, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "jvbench:", err)
+			exitCode = 1
+		}
+	} else if err := run(*exp, *measured, *maxL, *scale, *deltaA, *faultRate); err != nil {
 		fmt.Fprintln(os.Stderr, "jvbench:", err)
-		os.Exit(1)
+		exitCode = 1
 	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jvbench:", err)
+			exitCode = 1
+		} else {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "jvbench:", err)
+				exitCode = 1
+			}
+			f.Close()
+		}
+	}
+	if exitCode != 0 {
+		os.Exit(exitCode)
+	}
+}
+
+// runParallel runs the concurrent-sessions experiment at L=2/8/32 (capped
+// by maxL) and optionally writes the results as JSON.
+func runParallel(maxL, sessions int, jsonPath string) error {
+	ls := capLs([]int{2, 8, 32}, maxL)
+	start := time.Now()
+	results, err := experiments.ConcurrentSessions(ls, sessions, 20, 8, experiments.DefaultNetLatency)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.ConcurrentSessionsGrid(results).Render())
+	fmt.Printf("(measured in %v; %d sessions, simulated %v/message interconnect)\n\n",
+		time.Since(start).Round(time.Millisecond), sessions, experiments.DefaultNetLatency)
+	if jsonPath == "" {
+		return nil
+	}
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
 }
 
 // csvOut, when set, receives one CSV file per result grid.

@@ -15,6 +15,7 @@ import (
 	"joinview/internal/catalog"
 	"joinview/internal/fault"
 	"joinview/internal/hashpart"
+	"joinview/internal/lockmgr"
 	"joinview/internal/maintain"
 	"joinview/internal/netsim"
 	"joinview/internal/node"
@@ -81,6 +82,17 @@ type Config struct {
 	// CheckpointEvery makes each durable node take an automatic checkpoint
 	// after that many logged redo records (0 = manual checkpoints only).
 	CheckpointEvery int
+	// ScatterWorkers bounds how many per-node calls one maintenance
+	// fan-out keeps in flight on the channel transport (0 = one per
+	// destination node). Ignored by the Direct transport, which always
+	// dispatches serially.
+	ScatterWorkers int
+	// SerialDML restores the seed's execution model on the channel
+	// transport: one global statement lock and serial per-node dispatch.
+	// The concurrent-session benchmarks use it as the baseline the
+	// scatter-gather dispatcher and the table-level lock manager are
+	// measured against.
+	SerialDML bool
 }
 
 // Cluster is a running parallel RDBMS instance.
@@ -130,10 +142,17 @@ type Cluster struct {
 	repairs     map[int][]repair
 	needRebuild map[int]bool
 
-	// mu serializes DML statements at the coordinator, standing in for
-	// the paper's transaction-level locking; individual statements still
-	// fan out across nodes in parallel under the channel transport.
-	mu sync.Mutex
+	// lm is the coordinator's table-level lock manager, standing in for
+	// the paper's transaction-level locking. Statements lock the tables
+	// and derived structures they touch, so non-conflicting statements
+	// from concurrent sessions run in parallel on the channel transport;
+	// DDL, recovery and every serial execution mode take the manager's
+	// global exclusive lock instead (see locks.go).
+	lm *lockmgr.Manager
+
+	// tempSeq names temporary query fragments uniquely across concurrent
+	// QueryJoin calls.
+	tempSeq atomic.Uint64
 }
 
 // New builds a cluster. It returns an error for a non-positive node count.
@@ -168,6 +187,7 @@ func New(cfg Config) (*Cluster, error) {
 		parts:       map[int]bool{},
 		coordMeter:  &storage.Meter{},
 		decided:     map[uint64]bool{},
+		lm:          lockmgr.New(),
 	}
 	c.coordLog = wal.NewLog(c.coordMeter, cfg.PageRows)
 	handlers := make([]netsim.Handler, cfg.Nodes)
@@ -197,7 +217,13 @@ func New(cfg Config) (*Cluster, error) {
 		c.inner = fault.Wrap(c.inner, cfg.Faults)
 	}
 	c.tr = &resilientTransport{c: c}
-	c.env = maintain.Env{T: c.tr, Part: c.part, Cat: c.cat}
+	c.env = maintain.Env{
+		T:        c.tr,
+		Part:     c.part,
+		Cat:      c.cat,
+		Parallel: c.parallelDispatch(),
+		Workers:  cfg.ScatterWorkers,
+	}
 	return c, nil
 }
 
@@ -316,6 +342,7 @@ func (m Metrics) Sub(o Metrics) Metrics {
 	out.Net = netsim.Stats{
 		Messages:   m.Net.Messages - o.Net.Messages,
 		LocalCalls: m.Net.LocalCalls - o.Net.LocalCalls,
+		Envelopes:  m.Net.Envelopes - o.Net.Envelopes,
 	}
 	out.Retries = m.Retries - o.Retries
 	out.Coord = m.Coord.Sub(o.Coord)

@@ -246,8 +246,8 @@ func (c *Cluster) CreateView(v *catalog.View) error {
 // for it stay (other views may share them; drop them explicitly with
 // DropAuxRel/DropGlobalIndex).
 func (c *Cluster) DropView(name string) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	h := c.lockGlobal()
+	defer h.Release()
 	if err := c.cat.DropView(name); err != nil {
 		return err
 	}
@@ -257,8 +257,8 @@ func (c *Cluster) DropView(name string) error {
 // DropAuxRel removes an auxiliary relation and its fragments. It refuses
 // if a view's maintenance still depends on it.
 func (c *Cluster) DropAuxRel(name string) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	h := c.lockGlobal()
+	defer h.Release()
 	ar, err := c.cat.AuxRel(name)
 	if err != nil {
 		return err
@@ -309,8 +309,8 @@ func (c *Cluster) viewNeedingAuxRel(ar *catalog.AuxRel) string {
 
 // DropGlobalIndex removes a global index and its fragments.
 func (c *Cluster) DropGlobalIndex(name string) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	h := c.lockGlobal()
+	defer h.Release()
 	if err := c.cat.DropGlobalIndex(name); err != nil {
 		return err
 	}
@@ -320,8 +320,8 @@ func (c *Cluster) DropGlobalIndex(name string) error {
 // DropTable removes a base table, cascading over its auxiliary relations
 // and global indexes; it refuses while any view references the table.
 func (c *Cluster) DropTable(name string) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	h := c.lockGlobal()
+	defer h.Release()
 	if _, err := c.cat.Table(name); err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 
 	"joinview/internal/catalog"
@@ -23,6 +24,13 @@ type located struct {
 	tuple types.Tuple
 }
 
+// errNoVictims aborts a delete/update statement that matched nothing. The
+// statement scope still opened (the victim scan runs inside it, so a
+// concurrent writer cannot invalidate located row ids between scan and
+// apply), but under presumed abort an empty statement costs nothing: no
+// participants, no decision record.
+var errNoVictims = errors.New("cluster: statement matched no tuples")
+
 // Insert runs one insert transaction against a base table: route and store
 // the tuples, update every auxiliary relation and global index of the
 // table, then propagate the delta into every join view on the table using
@@ -32,8 +40,8 @@ func (c *Cluster) Insert(table string, tuples []types.Tuple) error {
 	if len(tuples) == 0 {
 		return nil
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	h := c.lockStmt(table)
+	defer h.Release()
 	if err := c.failIfDegraded(); err != nil {
 		return err
 	}
@@ -75,34 +83,64 @@ func (c *Cluster) insertLocked(tx *txn.Txn, t *catalog.Table, tuples []types.Tup
 // returning each tuple's storage location.
 func (c *Cluster) insertBase(tx *txn.Txn, t *catalog.Table, tuples []types.Tuple) ([]located, error) {
 	pi := t.Schema.MustColIndex(t.PartitionCol)
-	bucketTuples := make([][]types.Tuple, c.cfg.Nodes)
-	bucketIdx := make([][]int, c.cfg.Nodes)
+	// Two counting passes carve the per-node buckets (tuples and original
+	// indexes) out of two exactly-sized backing arrays — no append growth
+	// on the hot path.
+	homes := make([]int, len(tuples))
+	counts := make([]int, c.cfg.Nodes)
 	for i, tup := range tuples {
 		if err := t.Schema.Validate(tup); err != nil {
 			return nil, fmt.Errorf("cluster: insert into %q: %w", t.Name, err)
 		}
 		n := c.part.NodeFor(tup[pi])
+		homes[i] = n
+		counts[n]++
+	}
+	tupleBacking := make([]types.Tuple, len(tuples))
+	idxBacking := make([]int, len(tuples))
+	bucketTuples := make([][]types.Tuple, c.cfg.Nodes)
+	bucketIdx := make([][]int, c.cfg.Nodes)
+	off := 0
+	for n := 0; n < c.cfg.Nodes; n++ {
+		bucketTuples[n] = tupleBacking[off:off : off+counts[n]]
+		bucketIdx[n] = idxBacking[off:off : off+counts[n]]
+		off += counts[n]
+	}
+	for i, tup := range tuples {
+		n := homes[i]
 		bucketTuples[n] = append(bucketTuples[n], tup)
 		bucketIdx[n] = append(bucketIdx[n], i)
 	}
-	locs := make([]located, len(tuples))
+	var calls []netsim.Call
+	var dests []int
 	for n, bucket := range bucketTuples {
 		if len(bucket) == 0 {
 			continue
 		}
-		resp, err := c.call(n, node.Insert{Frag: t.Name, Tuples: bucket})
-		if err != nil {
-			return nil, err
+		calls = append(calls, netsim.Call{From: netsim.Coordinator, To: n, Req: node.Insert{Frag: t.Name, Tuples: bucket}})
+		dests = append(dests, n)
+	}
+	resps, scErr := c.scatter(calls)
+	// Register a compensation for every call that succeeded before
+	// reporting any failure: under parallel dispatch, calls after the
+	// failed index still ran and their work must roll back too.
+	locs := make([]located, len(tuples))
+	for ci, resp := range resps {
+		if resp == nil {
+			continue
 		}
+		n := dests[ci]
 		rows := resp.(node.InsertResult).Rows
-		n := n
 		rowsCopy := append([]storage.RowID(nil), rows...)
 		tx.OnRollback(func() error {
 			return c.undoCall(n, node.DeleteRows{Frag: t.Name, Rows: rowsCopy})
 		})
 		for bi, row := range rows {
-			locs[bucketIdx[n][bi]] = located{node: n, row: row, tuple: bucket[bi]}
+			locs[bucketIdx[n][bi]] = located{node: n, row: row, tuple: bucketTuples[n][bi]}
 		}
+	}
+	if scErr != nil {
+		return nil, scErr
 	}
 	return locs, nil
 }
@@ -119,70 +157,146 @@ func (c *Cluster) updateAuxRels(tx *txn.Txn, t *catalog.Table, tuples []types.Tu
 		if err != nil {
 			return err
 		}
+		arName := ar.Name
+		partCol := ar.PartitionCol
+		var calls []netsim.Call
+		var dests []int
 		for n, bucket := range buckets {
 			if len(bucket) == 0 {
 				continue
 			}
-			n, bucket := n, bucket
-			arName := ar.Name
-			partCol := ar.PartitionCol
+			var req any
 			if op == maintain.OpInsert {
-				resp, err := c.call(n, node.Insert{Frag: arName, Tuples: bucket})
-				if err != nil {
-					return err
-				}
+				req = node.Insert{Frag: arName, Tuples: bucket}
+			} else {
+				req = node.DeleteMatch{Frag: arName, HintCol: partCol, Tuples: bucket}
+			}
+			calls = append(calls, netsim.Call{From: netsim.Coordinator, To: n, Req: req})
+			dests = append(dests, n)
+		}
+		resps, scErr := c.scatter(calls)
+		for ci, resp := range resps {
+			if resp == nil {
+				continue
+			}
+			n := dests[ci]
+			if op == maintain.OpInsert {
 				rows := append([]storage.RowID(nil), resp.(node.InsertResult).Rows...)
 				tx.OnRollback(func() error {
 					return c.undoCall(n, node.DeleteRows{Frag: arName, Rows: rows})
 				})
 			} else {
-				resp, err := c.call(n, node.DeleteMatch{Frag: arName, HintCol: partCol, Tuples: bucket})
-				if err != nil {
-					return err
-				}
 				dr := resp.(node.DeleteResult)
 				tx.OnRollback(func() error {
 					return c.undoCall(n, node.RestoreRows{Frag: arName, Rows: dr.Rows, Tuples: dr.Tuples})
 				})
 			}
 		}
+		if scErr != nil {
+			return scErr
+		}
 	}
 	return nil
 }
 
 // updateGlobalIndexes maintains every global index of the updated table.
-// Message accounting uses the base tuple's home node as the source: the
-// entry travels from where the tuple landed to the index's home node.
+// The statement's entries are grouped by index home node into one batched
+// envelope per destination per index — replacing the per-(tuple, index)
+// message storm — while each envelope's Sources field keeps the logical
+// accounting of the calls it replaces: every entry counts one SEND from
+// the base tuple's home node to the index home (free when they coincide),
+// and the node meters charge per entry, so the paper's cost figures are
+// unchanged by batching.
 func (c *Cluster) updateGlobalIndexes(tx *txn.Txn, t *catalog.Table, locs []located, op maintain.Op) error {
+	type giBatch struct {
+		vals []types.Value
+		gs   []storage.GlobalRowID
+		srcs []int32
+	}
 	for _, gi := range c.cat.GlobalIndexesFor(t.Name) {
 		ci := t.Schema.MustColIndex(gi.Col)
+		giName := gi.Name
+		batches := make([]giBatch, c.cfg.Nodes)
 		for _, loc := range locs {
 			val := loc.tuple[ci]
 			home := c.part.NodeFor(val)
-			g := storage.GlobalRowID{Node: int32(loc.node), Row: loc.row}
-			giName := gi.Name
+			b := &batches[home]
+			b.vals = append(b.vals, val)
+			b.gs = append(b.gs, storage.GlobalRowID{Node: int32(loc.node), Row: loc.row})
+			b.srcs = append(b.srcs, int32(loc.node))
+		}
+		var calls []netsim.Call
+		var dests []int
+		for home := range batches {
+			b := &batches[home]
+			if len(b.vals) == 0 {
+				continue
+			}
+			var req any
 			if op == maintain.OpInsert {
-				if _, err := c.tr.Call(loc.node, home, node.GIInsert{GI: giName, Val: val, G: g}); err != nil {
-					return err
-				}
+				req = node.GIInsertBatch{GI: giName, Vals: b.vals, Gs: b.gs, Metered: true, Sources: b.srcs}
+			} else {
+				req = node.GIDeleteBatch{GI: giName, Vals: b.vals, Gs: b.gs, Sources: b.srcs}
+			}
+			calls = append(calls, netsim.Call{From: netsim.Coordinator, To: home, Req: req})
+			dests = append(dests, home)
+		}
+		resps, scErr := c.scatter(calls)
+		var outOfSync error
+		for ci2, resp := range resps {
+			if resp == nil {
+				continue
+			}
+			home := dests[ci2]
+			b := batches[home]
+			if op == maintain.OpInsert {
+				// Compensations originate at the coordinator, like every
+				// undoCall: each undone entry is one coordinator SEND.
+				srcs := coordinatorSources(len(b.vals))
 				tx.OnRollback(func() error {
-					return c.undoCall(home, node.GIDelete{GI: giName, Val: val, G: g})
+					return c.undoCall(home, node.GIDeleteBatch{GI: giName, Vals: b.vals, Gs: b.gs, Sources: srcs})
 				})
 			} else {
-				resp, err := c.tr.Call(loc.node, home, node.GIDelete{GI: giName, Val: val, G: g})
-				if err != nil {
-					return err
+				ok := resp.(node.GIDeletedBatch).OK
+				restored := giBatch{}
+				for i, existed := range ok {
+					if !existed {
+						if outOfSync == nil {
+							outOfSync = fmt.Errorf("cluster: global index %q missing entry for %v (out of sync)", giName, b.vals[i])
+						}
+						continue
+					}
+					restored.vals = append(restored.vals, b.vals[i])
+					restored.gs = append(restored.gs, b.gs[i])
 				}
-				if !resp.(node.GIDeleted).OK {
-					return fmt.Errorf("cluster: global index %q missing entry for %v (out of sync)", giName, val)
+				if len(restored.vals) == 0 {
+					continue
 				}
+				srcs := coordinatorSources(len(restored.vals))
 				tx.OnRollback(func() error {
-					return c.undoCall(home, node.GIInsert{GI: giName, Val: val, G: g})
+					return c.undoCall(home, node.GIInsertBatch{GI: giName, Vals: restored.vals, Gs: restored.gs, Metered: true, Sources: srcs})
 				})
 			}
 		}
+		if scErr != nil {
+			return scErr
+		}
+		if outOfSync != nil {
+			return outOfSync
+		}
 	}
 	return nil
+}
+
+// coordinatorSources builds a Sources slice attributing every entry of a
+// compensation batch to the coordinator, matching the per-entry undoCall
+// accounting the batch replaces.
+func coordinatorSources(n int) []int32 {
+	srcs := make([]int32, n)
+	for i := range srcs {
+		srcs[i] = int32(netsim.Coordinator)
+	}
+	return srcs
 }
 
 // propagateToViews computes and applies the view delta for every join view
@@ -222,8 +336,8 @@ func (c *Cluster) propagateToViews(tx *txn.Txn, t *catalog.Table, tuples []types
 // Delete removes every tuple of the table matching pred, maintaining all
 // auxiliary structures and views, and returns the deleted tuples.
 func (c *Cluster) Delete(table string, pred expr.Expr) ([]types.Tuple, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	h := c.lockStmt(table)
+	defer h.Release()
 	deleted, err := c.deleteLocked(table, pred)
 	if err != nil {
 		return nil, err
@@ -240,16 +354,26 @@ func (c *Cluster) deleteLocked(table string, pred expr.Expr) ([]types.Tuple, err
 	if err != nil {
 		return nil, err
 	}
-	victims, locs, err := c.findVictims(table, pred)
-	if err != nil {
-		return nil, err
-	}
-	if len(victims) == 0 {
+	// The victim scan runs inside the statement scope: the located row ids
+	// stay valid until the statement's own deletes consume them, because
+	// the statement holds its table locks the whole time.
+	var victims []types.Tuple
+	err = c.runStmt(func(tx *txn.Txn) error {
+		var locs []located
+		var err error
+		victims, locs, err = c.findVictims(table, pred)
+		if err != nil {
+			return err
+		}
+		if len(victims) == 0 {
+			return errNoVictims
+		}
+		return c.applyDelete(tx, t, victims, locs)
+	})
+	if errors.Is(err, errNoVictims) {
 		return nil, nil
 	}
-	if err := c.runStmt(func(tx *txn.Txn) error {
-		return c.applyDelete(tx, t, victims, locs)
-	}); err != nil {
+	if err != nil {
 		return nil, err
 	}
 	return victims, nil
@@ -279,24 +403,38 @@ func (c *Cluster) findVictims(table string, pred expr.Expr) ([]types.Tuple, []lo
 // propagates the delta through every auxiliary structure and view,
 // registering compensations on tx.
 func (c *Cluster) applyDelete(tx *txn.Txn, t *catalog.Table, victims []types.Tuple, locs []located) error {
-	// 1. Delete from the base relation.
-	byNode := map[int][]storage.RowID{}
+	// 1. Delete from the base relation: one scatter call per node holding
+	// victims, in node order (findVictims emits locs node-by-node, so the
+	// grouping below is already sorted and the dispatch is deterministic).
+	byNode := make([][]storage.RowID, c.cfg.Nodes)
 	for _, loc := range locs {
 		byNode[loc.node] = append(byNode[loc.node], loc.row)
 	}
+	var calls []netsim.Call
+	var dests []int
 	for n, rows := range byNode {
-		resp, err := c.call(n, node.DeleteRows{Frag: t.Name, Rows: rows})
-		if err != nil {
-			return err
+		if len(rows) == 0 {
+			continue
+		}
+		calls = append(calls, netsim.Call{From: netsim.Coordinator, To: n, Req: node.DeleteRows{Frag: t.Name, Rows: rows}})
+		dests = append(dests, n)
+	}
+	resps, scErr := c.scatter(calls)
+	for ci, resp := range resps {
+		if resp == nil {
+			continue
 		}
 		dr := resp.(node.DeleteResult)
-		n := n
+		n := dests[ci]
 		// Restore at the original row ids: global-index entries reference
 		// (node, row) pairs, so a plain re-insert (which allocates fresh
 		// ids) would leave every GI entry for these tuples dangling.
 		tx.OnRollback(func() error {
 			return c.undoCall(n, node.RestoreRows{Frag: t.Name, Rows: dr.Rows, Tuples: dr.Tuples})
 		})
+	}
+	if scErr != nil {
+		return scErr
 	}
 	// 2. Auxiliary relations.
 	if err := c.updateAuxRels(tx, t, victims, maintain.OpDelete, locs); err != nil {
@@ -315,8 +453,8 @@ func (c *Cluster) applyDelete(tx *txn.Txn, t *catalog.Table, victims []types.Tup
 // of the old tuples followed by an insert of the new ones, all inside one
 // transaction scope. It returns the number of tuples updated.
 func (c *Cluster) Update(table string, set map[string]types.Value, pred expr.Expr) (int, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	h := c.lockStmt(table)
+	defer h.Release()
 	t, err := c.cat.Table(table)
 	if err != nil {
 		return 0, err
@@ -329,32 +467,40 @@ func (c *Cluster) Update(table string, set map[string]types.Value, pred expr.Exp
 	if err := c.failIfDegraded(); err != nil {
 		return 0, err
 	}
-	victims, locs, err := c.findVictims(table, pred)
-	if err != nil {
-		return 0, err
-	}
-	if len(victims) == 0 {
-		return 0, nil
-	}
-	replacement := make([]types.Tuple, len(victims))
-	for i, v := range victims {
-		nt := v.Clone()
-		for col, val := range set {
-			nt[t.Schema.MustColIndex(col)] = val
+	// The victim scan, the delete half and the insert half all run inside
+	// one statement scope: a failure anywhere leaves neither half applied,
+	// and the located row ids cannot be invalidated between scan and apply
+	// because the statement holds its table locks throughout.
+	count := 0
+	err = c.runStmt(func(tx *txn.Txn) error {
+		victims, locs, err := c.findVictims(table, pred)
+		if err != nil {
+			return err
 		}
-		replacement[i] = nt
-	}
-	// Both halves run inside one statement scope, so a failure anywhere
-	// leaves neither the delete nor the insert applied.
-	if err := c.runStmt(func(tx *txn.Txn) error {
+		if len(victims) == 0 {
+			return errNoVictims
+		}
+		count = len(victims)
+		replacement := make([]types.Tuple, len(victims))
+		for i, v := range victims {
+			nt := v.Clone()
+			for col, val := range set {
+				nt[t.Schema.MustColIndex(col)] = val
+			}
+			replacement[i] = nt
+		}
 		if err := c.applyDelete(tx, t, victims, locs); err != nil {
 			return err
 		}
 		return c.insertLocked(tx, t, replacement)
-	}); err != nil {
+	})
+	if errors.Is(err, errNoVictims) {
+		return 0, nil
+	}
+	if err != nil {
 		return 0, err
 	}
-	return len(victims), nil
+	return count, nil
 }
 
 // ResolveStrategy returns the maintenance method for one update of
@@ -432,8 +578,10 @@ func (c *Cluster) ExplainMaintenance(viewName, table string, deltaSize int) (str
 // SELECT in isolation. It returns the number of join tuples the delta
 // would produce and the I/O/message cost of computing them.
 func (c *Cluster) ComputeViewDeltaOnly(viewName, table string, tuples []types.Tuple, strat catalog.Strategy) (int, Metrics, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	// Global: the measurement window reads the whole cluster's meters, so
+	// concurrent statements would pollute it.
+	h := c.lockGlobal()
+	defer h.Release()
 	v, err := c.cat.View(viewName)
 	if err != nil {
 		return 0, Metrics{}, err

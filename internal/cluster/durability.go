@@ -178,8 +178,8 @@ func (c *Cluster) Checkpoint() ([]node.CheckpointResult, error) {
 	if !c.cfg.Durability {
 		return nil, fmt.Errorf("cluster: checkpoint requires Durability mode")
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	h := c.lockGlobal()
+	defer h.Release()
 	out := make([]node.CheckpointResult, c.cfg.Nodes)
 	for n := 0; n < c.cfg.Nodes; n++ {
 		if c.isDown(n) {
@@ -222,8 +222,8 @@ func (c *Cluster) CrashNode(n int) error {
 // tail. The returned RestartResult lists transactions still in doubt;
 // Recover resolves them (restart + resolution in one call).
 func (c *Cluster) RestartNode(n int) (node.RestartResult, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	h := c.lockGlobal()
+	defer h.Release()
 	return c.restartNodeLocked(n)
 }
 

@@ -30,8 +30,8 @@ type QuerySpec struct {
 // (qualified column names). All data movement and join work charges the
 // node meters, so query cost is comparable against view-scan cost.
 func (c *Cluster) QueryJoin(spec QuerySpec) ([]types.Tuple, *types.Schema, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	h := c.lockRead(spec.Tables...)
+	defer h.Release()
 	// Distributed joins shuffle data across every node, so a partial
 	// answer cannot be assembled; fail fast (simple scans degrade to
 	// partial results instead — see ScanFragmentMetered).
@@ -41,7 +41,6 @@ func (c *Cluster) QueryJoin(spec QuerySpec) ([]types.Tuple, *types.Schema, error
 	if len(spec.Tables) == 0 {
 		return nil, nil, fmt.Errorf("cluster: query needs at least one table")
 	}
-	tempSeq := 0
 	var temps []string
 	defer func() {
 		for _, name := range temps {
@@ -51,8 +50,9 @@ func (c *Cluster) QueryJoin(spec QuerySpec) ([]types.Tuple, *types.Schema, error
 		}
 	}()
 	newTemp := func(schema *types.Schema, clusterCol string) (string, error) {
-		tempSeq++
-		name := fmt.Sprintf("__q%d", tempSeq)
+		// Cluster-wide counter: concurrent queries must not collide on
+		// temp fragment names.
+		name := fmt.Sprintf("__q%d", c.tempSeq.Add(1))
 		if err := c.broadcast(node.CreateFragment{
 			Name: name, Schema: schema, ClusterCol: clusterCol, PageRows: c.cfg.PageRows,
 		}); err != nil {

@@ -436,8 +436,8 @@ func (c *Cluster) Recover(n int) error {
 // what mode ran, pages read and replayed, repairs drained, in-doubt
 // transactions resolved, and the I/O and message cost.
 func (c *Cluster) RecoverWithReport(n int) (RecoveryReport, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	h := c.lockGlobal()
+	defer h.Release()
 	if n < 0 || n >= c.cfg.Nodes {
 		return RecoveryReport{}, fmt.Errorf("cluster: node %d out of range [0,%d)", n, c.cfg.Nodes)
 	}

@@ -49,8 +49,8 @@ func (t *Txn) Insert(table string, tuples []types.Tuple) error {
 	if len(tuples) == 0 {
 		return nil
 	}
-	t.c.mu.Lock()
-	defer t.c.mu.Unlock()
+	h := t.c.lockStmt(table)
+	defer h.Release()
 	if err := t.c.failIfDegraded(); err != nil {
 		return err
 	}
@@ -67,8 +67,8 @@ func (t *Txn) Delete(table string, pred expr.Expr) ([]types.Tuple, error) {
 	if err := t.check(); err != nil {
 		return nil, err
 	}
-	t.c.mu.Lock()
-	defer t.c.mu.Unlock()
+	h := t.c.lockStmt(table)
+	defer h.Release()
 	return t.deleteLockedStmt(table, pred)
 }
 
@@ -106,8 +106,8 @@ func (t *Txn) Update(table string, set map[string]types.Value, pred expr.Expr) (
 	if err := t.check(); err != nil {
 		return 0, err
 	}
-	t.c.mu.Lock()
-	defer t.c.mu.Unlock()
+	h := t.c.lockStmt(table)
+	defer h.Release()
 	if err := t.c.failIfDegraded(); err != nil {
 		return 0, err
 	}
@@ -176,14 +176,17 @@ func (t *Txn) Commit() error {
 	return nil
 }
 
-// Rollback undoes every applied statement in reverse order.
+// Rollback undoes every applied statement in reverse order. It takes the
+// global lock: the undo statements may span several tables, and computing
+// their combined claim set up front is not worth the complexity for an
+// abort path.
 func (t *Txn) Rollback() error {
 	if err := t.check(); err != nil {
 		return err
 	}
 	t.done = true
-	t.c.mu.Lock()
-	defer t.c.mu.Unlock()
+	h := t.c.lockGlobal()
+	defer h.Release()
 	return t.u.Rollback()
 }
 

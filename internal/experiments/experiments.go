@@ -34,6 +34,20 @@ const (
 // DefaultLs is the node-count axis the paper sweeps.
 var DefaultLs = []int{1, 2, 4, 8, 16, 32, 64, 128}
 
+// ConfigHook, when non-nil, adjusts every cluster configuration an
+// experiment builds, just before cluster.New. The transport-equivalence
+// tests use it to rerun the whole suite on the channel transport with
+// parallel dispatch and assert the meter traces match the Direct runs.
+var ConfigHook func(*cluster.Config)
+
+// newCluster builds an experiment cluster, applying ConfigHook.
+func newCluster(cfg cluster.Config) (*cluster.Cluster, error) {
+	if ConfigHook != nil {
+		ConfigHook(&cfg)
+	}
+	return cluster.New(cfg)
+}
+
 // Grid is a printable result table.
 type Grid struct {
 	Title  string
@@ -261,7 +275,7 @@ func loadTwoRel(l, fanout int, v Variant) (*cluster.Cluster, workload.TwoRel, er
 }
 
 func loadTwoRelAlgo(l, fanout int, v Variant, algo node.Algo) (*cluster.Cluster, workload.TwoRel, error) {
-	c, err := cluster.New(cluster.Config{Nodes: l, Algo: algo})
+	c, err := newCluster(cluster.Config{Nodes: l, Algo: algo})
 	if err != nil {
 		return nil, workload.TwoRel{}, err
 	}
@@ -434,7 +448,7 @@ func Fig14Measured(ls []int, custScaleDiv int, a int) ([]Fig14Result, error) {
 	var out []Fig14Result
 	for _, l := range ls {
 		for _, method := range []catalog.Strategy{catalog.StrategyAuxRel, catalog.StrategyNaive, catalog.StrategyGlobalIndex} {
-			c, err := cluster.New(cluster.Config{Nodes: l})
+			c, err := newCluster(cluster.Config{Nodes: l})
 			if err != nil {
 				return nil, err
 			}
@@ -529,7 +543,7 @@ func BufferingEffect(l, a, bufferPages int) (Grid, error) {
 		{Label: "naive (clustered index)", Strategy: catalog.StrategyNaive, ClusterB: true},
 		{Label: "auxiliary relation", Strategy: catalog.StrategyAuxRel},
 	} {
-		c, err := cluster.New(cluster.Config{Nodes: l, Algo: node.AlgoIndex, BufferPages: bufferPages})
+		c, err := newCluster(cluster.Config{Nodes: l, Algo: node.AlgoIndex, BufferPages: bufferPages})
 		if err != nil {
 			return Grid{}, err
 		}
@@ -575,7 +589,7 @@ func NetworkSensitivity(l, streamLen int, latency time.Duration) (Grid, error) {
 		var msgs int64
 		var micros [2]float64
 		for i, lat := range []time.Duration{0, latency} {
-			c, err := cluster.New(cluster.Config{
+			c, err := newCluster(cluster.Config{
 				Nodes: l, Algo: node.AlgoIndex, UseChannels: true, NetLatency: lat,
 			})
 			if err != nil {
@@ -624,7 +638,7 @@ func SkewSensitivity(l, a int, zipfS float64) (Grid, error) {
 		{Label: "naive (clustered index)", Strategy: catalog.StrategyNaive, ClusterB: true},
 	} {
 		measure := func(zs float64) (int64, error) {
-			c, err := cluster.New(cluster.Config{Nodes: l, Algo: node.AlgoIndex})
+			c, err := newCluster(cluster.Config{Nodes: l, Algo: node.AlgoIndex})
 			if err != nil {
 				return 0, err
 			}
@@ -731,7 +745,7 @@ func Durability(l, streamLen, ckptEvery int) (Grid, error) {
 		var ios, msgs [2]int64
 		var replayPages, rebuildPages int64
 		for i, durable := range []bool{false, true} {
-			c, err := cluster.New(cluster.Config{
+			c, err := newCluster(cluster.Config{
 				Nodes: l, Algo: node.AlgoIndex,
 				Durability: durable, CheckpointEvery: ckptEvery,
 			})
@@ -868,7 +882,7 @@ func FaultOverhead(l, streamLen int, rate float64, seed int64) (Grid, error) {
 					HandlerErr:  rate,
 				})
 			}
-			c, err := cluster.New(cluster.Config{
+			c, err := newCluster(cluster.Config{
 				Nodes: l, Algo: node.AlgoIndex, Faults: inj, RetryAttempts: 8,
 			})
 			if err != nil {

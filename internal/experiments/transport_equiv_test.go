@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"testing"
+
+	"joinview/internal/cluster"
+)
+
+// TestTransportEquivalence reruns the measured experiments on the channel
+// transport with the scatter-gather dispatcher and asserts the rendered
+// grids — every tw-ios, maxnode-ios and msgs cell — are byte-identical to
+// the Direct-transport runs. The logical meters must not notice whether
+// per-node calls were dispatched serially on one goroutine or gathered
+// from a worker pool, nor whether global-index traffic traveled as
+// per-entry messages or batched envelopes.
+//
+// NetworkSensitivity is excluded: it reports wall-clock µs and already
+// requires the channel transport. Axes are kept small; jvbench runs the
+// full sweeps.
+func TestTransportEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func() (Grid, error)
+	}{
+		{"fig7", func() (Grid, error) { return Fig7Measured([]int{1, 2, 8}) }},
+		{"fig8", func() (Grid, error) { return Fig8Measured(8, []int{1, 8}) }},
+		{"fig9", func() (Grid, error) { return Fig9Measured([]int{2, 8}) }},
+		{"fig10", func() (Grid, error) { return Fig10Measured([]int{2, 4}) }},
+		{"fig11", func() (Grid, error) { return Fig11Measured(8, []int{1, 100}) }},
+		{"fig14", func() (Grid, error) {
+			rs, err := Fig14Measured([]int{2}, 400, 16)
+			if err != nil {
+				return Grid{}, err
+			}
+			return Fig14Grid(rs), nil
+		}},
+		{"storage", func() (Grid, error) { return StorageTradeoff(4, PaperN) }},
+		{"buffering", func() (Grid, error) { return BufferingEffect(4, 500, 200) }},
+		{"skew", func() (Grid, error) { return SkewSensitivity(4, 128, 1.5) }},
+		{"durability", func() (Grid, error) { return Durability(4, 50, 64) }},
+		{"faults", func() (Grid, error) { return FaultOverhead(4, 50, 0.02, 1) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ConfigHook = nil
+			direct, err := tc.run()
+			if err != nil {
+				t.Fatalf("direct: %v", err)
+			}
+			ConfigHook = func(cfg *cluster.Config) { cfg.UseChannels = true }
+			defer func() { ConfigHook = nil }()
+			chann, err := tc.run()
+			if err != nil {
+				t.Fatalf("channels: %v", err)
+			}
+			if d, c := direct.Render(), chann.Render(); d != c {
+				t.Errorf("traces diverge between transports\ndirect:\n%s\nchannels:\n%s", d, c)
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@ package hashpart
 
 import (
 	"fmt"
+	"sync"
 
 	"joinview/internal/types"
 )
@@ -13,6 +14,17 @@ import (
 // Partitioner maps values to node ids in [0, N).
 type Partitioner struct {
 	n int
+	// scratch pools the per-Spread working slices (home assignments and
+	// per-node counts): bucketing runs on every maintenance phase of every
+	// statement, so reusing the scratch keeps the hot path allocation-flat.
+	// A sync.Pool keeps reuse safe under concurrent sessions.
+	scratch sync.Pool
+}
+
+// spreadScratch is the reusable working set of one Spread call.
+type spreadScratch struct {
+	homes  []int
+	counts []int
 }
 
 // New returns a partitioner over n nodes. It panics if n < 1 (a cluster
@@ -21,7 +33,9 @@ func New(n int) *Partitioner {
 	if n < 1 {
 		panic(fmt.Sprintf("hashpart: invalid node count %d", n))
 	}
-	return &Partitioner{n: n}
+	p := &Partitioner{n: n}
+	p.scratch.New = func() any { return &spreadScratch{counts: make([]int, n)} }
+	return p
 }
 
 // Nodes returns the node count.
@@ -44,14 +58,43 @@ func (p *Partitioner) NodeForTuple(s *types.Schema, col string, t types.Tuple) (
 
 // Spread partitions tuples by the named column, returning one bucket per
 // node. Buckets preserve input order.
+//
+// Allocation discipline: two counting passes carve every bucket out of a
+// single exactly-sized backing array, instead of growing each bucket with
+// append. The returned buckets alias that backing array and stay valid
+// after Spread returns; only the internal scratch is pooled and reused.
 func (p *Partitioner) Spread(s *types.Schema, col string, tuples []types.Tuple) ([][]types.Tuple, error) {
 	i := s.ColIndex(col)
 	if i < 0 {
 		return nil, fmt.Errorf("hashpart: partition column %q not in schema %v", col, s.Names())
 	}
 	buckets := make([][]types.Tuple, p.n)
-	for _, t := range tuples {
+	if len(tuples) == 0 {
+		return buckets, nil
+	}
+	sc := p.scratch.Get().(*spreadScratch)
+	defer p.scratch.Put(sc)
+	if cap(sc.homes) < len(tuples) {
+		sc.homes = make([]int, len(tuples))
+	}
+	homes := sc.homes[:len(tuples)]
+	counts := sc.counts
+	for n := range counts {
+		counts[n] = 0
+	}
+	for j, t := range tuples {
 		n := p.NodeFor(t[i])
+		homes[j] = n
+		counts[n]++
+	}
+	backing := make([]types.Tuple, len(tuples))
+	off := 0
+	for n := 0; n < p.n; n++ {
+		buckets[n] = backing[off:off : off+counts[n]]
+		off += counts[n]
+	}
+	for j, t := range tuples {
+		n := homes[j]
 		buckets[n] = append(buckets[n], t)
 	}
 	return buckets, nil

@@ -94,3 +94,26 @@ func TestNodeForTupleAndSpread(t *testing.T) {
 		t.Error("spread on unknown column should fail")
 	}
 }
+
+// BenchmarkSpread tracks the bucketing allocation cost (run with
+// -benchmem): the two-pass exact-size layout should allocate one backing
+// array plus the bucket headers per call, independent of tuple count, with
+// the scratch home/count slices pooled across calls.
+func BenchmarkSpread(b *testing.B) {
+	p := New(8)
+	schema := types.NewSchema(
+		types.Column{Name: "id", Kind: types.KindInt},
+		types.Column{Name: "c", Kind: types.KindInt},
+	)
+	tuples := make([]types.Tuple, 512)
+	for i := range tuples {
+		tuples[i] = types.Tuple{types.Int(int64(i)), types.Int(int64(i % 64))}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Spread(schema, "id", tuples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package lockmgr
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSharedClaimsRunConcurrently(t *testing.T) {
+	m := New()
+	var inside atomic.Int32
+	var peak atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := m.AcquireShared()
+			h.Lock(S("a"), S("b"))
+			n := inside.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(5 * time.Millisecond)
+			inside.Add(-1)
+			h.Release()
+		}()
+	}
+	wg.Wait()
+	if peak.Load() < 2 {
+		t.Fatalf("shared claims never overlapped (peak %d)", peak.Load())
+	}
+}
+
+func TestExclusiveClaimSerializes(t *testing.T) {
+	m := New()
+	var inside atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := m.AcquireShared()
+			h.Lock(X("t"))
+			if n := inside.Add(1); n != 1 {
+				t.Errorf("%d holders inside exclusive section", n)
+			}
+			inside.Add(-1)
+			h.Release()
+		}()
+	}
+	wg.Wait()
+}
+
+func TestGlobalExcludesShared(t *testing.T) {
+	m := New()
+	h := m.AcquireGlobal()
+	entered := make(chan struct{})
+	go func() {
+		s := m.AcquireShared()
+		s.Lock(X("t"))
+		close(entered)
+		s.Release()
+	}()
+	select {
+	case <-entered:
+		t.Fatal("shared acquirer entered while global-exclusive held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	h.Release()
+	select {
+	case <-entered:
+	case <-time.After(time.Second):
+		t.Fatal("shared acquirer never admitted after global release")
+	}
+}
+
+// Disjoint exclusive claim sets from many goroutines, acquired in sorted
+// order, must not deadlock even when the claim sets overlap pairwise in
+// different textual orders.
+func TestSortedAcquisitionAvoidsDeadlock(t *testing.T) {
+	m := New()
+	pairs := [][2]string{{"a", "b"}, {"b", "c"}, {"c", "a"}}
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	for i := 0; i < 30; i++ {
+		p := pairs[i%len(pairs)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := m.AcquireShared()
+			h.Lock(X(p[0]), X(p[1]))
+			h.Release()
+		}()
+	}
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadlock: overlapping exclusive claim sets never completed")
+	}
+}
+
+func TestDuplicateClaimsStrongestWins(t *testing.T) {
+	m := New()
+	h := m.AcquireShared()
+	h.Lock(S("t"), X("t"), S("t"))
+	claims := h.Claims()
+	if len(claims) != 1 || claims[0].Mode != Exclusive {
+		t.Fatalf("expected single exclusive claim, got %v", claims)
+	}
+	h.Release()
+}

@@ -144,6 +144,7 @@ func applyAggToView(env Env, v *catalog.View, groups []AggGroup, op Op) error {
 		n := env.Part.NodeFor(g.Key[idx])
 		buckets[n] = append(buckets[n], g)
 	}
+	var calls []netsim.Call
 	for n, bucket := range buckets {
 		if len(bucket) == 0 {
 			continue
@@ -158,9 +159,10 @@ func applyAggToView(env Env, v *catalog.View, groups []AggGroup, op Op) error {
 			req.Keys = append(req.Keys, g.Key)
 			req.Deltas = append(req.Deltas, g.Deltas)
 		}
-		if _, err := env.T.Call(netsim.Coordinator, n, req); err != nil {
-			return fmt.Errorf("maintain: applying aggregate delta to %q at node %d: %w", v.Name, n, err)
-		}
+		calls = append(calls, netsim.Call{From: netsim.Coordinator, To: n, Req: req})
+	}
+	if _, err := env.scatter(calls); err != nil {
+		return fmt.Errorf("maintain: applying aggregate delta to %q: %w", v.Name, err)
 	}
 	return nil
 }

@@ -29,6 +29,18 @@ type Env struct {
 	T    netsim.Transport
 	Part *hashpart.Partitioner
 	Cat  *catalog.Catalog
+	// Parallel dispatches per-node fan-outs concurrently through the
+	// scatter-gather dispatcher (results still gather in node order, so
+	// metric traces are unchanged). Must stay false on the Direct
+	// transport, whose handlers are not goroutine-safe.
+	Parallel bool
+	// Workers bounds in-flight calls per fan-out (0 = one per node).
+	Workers int
+}
+
+// scatter runs the calls through the env's transport and dispatch policy.
+func (env Env) scatter(calls []netsim.Call) ([]any, error) {
+	return netsim.ScatterCalls(env.T, env.Parallel, env.Workers, calls)
 }
 
 // Op distinguishes delta directions.
@@ -198,40 +210,48 @@ func routeStep(env Env, step plan.Step, cur []types.Tuple, keyIdx int, algo node
 		n := env.Part.NodeFor(t[keyIdx])
 		buckets[n] = append(buckets[n], t)
 	}
-	var out []types.Tuple
-	probed := 0
+	var calls []netsim.Call
 	for n, bucket := range buckets {
 		if len(bucket) == 0 {
 			continue
 		}
-		resp, err := env.T.Call(netsim.Coordinator, n, node.Probe{
+		calls = append(calls, netsim.Call{From: netsim.Coordinator, To: n, Req: node.Probe{
 			Frag:       step.Frag,
 			FragCol:    step.FragCol,
 			Delta:      bucket,
 			DeltaKey:   keyIdx,
 			Algo:       algo,
 			FanoutHint: step.Fanout,
-		})
-		if err != nil {
-			return nil, 0, err
-		}
-		out = append(out, resp.(node.Probed).Tuples...)
-		probed++
+		}})
 	}
-	return out, probed, nil
+	resps, err := env.scatter(calls)
+	if err != nil {
+		return nil, 0, err
+	}
+	var out []types.Tuple
+	for _, r := range resps {
+		out = append(out, r.(node.Probed).Tuples...)
+	}
+	return out, len(calls), nil
 }
 
 // globalIndexStep implements Figure 6: per intermediate tuple, route to the
 // global-index home node, look up global row ids, and fetch-join at the K
 // nodes holding matches.
 func globalIndexStep(env Env, step plan.Step, cur []types.Tuple, keyIdx int) ([]types.Tuple, int, error) {
-	var out []types.Tuple
-	probedNodes := map[int]bool{}
-	for _, d := range cur {
+	// One scatter task per delta tuple: the lookup-then-fetch chain of a
+	// tuple is inherently sequential (the fetch targets come out of the
+	// lookup), but distinct tuples are independent. Per-tuple results and
+	// probed-node sets land in delta order, so the gathered output is
+	// identical to the serial loop's.
+	outs := make([][]types.Tuple, len(cur))
+	probed := make([][]int, len(cur))
+	err := netsim.ScatterFunc(env.Parallel, env.Workers, len(cur), func(i int) error {
+		d := cur[i]
 		home := env.Part.NodeFor(d[keyIdx])
 		resp, err := env.T.Call(netsim.Coordinator, home, node.GILookup{GI: step.GI, Val: d[keyIdx]})
 		if err != nil {
-			return nil, 0, err
+			return err
 		}
 		groups := gindex.GroupByNode(resp.(node.GIRows).IDs)
 		for _, g := range groups {
@@ -244,10 +264,22 @@ func globalIndexStep(env Env, step plan.Step, cur []types.Tuple, keyIdx int) ([]
 				Delta:   d,
 			})
 			if err != nil {
-				return nil, 0, err
+				return err
 			}
-			out = append(out, fresp.(node.Probed).Tuples...)
-			probedNodes[g.Node] = true
+			outs[i] = append(outs[i], fresp.(node.Probed).Tuples...)
+			probed[i] = append(probed[i], g.Node)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	var out []types.Tuple
+	probedNodes := map[int]bool{}
+	for i := range cur {
+		out = append(out, outs[i]...)
+		for _, n := range probed[i] {
+			probedNodes[n] = true
 		}
 	}
 	return out, len(probedNodes), nil
@@ -278,6 +310,7 @@ func ApplyToView(env Env, v *catalog.View, tuples []types.Tuple, op Op) error {
 		n := env.Part.NodeFor(t[idx])
 		buckets[n] = append(buckets[n], t)
 	}
+	var calls []netsim.Call
 	for n, bucket := range buckets {
 		if len(bucket) == 0 {
 			continue
@@ -288,9 +321,10 @@ func ApplyToView(env Env, v *catalog.View, tuples []types.Tuple, op Op) error {
 		} else {
 			req = node.DeleteMatch{Frag: v.Name, HintCol: partCol, Tuples: bucket}
 		}
-		if _, err := env.T.Call(netsim.Coordinator, n, req); err != nil {
-			return fmt.Errorf("maintain: applying %v to view %q at node %d: %w", op, v.Name, n, err)
-		}
+		calls = append(calls, netsim.Call{From: netsim.Coordinator, To: n, Req: req})
+	}
+	if _, err := env.scatter(calls); err != nil {
+		return fmt.Errorf("maintain: applying %v to view %q: %w", op, v.Name, err)
 	}
 	return nil
 }

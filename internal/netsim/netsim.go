@@ -69,18 +69,42 @@ type Stats struct {
 	// Messages is the number of point-to-point sends between distinct
 	// endpoints (a broadcast to L nodes from a node counts L-1; a reply is
 	// not counted separately — the paper's SEND covers a request/response
-	// exchange).
+	// exchange). Batched requests implementing Envelope count one logical
+	// SEND per carried entry, so the paper's cost figures are independent
+	// of how entries are packed into physical deliveries.
 	Messages int64
 	// LocalCalls counts deliveries where source == destination (free).
 	LocalCalls int64
+	// Envelopes counts physical deliveries (one per Call / per broadcast
+	// destination), regardless of how many logical messages each carried.
+	// Messages/Envelopes is the batching factor.
+	Envelopes int64
+}
+
+// Envelope is implemented by batched requests that pack several logical
+// messages into one physical delivery. LogicalCounts returns how many
+// logical SENDs (source != destination) and free self-deliveries the
+// envelope represents when delivered from `from` to `to`; the transports
+// use it in place of the default one-message-per-call accounting, so the
+// paper's per-entry SEND counters are preserved under batching.
+type Envelope interface {
+	LogicalCounts(from, to int) (messages, local int64)
 }
 
 type counters struct {
-	messages atomic.Int64
-	local    atomic.Int64
+	messages  atomic.Int64
+	local     atomic.Int64
+	envelopes atomic.Int64
 }
 
-func (c *counters) record(from, to int) {
+func (c *counters) record(from, to int, req any) {
+	c.envelopes.Add(1)
+	if env, ok := req.(Envelope); ok {
+		msgs, local := env.LogicalCounts(from, to)
+		c.messages.Add(msgs)
+		c.local.Add(local)
+		return
+	}
 	if from == to {
 		c.local.Add(1)
 	} else {
@@ -89,12 +113,17 @@ func (c *counters) record(from, to int) {
 }
 
 func (c *counters) stats() Stats {
-	return Stats{Messages: c.messages.Load(), LocalCalls: c.local.Load()}
+	return Stats{
+		Messages:   c.messages.Load(),
+		LocalCalls: c.local.Load(),
+		Envelopes:  c.envelopes.Load(),
+	}
 }
 
 func (c *counters) reset() {
 	c.messages.Store(0)
 	c.local.Store(0)
+	c.envelopes.Store(0)
 }
 
 func checkDest(to, n int) error {
@@ -122,7 +151,7 @@ func (d *Direct) Call(from, to int, req any) (any, error) {
 	if err := checkDest(to, len(d.handlers)); err != nil {
 		return nil, err
 	}
-	d.ctr.record(from, to)
+	d.ctr.record(from, to, req)
 	return d.handlers[to](req)
 }
 
@@ -253,7 +282,7 @@ func (c *Chan) send(from, to int, env envelope) error {
 	} else {
 		c.inboxes[to] <- env
 	}
-	c.ctr.record(from, to)
+	c.ctr.record(from, to, env.req)
 	return nil
 }
 

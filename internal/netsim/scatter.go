@@ -1,0 +1,92 @@
+package netsim
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the coordinator's scatter-gather dispatcher: a bounded
+// parallel-for over per-node work with deterministic gather semantics.
+// Every per-node fan-out in the cluster and maintenance layers goes
+// through it, so the choice between serial and concurrent dispatch is a
+// single flag rather than a property of each call site.
+//
+// Determinism contract: results are always gathered in input (node) order
+// and the returned error is the lowest-index failure, so a parallel run is
+// observationally identical to the serial one apart from wall-clock and
+// the *order* in which node-local side effects land. Under the Direct
+// transport the dispatcher must run serially (parallel=false): Direct's
+// handlers execute on the caller's goroutine and the experiments rely on
+// its byte-identical counter traces.
+
+// Call describes one delivery of a scatter phase.
+type Call struct {
+	From, To int
+	Req      any
+}
+
+// ScatterFunc runs fn(0..n-1). Serial mode (parallel=false, or n<2, or
+// workers=1) executes in order and stops at the first error, exactly like
+// the loop it replaces. Parallel mode dispatches every index across a
+// bounded worker pool, waits for all of them, and returns the
+// lowest-index error (later indexes still ran — callers that register
+// per-index compensations must therefore do so for every success, not
+// only the prefix). workers <= 0 means one worker per index.
+func ScatterFunc(parallel bool, workers, n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if !parallel || n == 1 || workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers <= 0 || workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScatterCalls delivers the calls through t — concurrently when parallel —
+// and gathers the responses in input order. On error the responses of the
+// calls that did succeed are still returned (nil slots mark failures), so
+// the caller can compensate applied work; the error is the lowest-index
+// failure.
+func ScatterCalls(t Transport, parallel bool, workers int, calls []Call) ([]any, error) {
+	out := make([]any, len(calls))
+	err := ScatterFunc(parallel, workers, len(calls), func(i int) error {
+		resp, err := t.Call(calls[i].From, calls[i].To, calls[i].Req)
+		if err != nil {
+			return err
+		}
+		out[i] = resp
+		return nil
+	})
+	return out, err
+}

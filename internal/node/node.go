@@ -316,9 +316,27 @@ func (n *DataNode) Handle(req any) (any, error) {
 			return nil, fmt.Errorf("node %d: GIInsertBatch: %d values vs %d row ids", n.id, len(r.Vals), len(r.Gs))
 		}
 		for i, v := range r.Vals {
-			g.InsertUnmetered(v, r.Gs[i])
+			if r.Metered {
+				g.Insert(v, r.Gs[i])
+			} else {
+				g.InsertUnmetered(v, r.Gs[i])
+			}
 		}
 		return Ack{}, nil
+
+	case GIDeleteBatch:
+		g, err := n.gi(r.GI)
+		if err != nil {
+			return nil, err
+		}
+		if len(r.Vals) != len(r.Gs) {
+			return nil, fmt.Errorf("node %d: GIDeleteBatch: %d values vs %d row ids", n.id, len(r.Vals), len(r.Gs))
+		}
+		res := GIDeletedBatch{OK: make([]bool, len(r.Vals))}
+		for i, v := range r.Vals {
+			res.OK[i] = g.Delete(v, r.Gs[i])
+		}
+		return res, nil
 
 	case FindMatching:
 		f, err := n.frag(r.Frag)

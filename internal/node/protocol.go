@@ -11,7 +11,7 @@ import "joinview/internal/types"
 func IsMutating(req any) bool {
 	switch req.(type) {
 	case Insert, DeleteRows, DeleteMatch, RestoreRows,
-		GIInsert, GIInsertBatch, GIDelete, AggApply,
+		GIInsert, GIInsertBatch, GIDelete, GIDeleteBatch, AggApply,
 		LocalJoin, CreateFragment, CreateIndex,
 		CreateGlobalIndex, DropFragment, DropGlobalIndexFrag:
 		return true
@@ -52,6 +52,26 @@ func InverseOf(req, resp any) any {
 			return nil
 		}
 		return GIInsert{GI: r.GI, Val: r.Val, G: r.G}
+	case GIInsertBatch:
+		return GIDeleteBatch{GI: r.GI, Vals: r.Vals, Gs: r.Gs}
+	case GIDeleteBatch:
+		gd, ok := resp.(GIDeletedBatch)
+		if !ok || len(gd.OK) != len(r.Vals) {
+			return nil
+		}
+		// Re-insert only the entries that existed and were removed.
+		inv := GIInsertBatch{GI: r.GI, Metered: true}
+		for i, ok := range gd.OK {
+			if !ok {
+				continue
+			}
+			inv.Vals = append(inv.Vals, r.Vals[i])
+			inv.Gs = append(inv.Gs, r.Gs[i])
+		}
+		if len(inv.Vals) == 0 {
+			return nil
+		}
+		return inv
 	case AggApply:
 		neg := r
 		neg.Deltas = make([]types.Tuple, len(r.Deltas))
@@ -84,7 +104,7 @@ func AllRequests() []any {
 		CreateFragment{}, CreateIndex{}, CreateGlobalIndex{},
 		Insert{}, DeleteRows{}, RestoreRows{}, DeleteMatch{}, LocateMatch{},
 		Probe{}, FetchJoin{}, FindMatching{},
-		GIInsert{}, GIInsertBatch{}, GIDelete{}, GILookup{}, GILen{}, GIScan{},
+		GIInsert{}, GIInsertBatch{}, GIDelete{}, GIDeleteBatch{}, GILookup{}, GILen{}, GIScan{},
 		Scan{}, AllRows{}, ScanWithRows{},
 		AggApply{}, DropFragment{}, DropGlobalIndexFrag{}, LocalJoin{},
 		FragInfo{}, MeterSnapshot{}, ResetMeter{},

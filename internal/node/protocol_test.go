@@ -28,7 +28,8 @@ func TestIsMutatingStable(t *testing.T) {
 	mutating := map[string]bool{
 		"node.Insert": true, "node.DeleteRows": true, "node.DeleteMatch": true,
 		"node.RestoreRows": true, "node.GIInsert": true, "node.GIInsertBatch": true,
-		"node.GIDelete": true, "node.AggApply": true, "node.LocalJoin": true,
+		"node.GIDelete": true, "node.GIDeleteBatch": true,
+		"node.AggApply": true, "node.LocalJoin": true,
 		"node.CreateFragment": true, "node.CreateIndex": true,
 		"node.CreateGlobalIndex": true, "node.DropFragment": true,
 		"node.DropGlobalIndexFrag": true,

@@ -2,6 +2,7 @@ package node
 
 import (
 	"joinview/internal/expr"
+	"joinview/internal/netsim"
 	"joinview/internal/storage"
 	"joinview/internal/types"
 )
@@ -145,11 +146,70 @@ type GIInsert struct {
 	G   storage.GlobalRowID
 }
 
-// GIInsertBatch adds many entries at once (DDL backfill); unmetered.
+// GIInsertBatch adds many entries at once. Two callers use it: DDL
+// backfill (Metered false — charge-free, like every backfill), and batched
+// index maintenance (Metered true — each entry charges the same INSERT
+// cost a standalone GIInsert would). Maintenance batching packs all of a
+// statement's entries for one home node into a single physical envelope;
+// Sources records each entry's logical origin node so the transport keeps
+// the paper's per-entry SEND accounting (see LogicalCounts).
 type GIInsertBatch struct {
-	GI   string
-	Vals []types.Value
-	Gs   []storage.GlobalRowID
+	GI      string
+	Vals    []types.Value
+	Gs      []storage.GlobalRowID
+	Metered bool
+	// Sources holds the logical source node per entry (the base tuple's
+	// home node; netsim.Coordinator for compensations). Nil means the batch
+	// is a plain physical delivery counted once from its transport source
+	// (DDL backfill keeps its historical one-message-per-envelope cost).
+	Sources []int32
+}
+
+// LogicalCounts implements netsim.Envelope: with Sources set, every entry
+// counts as one SEND from its source node (free when the source is the
+// destination), matching the per-entry GIInsert calls the batch replaces.
+func (b GIInsertBatch) LogicalCounts(from, to int) (messages, local int64) {
+	return batchCounts(b.Sources, from, to, len(b.Vals))
+}
+
+// GIDeleteBatch removes many entries at once (batched index maintenance;
+// always metered — each entry charges like a standalone GIDelete). Sources
+// follows the GIInsertBatch convention.
+type GIDeleteBatch struct {
+	GI      string
+	Vals    []types.Value
+	Gs      []storage.GlobalRowID
+	Sources []int32
+}
+
+// LogicalCounts implements netsim.Envelope (see GIInsertBatch).
+func (b GIDeleteBatch) LogicalCounts(from, to int) (messages, local int64) {
+	return batchCounts(b.Sources, from, to, len(b.Vals))
+}
+
+// GIDeletedBatch reports, per entry, whether it existed.
+type GIDeletedBatch struct {
+	OK []bool
+}
+
+// batchCounts is the shared logical-SEND accounting of the batched GI
+// requests: per-entry by source when sources are known, else the default
+// single physical message.
+func batchCounts(sources []int32, from, to, n int) (messages, local int64) {
+	if sources == nil {
+		if from == to {
+			return 0, 1
+		}
+		return 1, 0
+	}
+	for _, s := range sources {
+		if int(s) == to {
+			local++
+		} else {
+			messages++
+		}
+	}
+	return messages, local
 }
 
 // FindMatching locates tuples satisfying a predicate, returning row ids and
@@ -296,6 +356,20 @@ type Seq struct {
 	ID  uint64
 	TID uint64
 	Req any
+}
+
+// LogicalCounts implements netsim.Envelope by delegating to the wrapped
+// request: the sequence envelope itself is invisible to message
+// accounting, so wrapping a batched request does not collapse its
+// per-entry SEND count back to one.
+func (s Seq) LogicalCounts(from, to int) (messages, local int64) {
+	if env, ok := s.Req.(netsim.Envelope); ok {
+		return env.LogicalCounts(from, to)
+	}
+	if from == to {
+		return 0, 1
+	}
+	return 1, 0
 }
 
 // SeqQuery asks whether the node has applied the given sequence number —

@@ -9,6 +9,7 @@ package stats
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"joinview/internal/types"
 )
@@ -37,8 +38,11 @@ func (t TableStats) Fanout(col string) float64 {
 	return f
 }
 
-// Stats maps table names to their statistics.
+// Stats maps table names to their statistics. Safe for concurrent use:
+// sessions running in parallel under the cluster's table-level lock
+// manager update row counts for different tables at once.
 type Stats struct {
+	mu     sync.RWMutex
 	tables map[string]TableStats
 }
 
@@ -46,18 +50,24 @@ type Stats struct {
 func New() *Stats { return &Stats{tables: map[string]TableStats{}} }
 
 // Set records statistics for a table, replacing any previous entry.
-func (s *Stats) Set(table string, ts TableStats) { s.tables[table] = ts }
+func (s *Stats) Set(table string, ts TableStats) {
+	s.mu.Lock()
+	s.tables[table] = ts
+	s.mu.Unlock()
+}
 
 // Get returns the statistics for a table; ok is false if none are recorded.
 func (s *Stats) Get(table string) (TableStats, bool) {
+	s.mu.RLock()
 	ts, ok := s.tables[table]
+	s.mu.RUnlock()
 	return ts, ok
 }
 
 // Fanout estimates the join fan-out against table on col; tables without
 // statistics estimate 1.
 func (s *Stats) Fanout(table, col string) float64 {
-	ts, ok := s.tables[table]
+	ts, ok := s.Get(table)
 	if !ok {
 		return 1
 	}
@@ -66,10 +76,12 @@ func (s *Stats) Fanout(table, col string) float64 {
 
 // Tables lists the tables with recorded statistics, sorted.
 func (s *Stats) Tables() []string {
+	s.mu.RLock()
 	out := make([]string, 0, len(s.tables))
 	for t := range s.tables {
 		out = append(out, t)
 	}
+	s.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }
