@@ -1,0 +1,80 @@
+package joinview
+
+// Benchmarks for the compile-once maintenance pipeline: the cost of
+// compiling one (table, op) plan DAG from the catalog, and the cost of
+// executing statements through it with the plan cache on (steady state:
+// one lookup, zero compiles) versus off (recompile per statement). The CI
+// smoke job runs both with -benchtime=1x; the adaptive-experiment numbers
+// land in BENCH_adaptive.json via `jvbench -exp adaptive`.
+
+import (
+	"testing"
+
+	"joinview/internal/catalog"
+	"joinview/internal/cluster"
+	"joinview/internal/experiments"
+	"joinview/internal/maintain"
+	"joinview/internal/mplan"
+	"joinview/internal/node"
+)
+
+// BenchmarkPlanCompile measures one cold compilation of the insert
+// pipeline for a base table feeding an auto-strategy join view (so the
+// compiled view stage carries the advisor's full option list).
+func BenchmarkPlanCompile(b *testing.B) {
+	c, err := cluster.New(cluster.Config{Nodes: 8, Algo: node.AlgoIndex})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if err := experiments.LoadSessionSchemas(c, 1, catalog.StrategyAuto); err != nil {
+		b.Fatal(err)
+	}
+	cat, st := c.Catalog(), c.Stats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mp, err := mplan.Compile(cat, st, "a0", maintain.OpInsert)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(mp.Stages) == 0 {
+			b.Fatal("empty plan")
+		}
+	}
+}
+
+// BenchmarkPipelineExecute measures one insert statement through the
+// pipeline executor on the deterministic transport: the cached variant
+// resolves the compiled plan from the catalog-versioned cache (the
+// steady state every DML statement hits), the uncached one recompiles
+// per statement. The gap is what compile-once buys.
+func BenchmarkPipelineExecute(b *testing.B) {
+	const rows = 8
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"cached", false}, {"uncached", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			c, err := cluster.New(cluster.Config{
+				Nodes: 8, Algo: node.AlgoIndex, DisablePlanCache: mode.disable,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			if err := experiments.LoadSessionSchemas(c, 1, catalog.StrategyAuxRel); err != nil {
+				b.Fatal(err)
+			}
+			c.ResetMetrics()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Insert("a0", experiments.SessionInserts(0, i, rows)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			p := c.Metrics().Pipeline
+			b.ReportMetric(p.HitRate(), "cache-hit-rate")
+		})
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	jvbench [-exp all|table1|fig7..fig14|storage|buffering|skew|network|faults|durability]
+//	jvbench [-exp all|table1|fig7..fig14|storage|buffering|skew|network|faults|durability|adaptive]
 //	        [-measured] [-maxl 128] [-scale 100] [-a 128] [-faults 0.02] [-csv dir]
 //
 // -measured additionally runs the simulator for figures that have a
@@ -12,7 +12,8 @@
 // experiments are always measured. -maxl caps the node-count axis (larger
 // sweeps take longer); -scale is the divisor applied to Table 1's row
 // counts for figure 14; -csv also writes every result table as CSV for
-// plotting.
+// plotting. -exp adaptive runs the fixed-vs-adaptive strategy comparison
+// and writes BENCH_adaptive.json (or the -json path).
 package main
 
 import (
@@ -29,7 +30,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, fig7..fig14, storage, buffering, skew, network, faults, durability, parallel")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, fig7..fig14, storage, buffering, skew, network, faults, durability, parallel, adaptive")
 	measured := flag.Bool("measured", false, "also run the measured (simulator) variants of figs 7-11")
 	maxL := flag.Int("maxl", 128, "largest node count to sweep")
 	scale := flag.Int("scale", 100, "Table 1 scale divisor for fig14 (100 = 1,500 customers)")
@@ -63,7 +64,12 @@ func main() {
 	}
 	csvOut = *csvDir
 	exitCode := 0
-	if *parallel || *jsonOut != "" || *exp == "parallel" {
+	if *exp == "adaptive" {
+		if err := runAdaptive(*maxL, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "jvbench:", err)
+			exitCode = 1
+		}
+	} else if *parallel || *jsonOut != "" || *exp == "parallel" {
 		if err := runParallel(*maxL, *sessions, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, "jvbench:", err)
 			exitCode = 1
@@ -92,21 +98,48 @@ func main() {
 }
 
 // runParallel runs the concurrent-sessions experiment at L=2/8/32 (capped
-// by maxL) and optionally writes the results as JSON.
+// by maxL) and optionally writes the results as JSON. 120 statements per
+// session keep the plan-cache steady state visible: one compile per
+// session table, then hits.
 func runParallel(maxL, sessions int, jsonPath string) error {
 	ls := capLs([]int{2, 8, 32}, maxL)
 	start := time.Now()
-	results, err := experiments.ConcurrentSessions(ls, sessions, 20, 8, experiments.DefaultNetLatency)
+	results, err := experiments.ConcurrentSessions(ls, sessions, 120, 8, experiments.DefaultNetLatency)
 	if err != nil {
 		return err
 	}
 	fmt.Println(experiments.ConcurrentSessionsGrid(results).Render())
 	fmt.Printf("(measured in %v; %d sessions, simulated %v/message interconnect)\n\n",
 		time.Since(start).Round(time.Millisecond), sessions, experiments.DefaultNetLatency)
+	return writeJSON(jsonPath, results)
+}
+
+// runAdaptive runs the adaptive-strategy experiment at L=8 (capped by
+// maxL) and writes the results to BENCH_adaptive.json or the -json path.
+func runAdaptive(maxL int, jsonPath string) error {
+	l := 8
+	if maxL < l {
+		l = maxL
+	}
+	start := time.Now()
+	results, err := experiments.AdaptiveStrategy(l, 200)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.AdaptiveGrid(results).Render())
+	fmt.Printf("(measured in %v)\n\n", time.Since(start).Round(time.Millisecond))
 	if jsonPath == "" {
+		jsonPath = "BENCH_adaptive.json"
+	}
+	return writeJSON(jsonPath, results)
+}
+
+// writeJSON writes results as indented JSON; an empty path writes nothing.
+func writeJSON(path string, results any) error {
+	if path == "" {
 		return nil
 	}
-	f, err := os.Create(jsonPath)
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}

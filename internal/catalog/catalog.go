@@ -8,6 +8,7 @@ package catalog
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"joinview/internal/expr"
 	"joinview/internal/types"
@@ -340,12 +341,24 @@ func (v *View) OutColsOf(table string) []string {
 
 // Catalog is the full metadata store. It is not synchronized: DDL happens
 // before the update streams in every workload, matching the paper's setup.
+// The cluster serializes any later DDL against DML under its global lock;
+// the version counter is atomic so lock-free readers (the plan cache) can
+// still detect concurrent drift.
 type Catalog struct {
 	tables   map[string]*Table
 	views    map[string]*View
 	auxrels  map[string]*AuxRel
 	gindexes map[string]*GlobalIndex
+	version  atomic.Uint64
 }
+
+// Version returns the catalog's schema version: a counter bumped by every
+// successful DDL mutation. Compiled maintenance plans record the version
+// they were built against and are invalid once it moves.
+func (c *Catalog) Version() uint64 { return c.version.Load() }
+
+// bump advances the schema version after a successful mutation.
+func (c *Catalog) bump() { c.version.Add(1) }
 
 // New returns an empty catalog.
 func New() *Catalog {
@@ -380,6 +393,7 @@ func (c *Catalog) AddTable(t *Table) error {
 		}
 	}
 	c.tables[t.Name] = t
+	c.bump()
 	return nil
 }
 
@@ -410,6 +424,7 @@ func (c *Catalog) AddIndex(table string, ix Index) error {
 		}
 	}
 	t.Indexes = append(t.Indexes, ix)
+	c.bump()
 	return nil
 }
 
@@ -440,6 +455,7 @@ func (c *Catalog) AddAuxRel(a *AuxRel) error {
 	a.Cols = cols
 	a.Schema = schema
 	c.auxrels[a.Name] = a
+	c.bump()
 	return nil
 }
 
@@ -489,6 +505,7 @@ func (c *Catalog) AddGlobalIndex(g *GlobalIndex) error {
 	}
 	g.DistClustered = t.ClusterCol == g.Col
 	c.gindexes[g.Name] = g
+	c.bump()
 	return nil
 }
 
@@ -637,6 +654,7 @@ func (c *Catalog) AddView(v *View) error {
 		}
 	}
 	c.views[v.Name] = v
+	c.bump()
 	return nil
 }
 
@@ -692,6 +710,7 @@ func (c *Catalog) DropView(name string) error {
 		return fmt.Errorf("catalog: no view %q", name)
 	}
 	delete(c.views, name)
+	c.bump()
 	return nil
 }
 
@@ -711,6 +730,7 @@ func (c *Catalog) DropTable(name string) error {
 		return fmt.Errorf("catalog: table %q still has global index %q", name, gis[0].Name)
 	}
 	delete(c.tables, name)
+	c.bump()
 	return nil
 }
 
@@ -720,6 +740,7 @@ func (c *Catalog) DropAuxRel(name string) error {
 		return fmt.Errorf("catalog: no auxiliary relation %q", name)
 	}
 	delete(c.auxrels, name)
+	c.bump()
 	return nil
 }
 
@@ -729,6 +750,7 @@ func (c *Catalog) DropGlobalIndex(name string) error {
 		return fmt.Errorf("catalog: no global index %q", name)
 	}
 	delete(c.gindexes, name)
+	c.bump()
 	return nil
 }
 

@@ -17,6 +17,7 @@ import (
 	"joinview/internal/hashpart"
 	"joinview/internal/lockmgr"
 	"joinview/internal/maintain"
+	"joinview/internal/mplan"
 	"joinview/internal/netsim"
 	"joinview/internal/node"
 	"joinview/internal/stats"
@@ -93,6 +94,12 @@ type Config struct {
 	// scatter-gather dispatcher and the table-level lock manager are
 	// measured against.
 	SerialDML bool
+	// DisablePlanCache makes every DML statement compile its maintenance
+	// plan from scratch instead of reusing the (table, op)-keyed plan
+	// cache — the per-statement planning model the pipeline replaced, kept
+	// as an escape hatch and for cache-effect measurements. Every lookup
+	// then counts as a miss.
+	DisablePlanCache bool
 }
 
 // Cluster is a running parallel RDBMS instance.
@@ -153,6 +160,13 @@ type Cluster struct {
 	// tempSeq names temporary query fragments uniquely across concurrent
 	// QueryJoin calls.
 	tempSeq atomic.Uint64
+
+	// mcache holds the compiled maintenance plans of the write path,
+	// keyed by (table, op) and invalidated by catalog-version or
+	// statistics drift; pstats counts its hits/misses and the pipeline's
+	// per-stage costs.
+	mcache *mplan.Cache
+	pstats *stats.PipelineCounters
 }
 
 // New builds a cluster. It returns an error for a non-positive node count.
@@ -188,6 +202,8 @@ func New(cfg Config) (*Cluster, error) {
 		coordMeter:  &storage.Meter{},
 		decided:     map[uint64]bool{},
 		lm:          lockmgr.New(),
+		mcache:      mplan.NewCache(),
+		pstats:      stats.NewPipelineCounters(),
 	}
 	c.coordLog = wal.NewLog(c.coordMeter, cfg.PageRows)
 	handlers := make([]netsim.Handler, cfg.Nodes)
@@ -272,6 +288,9 @@ type Metrics struct {
 	// Coord is the coordinator's own I/O (the forced two-phase-commit
 	// decision log; zero when durability is off).
 	Coord storage.Counts
+	// Pipeline is the maintenance pipeline's plan-cache and per-stage
+	// counters (see stats.PipelineSnapshot).
+	Pipeline stats.PipelineSnapshot
 }
 
 // TotalIOs is the paper's total workload TW: I/Os summed over all nodes.
@@ -346,6 +365,7 @@ func (m Metrics) Sub(o Metrics) Metrics {
 	}
 	out.Retries = m.Retries - o.Retries
 	out.Coord = m.Coord.Sub(o.Coord)
+	out.Pipeline = m.Pipeline.Sub(o.Pipeline)
 	return out
 }
 
@@ -353,11 +373,12 @@ func (m Metrics) Sub(o Metrics) Metrics {
 // atomic, so this is safe alongside the channel transport.
 func (c *Cluster) Metrics() Metrics {
 	m := Metrics{
-		Node:    make([]storage.Counts, len(c.nodes)),
-		Pool:    make([]buffer.Stats, len(c.nodes)),
-		Net:     c.tr.Stats(),
-		Retries: c.retries.Load(),
-		Coord:   c.coordMeter.Snapshot(),
+		Node:     make([]storage.Counts, len(c.nodes)),
+		Pool:     make([]buffer.Stats, len(c.nodes)),
+		Net:      c.tr.Stats(),
+		Retries:  c.retries.Load(),
+		Coord:    c.coordMeter.Snapshot(),
+		Pipeline: c.pstats.Snapshot(),
 	}
 	for i, n := range c.nodes {
 		m.Node[i] = n.Meter().Snapshot()
@@ -378,6 +399,7 @@ func (c *Cluster) ResetMetrics() {
 	c.tr.ResetStats()
 	c.retries.Store(0)
 	c.coordMeter.Reset()
+	c.pstats.Reset()
 }
 
 // RefreshStats recomputes exact statistics for the named table from its

@@ -20,6 +20,8 @@ import (
 // index on the join attribute" variant, which Teradata itself could not
 // run.
 func (c *Cluster) CreateTable(t *catalog.Table) error {
+	h := c.lockGlobal()
+	defer h.Release()
 	if t.ClusterCol == "" {
 		t.ClusterCol = t.PartitionCol
 	}
@@ -44,6 +46,8 @@ func (c *Cluster) CreateTable(t *catalog.Table) error {
 
 // CreateIndex adds a non-clustered secondary index to a base table.
 func (c *Cluster) CreateIndex(table, name, col string) error {
+	h := c.lockGlobal()
+	defer h.Release()
 	if err := c.cat.AddIndex(table, catalog.Index{Name: name, Col: col}); err != nil {
 		return err
 	}
@@ -54,6 +58,12 @@ func (c *Cluster) CreateIndex(table, name, col string) error {
 // (clustered on the partition/join attribute, as §2.1.2 requires) and
 // backfills it from the base table. Backfill is unmetered DDL.
 func (c *Cluster) CreateAuxRel(spec *catalog.AuxRel) error {
+	h := c.lockGlobal()
+	defer h.Release()
+	return c.createAuxRelLocked(spec)
+}
+
+func (c *Cluster) createAuxRelLocked(spec *catalog.AuxRel) error {
 	if err := c.cat.AddAuxRel(spec); err != nil {
 		return err
 	}
@@ -123,6 +133,12 @@ func (c *Cluster) spreadInsert(frag string, schema *types.Schema, col string, tu
 // backfills it from the base table. The distributed-clustered property is
 // derived from the base table's local layout.
 func (c *Cluster) CreateGlobalIndex(spec *catalog.GlobalIndex) error {
+	h := c.lockGlobal()
+	defer h.Release()
+	return c.createGlobalIndexLocked(spec)
+}
+
+func (c *Cluster) createGlobalIndexLocked(spec *catalog.GlobalIndex) error {
 	if err := c.cat.AddGlobalIndex(spec); err != nil {
 		return err
 	}
@@ -166,6 +182,12 @@ func (c *Cluster) CreateGlobalIndex(spec *catalog.GlobalIndex) error {
 // the view's strategy requires, skipping any that already exist. Auto
 // creates both kinds so the cost-based chooser can pick per update.
 func (c *Cluster) EnsureStructures(v *catalog.View) error {
+	h := c.lockGlobal()
+	defer h.Release()
+	return c.ensureStructuresLocked(v)
+}
+
+func (c *Cluster) ensureStructuresLocked(v *catalog.View) error {
 	wantAR := v.Strategy == catalog.StrategyAuxRel || v.Strategy == catalog.StrategyAuto
 	wantGI := v.Strategy == catalog.StrategyGlobalIndex || v.Strategy == catalog.StrategyAuto
 	for _, s := range v.Overrides {
@@ -193,7 +215,7 @@ func (c *Cluster) EnsureStructures(v *catalog.View) error {
 				}
 				spec.Name = fmt.Sprintf("%s_%d", base, n)
 			}
-			if err := c.CreateAuxRel(&spec); err != nil {
+			if err := c.createAuxRelLocked(&spec); err != nil {
 				return fmt.Errorf("cluster: ensuring AR for view %q: %w", v.Name, err)
 			}
 		}
@@ -208,7 +230,7 @@ func (c *Cluster) EnsureStructures(v *catalog.View) error {
 			if _, ok := c.cat.GlobalIndexOn(spec.Table, spec.Col); ok {
 				continue
 			}
-			if err := c.CreateGlobalIndex(&spec); err != nil {
+			if err := c.createGlobalIndexLocked(&spec); err != nil {
 				return fmt.Errorf("cluster: ensuring GI for view %q: %w", v.Name, err)
 			}
 		}
@@ -221,10 +243,12 @@ func (c *Cluster) EnsureStructures(v *catalog.View) error {
 // on the view's partitioning attribute) and materializes the initial
 // contents with a coordinator-side join. DDL work is unmetered.
 func (c *Cluster) CreateView(v *catalog.View) error {
+	h := c.lockGlobal()
+	defer h.Release()
 	if err := c.cat.AddView(v); err != nil {
 		return err
 	}
-	if err := c.EnsureStructures(v); err != nil {
+	if err := c.ensureStructuresLocked(v); err != nil {
 		return err
 	}
 	if err := c.broadcast(node.CreateFragment{

@@ -5,9 +5,9 @@ import (
 	"fmt"
 
 	"joinview/internal/catalog"
-	"joinview/internal/cost"
 	"joinview/internal/expr"
 	"joinview/internal/maintain"
+	"joinview/internal/mplan"
 	"joinview/internal/netsim"
 	"joinview/internal/node"
 	"joinview/internal/plan"
@@ -34,8 +34,8 @@ var errNoVictims = errors.New("cluster: statement matched no tuples")
 // Insert runs one insert transaction against a base table: route and store
 // the tuples, update every auxiliary relation and global index of the
 // table, then propagate the delta into every join view on the table using
-// the view's maintenance strategy. On any error all applied work is rolled
-// back.
+// the view's maintenance strategy — the compiled insert pipeline for the
+// table. On any error all applied work is rolled back.
 func (c *Cluster) Insert(table string, tuples []types.Tuple) error {
 	if len(tuples) == 0 {
 		return nil
@@ -45,291 +45,16 @@ func (c *Cluster) Insert(table string, tuples []types.Tuple) error {
 	if err := c.failIfDegraded(); err != nil {
 		return err
 	}
-
-	t, err := c.cat.Table(table)
+	mp, err := c.planFor(table, maintain.OpInsert)
 	if err != nil {
 		return err
 	}
 	if err := c.runStmt(func(tx *txn.Txn) error {
-		return c.insertLocked(tx, t, tuples)
+		return c.execPlan(tx, mp, tuples, nil)
 	}); err != nil {
 		return err
 	}
 	c.bumpRows(table, int64(len(tuples)))
-	return nil
-}
-
-func (c *Cluster) insertLocked(tx *txn.Txn, t *catalog.Table, tuples []types.Tuple) error {
-	// 1. Base relation: route each tuple to its home node.
-	locs, err := c.insertBase(tx, t, tuples)
-	if err != nil {
-		return err
-	}
-	// 2. Auxiliary relations of the updated table ("update auxiliary
-	// relation AR_A; (cheap)").
-	if err := c.updateAuxRels(tx, t, tuples, maintain.OpInsert, nil); err != nil {
-		return err
-	}
-	// 3. Global indexes of the updated table ("update global index GI_A;
-	// (cheap)").
-	if err := c.updateGlobalIndexes(tx, t, locs, maintain.OpInsert); err != nil {
-		return err
-	}
-	// 4. Join views ("update join view JV").
-	return c.propagateToViews(tx, t, tuples, maintain.OpInsert)
-}
-
-// insertBase routes tuples by the partition attribute and stores them,
-// returning each tuple's storage location.
-func (c *Cluster) insertBase(tx *txn.Txn, t *catalog.Table, tuples []types.Tuple) ([]located, error) {
-	pi := t.Schema.MustColIndex(t.PartitionCol)
-	// Two counting passes carve the per-node buckets (tuples and original
-	// indexes) out of two exactly-sized backing arrays — no append growth
-	// on the hot path.
-	homes := make([]int, len(tuples))
-	counts := make([]int, c.cfg.Nodes)
-	for i, tup := range tuples {
-		if err := t.Schema.Validate(tup); err != nil {
-			return nil, fmt.Errorf("cluster: insert into %q: %w", t.Name, err)
-		}
-		n := c.part.NodeFor(tup[pi])
-		homes[i] = n
-		counts[n]++
-	}
-	tupleBacking := make([]types.Tuple, len(tuples))
-	idxBacking := make([]int, len(tuples))
-	bucketTuples := make([][]types.Tuple, c.cfg.Nodes)
-	bucketIdx := make([][]int, c.cfg.Nodes)
-	off := 0
-	for n := 0; n < c.cfg.Nodes; n++ {
-		bucketTuples[n] = tupleBacking[off:off : off+counts[n]]
-		bucketIdx[n] = idxBacking[off:off : off+counts[n]]
-		off += counts[n]
-	}
-	for i, tup := range tuples {
-		n := homes[i]
-		bucketTuples[n] = append(bucketTuples[n], tup)
-		bucketIdx[n] = append(bucketIdx[n], i)
-	}
-	var calls []netsim.Call
-	var dests []int
-	for n, bucket := range bucketTuples {
-		if len(bucket) == 0 {
-			continue
-		}
-		calls = append(calls, netsim.Call{From: netsim.Coordinator, To: n, Req: node.Insert{Frag: t.Name, Tuples: bucket}})
-		dests = append(dests, n)
-	}
-	resps, scErr := c.scatter(calls)
-	// Register a compensation for every call that succeeded before
-	// reporting any failure: under parallel dispatch, calls after the
-	// failed index still ran and their work must roll back too.
-	locs := make([]located, len(tuples))
-	for ci, resp := range resps {
-		if resp == nil {
-			continue
-		}
-		n := dests[ci]
-		rows := resp.(node.InsertResult).Rows
-		rowsCopy := append([]storage.RowID(nil), rows...)
-		tx.OnRollback(func() error {
-			return c.undoCall(n, node.DeleteRows{Frag: t.Name, Rows: rowsCopy})
-		})
-		for bi, row := range rows {
-			locs[bucketIdx[n][bi]] = located{node: n, row: row, tuple: bucketTuples[n][bi]}
-		}
-	}
-	if scErr != nil {
-		return nil, scErr
-	}
-	return locs, nil
-}
-
-// updateAuxRels propagates a base delta into every auxiliary relation of
-// the table. For deletes, victims are matched by value (bag semantics).
-func (c *Cluster) updateAuxRels(tx *txn.Txn, t *catalog.Table, tuples []types.Tuple, op maintain.Op, _ []located) error {
-	for _, ar := range c.cat.AuxRelsFor(t.Name) {
-		projected, err := projectForAuxRel(t, ar, tuples)
-		if err != nil {
-			return err
-		}
-		buckets, err := c.part.Spread(ar.Schema, ar.PartitionCol, projected)
-		if err != nil {
-			return err
-		}
-		arName := ar.Name
-		partCol := ar.PartitionCol
-		var calls []netsim.Call
-		var dests []int
-		for n, bucket := range buckets {
-			if len(bucket) == 0 {
-				continue
-			}
-			var req any
-			if op == maintain.OpInsert {
-				req = node.Insert{Frag: arName, Tuples: bucket}
-			} else {
-				req = node.DeleteMatch{Frag: arName, HintCol: partCol, Tuples: bucket}
-			}
-			calls = append(calls, netsim.Call{From: netsim.Coordinator, To: n, Req: req})
-			dests = append(dests, n)
-		}
-		resps, scErr := c.scatter(calls)
-		for ci, resp := range resps {
-			if resp == nil {
-				continue
-			}
-			n := dests[ci]
-			if op == maintain.OpInsert {
-				rows := append([]storage.RowID(nil), resp.(node.InsertResult).Rows...)
-				tx.OnRollback(func() error {
-					return c.undoCall(n, node.DeleteRows{Frag: arName, Rows: rows})
-				})
-			} else {
-				dr := resp.(node.DeleteResult)
-				tx.OnRollback(func() error {
-					return c.undoCall(n, node.RestoreRows{Frag: arName, Rows: dr.Rows, Tuples: dr.Tuples})
-				})
-			}
-		}
-		if scErr != nil {
-			return scErr
-		}
-	}
-	return nil
-}
-
-// updateGlobalIndexes maintains every global index of the updated table.
-// The statement's entries are grouped by index home node into one batched
-// envelope per destination per index — replacing the per-(tuple, index)
-// message storm — while each envelope's Sources field keeps the logical
-// accounting of the calls it replaces: every entry counts one SEND from
-// the base tuple's home node to the index home (free when they coincide),
-// and the node meters charge per entry, so the paper's cost figures are
-// unchanged by batching.
-func (c *Cluster) updateGlobalIndexes(tx *txn.Txn, t *catalog.Table, locs []located, op maintain.Op) error {
-	type giBatch struct {
-		vals []types.Value
-		gs   []storage.GlobalRowID
-		srcs []int32
-	}
-	for _, gi := range c.cat.GlobalIndexesFor(t.Name) {
-		ci := t.Schema.MustColIndex(gi.Col)
-		giName := gi.Name
-		batches := make([]giBatch, c.cfg.Nodes)
-		for _, loc := range locs {
-			val := loc.tuple[ci]
-			home := c.part.NodeFor(val)
-			b := &batches[home]
-			b.vals = append(b.vals, val)
-			b.gs = append(b.gs, storage.GlobalRowID{Node: int32(loc.node), Row: loc.row})
-			b.srcs = append(b.srcs, int32(loc.node))
-		}
-		var calls []netsim.Call
-		var dests []int
-		for home := range batches {
-			b := &batches[home]
-			if len(b.vals) == 0 {
-				continue
-			}
-			var req any
-			if op == maintain.OpInsert {
-				req = node.GIInsertBatch{GI: giName, Vals: b.vals, Gs: b.gs, Metered: true, Sources: b.srcs}
-			} else {
-				req = node.GIDeleteBatch{GI: giName, Vals: b.vals, Gs: b.gs, Sources: b.srcs}
-			}
-			calls = append(calls, netsim.Call{From: netsim.Coordinator, To: home, Req: req})
-			dests = append(dests, home)
-		}
-		resps, scErr := c.scatter(calls)
-		var outOfSync error
-		for ci2, resp := range resps {
-			if resp == nil {
-				continue
-			}
-			home := dests[ci2]
-			b := batches[home]
-			if op == maintain.OpInsert {
-				// Compensations originate at the coordinator, like every
-				// undoCall: each undone entry is one coordinator SEND.
-				srcs := coordinatorSources(len(b.vals))
-				tx.OnRollback(func() error {
-					return c.undoCall(home, node.GIDeleteBatch{GI: giName, Vals: b.vals, Gs: b.gs, Sources: srcs})
-				})
-			} else {
-				ok := resp.(node.GIDeletedBatch).OK
-				restored := giBatch{}
-				for i, existed := range ok {
-					if !existed {
-						if outOfSync == nil {
-							outOfSync = fmt.Errorf("cluster: global index %q missing entry for %v (out of sync)", giName, b.vals[i])
-						}
-						continue
-					}
-					restored.vals = append(restored.vals, b.vals[i])
-					restored.gs = append(restored.gs, b.gs[i])
-				}
-				if len(restored.vals) == 0 {
-					continue
-				}
-				srcs := coordinatorSources(len(restored.vals))
-				tx.OnRollback(func() error {
-					return c.undoCall(home, node.GIInsertBatch{GI: giName, Vals: restored.vals, Gs: restored.gs, Metered: true, Sources: srcs})
-				})
-			}
-		}
-		if scErr != nil {
-			return scErr
-		}
-		if outOfSync != nil {
-			return outOfSync
-		}
-	}
-	return nil
-}
-
-// coordinatorSources builds a Sources slice attributing every entry of a
-// compensation batch to the coordinator, matching the per-entry undoCall
-// accounting the batch replaces.
-func coordinatorSources(n int) []int32 {
-	srcs := make([]int32, n)
-	for i := range srcs {
-		srcs[i] = int32(netsim.Coordinator)
-	}
-	return srcs
-}
-
-// propagateToViews computes and applies the view delta for every join view
-// on the updated table.
-func (c *Cluster) propagateToViews(tx *txn.Txn, t *catalog.Table, tuples []types.Tuple, op maintain.Op) error {
-	for _, v := range c.cat.ViewsOn(t.Name) {
-		strat, err := c.ResolveStrategy(v, t.Name, len(tuples))
-		if err != nil {
-			return err
-		}
-		p, err := plan.Build(c.cat, c.st, v, t.Name, strat)
-		if err != nil {
-			return err
-		}
-		delta, _, err := maintain.ComputeViewDelta(c.env, p, tuples, c.cfg.Algo)
-		if err != nil {
-			return err
-		}
-		if err := maintain.ApplyToView(c.env, v, delta, op); err != nil {
-			return err
-		}
-		v, delta := v, delta
-		undoOp := maintain.OpDelete
-		if op == maintain.OpDelete {
-			undoOp = maintain.OpInsert
-		}
-		tx.OnRollback(func() error {
-			// Node-down failures are absorbed: a crashed node's view
-			// fragments are rebuilt from base relations during Recover,
-			// which subsumes the unapplied part of this undo.
-			return absorbNodeDown(maintain.ApplyToView(c.env, v, delta, undoOp))
-		})
-	}
 	return nil
 }
 
@@ -350,7 +75,7 @@ func (c *Cluster) deleteLocked(table string, pred expr.Expr) ([]types.Tuple, err
 	if err := c.failIfDegraded(); err != nil {
 		return nil, err
 	}
-	t, err := c.cat.Table(table)
+	mp, err := c.planFor(table, maintain.OpDelete)
 	if err != nil {
 		return nil, err
 	}
@@ -368,7 +93,7 @@ func (c *Cluster) deleteLocked(table string, pred expr.Expr) ([]types.Tuple, err
 		if len(victims) == 0 {
 			return errNoVictims
 		}
-		return c.applyDelete(tx, t, victims, locs)
+		return c.execPlan(tx, mp, victims, locs)
 	})
 	if errors.Is(err, errNoVictims) {
 		return nil, nil
@@ -399,59 +124,11 @@ func (c *Cluster) findVictims(table string, pred expr.Expr) ([]types.Tuple, []lo
 	return victims, locs, nil
 }
 
-// applyDelete removes the located victims from the base relation and
-// propagates the delta through every auxiliary structure and view,
-// registering compensations on tx.
-func (c *Cluster) applyDelete(tx *txn.Txn, t *catalog.Table, victims []types.Tuple, locs []located) error {
-	// 1. Delete from the base relation: one scatter call per node holding
-	// victims, in node order (findVictims emits locs node-by-node, so the
-	// grouping below is already sorted and the dispatch is deterministic).
-	byNode := make([][]storage.RowID, c.cfg.Nodes)
-	for _, loc := range locs {
-		byNode[loc.node] = append(byNode[loc.node], loc.row)
-	}
-	var calls []netsim.Call
-	var dests []int
-	for n, rows := range byNode {
-		if len(rows) == 0 {
-			continue
-		}
-		calls = append(calls, netsim.Call{From: netsim.Coordinator, To: n, Req: node.DeleteRows{Frag: t.Name, Rows: rows}})
-		dests = append(dests, n)
-	}
-	resps, scErr := c.scatter(calls)
-	for ci, resp := range resps {
-		if resp == nil {
-			continue
-		}
-		dr := resp.(node.DeleteResult)
-		n := dests[ci]
-		// Restore at the original row ids: global-index entries reference
-		// (node, row) pairs, so a plain re-insert (which allocates fresh
-		// ids) would leave every GI entry for these tuples dangling.
-		tx.OnRollback(func() error {
-			return c.undoCall(n, node.RestoreRows{Frag: t.Name, Rows: dr.Rows, Tuples: dr.Tuples})
-		})
-	}
-	if scErr != nil {
-		return scErr
-	}
-	// 2. Auxiliary relations.
-	if err := c.updateAuxRels(tx, t, victims, maintain.OpDelete, locs); err != nil {
-		return err
-	}
-	// 3. Global indexes.
-	if err := c.updateGlobalIndexes(tx, t, locs, maintain.OpDelete); err != nil {
-		return err
-	}
-	// 4. Views.
-	return c.propagateToViews(tx, t, victims, maintain.OpDelete)
-}
-
 // Update modifies every tuple matching pred by applying the set map
-// (column -> new value), implemented as the paper treats updates: a delete
-// of the old tuples followed by an insert of the new ones, all inside one
-// transaction scope. It returns the number of tuples updated.
+// (column -> new value), implemented as the paper treats updates: the
+// compiled delete pipeline for the old tuples followed by the compiled
+// insert pipeline for the new ones, all inside one transaction scope. It
+// returns the number of tuples updated.
 func (c *Cluster) Update(table string, set map[string]types.Value, pred expr.Expr) (int, error) {
 	h := c.lockStmt(table)
 	defer h.Release()
@@ -465,6 +142,14 @@ func (c *Cluster) Update(table string, set map[string]types.Value, pred expr.Exp
 		}
 	}
 	if err := c.failIfDegraded(); err != nil {
+		return 0, err
+	}
+	mpDel, err := c.planFor(table, maintain.OpDelete)
+	if err != nil {
+		return 0, err
+	}
+	mpIns, err := c.planFor(table, maintain.OpInsert)
+	if err != nil {
 		return 0, err
 	}
 	// The victim scan, the delete half and the insert half all run inside
@@ -489,10 +174,10 @@ func (c *Cluster) Update(table string, set map[string]types.Value, pred expr.Exp
 			}
 			replacement[i] = nt
 		}
-		if err := c.applyDelete(tx, t, victims, locs); err != nil {
+		if err := c.execPlan(tx, mpDel, victims, locs); err != nil {
 			return err
 		}
-		return c.insertLocked(tx, t, replacement)
+		return c.execPlan(tx, mpIns, replacement, nil)
 	})
 	if errors.Is(err, errNoVictims) {
 		return 0, nil
@@ -503,54 +188,32 @@ func (c *Cluster) Update(table string, set map[string]types.Value, pred expr.Exp
 	return count, nil
 }
 
+// chooseForView compiles the advisory stage for one view (uncached — the
+// write path goes through the plan cache instead) and picks the option for
+// a delta of deltaSize tuples.
+func (c *Cluster) chooseForView(v *catalog.View, table string, deltaSize int) (*mplan.StrategyOption, error) {
+	vs, err := mplan.CompileView(c.cat, c.st, v, table)
+	if err != nil {
+		return nil, err
+	}
+	return vs.Choose(c.cfg.Nodes, deltaSize,
+		len(c.cat.AuxRelsFor(table)), len(c.cat.GlobalIndexesFor(table))), nil
+}
+
 // ResolveStrategy returns the maintenance method for one update of
 // deltaSize tuples: the view's fixed strategy, or — for StrategyAuto — the
 // cheapest by the multiway analytical model, considering only strategies
 // whose auxiliary structures exist (the hybrid chooser from the paper's
-// conclusion).
+// conclusion). The same chooser runs inside every compiled view stage.
 func (c *Cluster) ResolveStrategy(v *catalog.View, table string, deltaSize int) (catalog.Strategy, error) {
 	if s := v.StrategyFor(table); s != catalog.StrategyAuto {
 		return s, nil
 	}
-	type option struct {
-		strat catalog.Strategy
-		cost  float64
+	opt, err := c.chooseForView(v, table, deltaSize)
+	if err != nil {
+		return 0, err
 	}
-	var opts []option
-	for _, strat := range []catalog.Strategy{catalog.StrategyAuxRel, catalog.StrategyGlobalIndex, catalog.StrategyNaive} {
-		p, err := plan.Build(c.cat, c.st, v, table, strat)
-		if err != nil {
-			continue // structures missing: strategy unavailable
-		}
-		steps := make([]cost.ChainStep, len(p.Steps))
-		for i, s := range p.Steps {
-			steps[i] = cost.ChainStep{Fanout: s.Fanout, Clustered: s.FragClusteredOnCol}
-		}
-		// Minimize total workload (the paper's TW): the operational
-		// warehouse goal is throughput across the update stream, and TW
-		// exposes the naive method's all-node work that response time
-		// alone would hide.
-		var est float64
-		switch strat {
-		case catalog.StrategyNaive:
-			est = cost.TotalNaive(c.cfg.Nodes, deltaSize, steps)
-		case catalog.StrategyAuxRel:
-			est = cost.TotalAuxRel(c.cfg.Nodes, deltaSize, steps, len(c.cat.AuxRelsFor(table)))
-		case catalog.StrategyGlobalIndex:
-			est = cost.TotalGlobalIndex(c.cfg.Nodes, deltaSize, steps, len(c.cat.GlobalIndexesFor(table)))
-		}
-		opts = append(opts, option{strat: strat, cost: est})
-	}
-	if len(opts) == 0 {
-		return 0, fmt.Errorf("cluster: view %q has no feasible maintenance strategy for table %q", v.Name, table)
-	}
-	best := opts[0]
-	for _, o := range opts[1:] {
-		if o.cost < best.cost {
-			best = o
-		}
-	}
-	return best.strat, nil
+	return opt.Strategy, nil
 }
 
 // ExplainMaintenance renders the maintenance plan a view would execute for
@@ -560,15 +223,11 @@ func (c *Cluster) ExplainMaintenance(viewName, table string, deltaSize int) (str
 	if err != nil {
 		return "", err
 	}
-	strat, err := c.ResolveStrategy(v, table, deltaSize)
+	opt, err := c.chooseForView(v, table, deltaSize)
 	if err != nil {
 		return "", err
 	}
-	p, err := plan.Build(c.cat, c.st, v, table, strat)
-	if err != nil {
-		return "", err
-	}
-	return fmt.Sprintf("strategy: %s\n%s", strat, p.Describe()), nil
+	return fmt.Sprintf("strategy: %s\n%s", opt.Strategy, opt.Plan.Describe()), nil
 }
 
 // ComputeViewDeltaOnly runs just the "compute the changes to the view"

@@ -1,0 +1,384 @@
+package cluster
+
+import (
+	"fmt"
+
+	"joinview/internal/catalog"
+	"joinview/internal/maintain"
+	"joinview/internal/mplan"
+	"joinview/internal/netsim"
+	"joinview/internal/node"
+	"joinview/internal/storage"
+	"joinview/internal/txn"
+	"joinview/internal/types"
+)
+
+// This file is the compile-once, execute-many write path. Every DML
+// statement resolves a compiled maintenance plan (internal/mplan) from the
+// cluster's plan cache and runs it through execPlan, which walks the
+// plan's stages — base mutation, auxiliary relations, global indexes,
+// view propagation — under the cross-cutting machinery that already wraps
+// every statement: the scatter-gather dispatcher, the 2PC/WAL hooks in
+// runStmt, the lock claims taken by the callers, retry, and the storage
+// meters. The per-strategy step sequencing that used to be hand-rolled
+// per entry point lives only here.
+
+// planFor returns the compiled maintenance plan for (table, op),
+// consulting the plan cache unless the configuration disables it. Callers
+// hold at least the shared global lock, so the catalog cannot move
+// underneath the lookup.
+func (c *Cluster) planFor(table string, op maintain.Op) (*mplan.Plan, error) {
+	if c.cfg.DisablePlanCache {
+		c.pstats.RecordLookup(false)
+		return mplan.Compile(c.cat, c.st, table, op)
+	}
+	mp, hit, err := c.mcache.Get(c.cat, c.st, table, op)
+	if err != nil {
+		c.pstats.RecordLookup(false)
+		return nil, err
+	}
+	c.pstats.RecordLookup(hit)
+	return mp, nil
+}
+
+// execPlan executes one compiled maintenance plan for a delta of tuples.
+// For an insert plan, locs must be nil (the base stage produces them); for
+// a delete plan, locs are the victims' storage locations from the caller's
+// scan. Every stage registers its compensations on tx, so a failing stage
+// leaves runStmt to undo the applied prefix.
+func (c *Cluster) execPlan(tx *txn.Txn, mp *mplan.Plan, delta []types.Tuple, locs []located) error {
+	// Per-stage page/message attribution needs exclusive ownership of the
+	// global meters; only serial execution modes guarantee it. Under
+	// parallel dispatch only stage executions are counted.
+	attribute := c.serialStmts()
+	var before Metrics
+	for i := range mp.Stages {
+		s := &mp.Stages[i]
+		if attribute {
+			before = c.Metrics()
+		}
+		var err error
+		switch s.Kind {
+		case mplan.StageBase:
+			if mp.Op == maintain.OpInsert {
+				locs, err = c.stageBaseInsert(tx, mp.Table, delta)
+			} else {
+				err = c.stageBaseDelete(tx, mp.Table, locs)
+			}
+		case mplan.StageAuxRel:
+			err = c.stageAuxRel(tx, mp.Table, s.AR, delta, mp.Op)
+		case mplan.StageGlobalIndex:
+			err = c.stageGlobalIndex(tx, mp.Table, s.GI, locs, mp.Op)
+		case mplan.StageView:
+			err = c.stageView(tx, s.View, mp, delta)
+		default:
+			err = fmt.Errorf("cluster: unknown pipeline stage %v", s.Kind)
+		}
+		if err != nil {
+			return err
+		}
+		if attribute {
+			d := c.Metrics().Sub(before)
+			c.pstats.RecordStage(s.Kind.String(), d.Total().IOs(), d.Net.Messages)
+		} else {
+			c.pstats.RecordStage(s.Kind.String(), 0, 0)
+		}
+	}
+	return nil
+}
+
+// stageBaseInsert routes tuples by the partition attribute and stores
+// them, returning each tuple's storage location.
+func (c *Cluster) stageBaseInsert(tx *txn.Txn, t *catalog.Table, tuples []types.Tuple) ([]located, error) {
+	pi := t.Schema.MustColIndex(t.PartitionCol)
+	// Two counting passes carve the per-node buckets (tuples and original
+	// indexes) out of two exactly-sized backing arrays — no append growth
+	// on the hot path.
+	homes := make([]int, len(tuples))
+	counts := make([]int, c.cfg.Nodes)
+	for i, tup := range tuples {
+		if err := t.Schema.Validate(tup); err != nil {
+			return nil, fmt.Errorf("cluster: insert into %q: %w", t.Name, err)
+		}
+		n := c.part.NodeFor(tup[pi])
+		homes[i] = n
+		counts[n]++
+	}
+	tupleBacking := make([]types.Tuple, len(tuples))
+	idxBacking := make([]int, len(tuples))
+	bucketTuples := make([][]types.Tuple, c.cfg.Nodes)
+	bucketIdx := make([][]int, c.cfg.Nodes)
+	off := 0
+	for n := 0; n < c.cfg.Nodes; n++ {
+		bucketTuples[n] = tupleBacking[off : off : off+counts[n]]
+		bucketIdx[n] = idxBacking[off : off : off+counts[n]]
+		off += counts[n]
+	}
+	for i, tup := range tuples {
+		n := homes[i]
+		bucketTuples[n] = append(bucketTuples[n], tup)
+		bucketIdx[n] = append(bucketIdx[n], i)
+	}
+	var calls []netsim.Call
+	var dests []int
+	for n, bucket := range bucketTuples {
+		if len(bucket) == 0 {
+			continue
+		}
+		calls = append(calls, netsim.Call{From: netsim.Coordinator, To: n, Req: node.Insert{Frag: t.Name, Tuples: bucket}})
+		dests = append(dests, n)
+	}
+	resps, scErr := c.scatter(calls)
+	// Register a compensation for every call that succeeded before
+	// reporting any failure: under parallel dispatch, calls after the
+	// failed index still ran and their work must roll back too.
+	locs := make([]located, len(tuples))
+	for ci, resp := range resps {
+		if resp == nil {
+			continue
+		}
+		n := dests[ci]
+		rows := resp.(node.InsertResult).Rows
+		rowsCopy := append([]storage.RowID(nil), rows...)
+		tx.OnRollback(func() error {
+			return c.undoCall(n, node.DeleteRows{Frag: t.Name, Rows: rowsCopy})
+		})
+		for bi, row := range rows {
+			locs[bucketIdx[n][bi]] = located{node: n, row: row, tuple: bucketTuples[n][bi]}
+		}
+	}
+	if scErr != nil {
+		return nil, scErr
+	}
+	return locs, nil
+}
+
+// stageBaseDelete removes the located victims from the base relation: one
+// scatter call per node holding victims, in node order (the victim scan
+// emits locs node-by-node, so the grouping below is already sorted and the
+// dispatch is deterministic).
+func (c *Cluster) stageBaseDelete(tx *txn.Txn, t *catalog.Table, locs []located) error {
+	byNode := make([][]storage.RowID, c.cfg.Nodes)
+	for _, loc := range locs {
+		byNode[loc.node] = append(byNode[loc.node], loc.row)
+	}
+	var calls []netsim.Call
+	var dests []int
+	for n, rows := range byNode {
+		if len(rows) == 0 {
+			continue
+		}
+		calls = append(calls, netsim.Call{From: netsim.Coordinator, To: n, Req: node.DeleteRows{Frag: t.Name, Rows: rows}})
+		dests = append(dests, n)
+	}
+	resps, scErr := c.scatter(calls)
+	for ci, resp := range resps {
+		if resp == nil {
+			continue
+		}
+		dr := resp.(node.DeleteResult)
+		n := dests[ci]
+		// Restore at the original row ids: global-index entries reference
+		// (node, row) pairs, so a plain re-insert (which allocates fresh
+		// ids) would leave every GI entry for these tuples dangling.
+		tx.OnRollback(func() error {
+			return c.undoCall(n, node.RestoreRows{Frag: t.Name, Rows: dr.Rows, Tuples: dr.Tuples})
+		})
+	}
+	return scErr
+}
+
+// stageAuxRel propagates the base delta into one auxiliary relation of the
+// table. For deletes, victims are matched by value (bag semantics).
+func (c *Cluster) stageAuxRel(tx *txn.Txn, t *catalog.Table, ar *catalog.AuxRel, tuples []types.Tuple, op maintain.Op) error {
+	projected, err := projectForAuxRel(t, ar, tuples)
+	if err != nil {
+		return err
+	}
+	buckets, err := c.part.Spread(ar.Schema, ar.PartitionCol, projected)
+	if err != nil {
+		return err
+	}
+	arName := ar.Name
+	partCol := ar.PartitionCol
+	var calls []netsim.Call
+	var dests []int
+	for n, bucket := range buckets {
+		if len(bucket) == 0 {
+			continue
+		}
+		var req any
+		if op == maintain.OpInsert {
+			req = node.Insert{Frag: arName, Tuples: bucket}
+		} else {
+			req = node.DeleteMatch{Frag: arName, HintCol: partCol, Tuples: bucket}
+		}
+		calls = append(calls, netsim.Call{From: netsim.Coordinator, To: n, Req: req})
+		dests = append(dests, n)
+	}
+	resps, scErr := c.scatter(calls)
+	for ci, resp := range resps {
+		if resp == nil {
+			continue
+		}
+		n := dests[ci]
+		if op == maintain.OpInsert {
+			rows := append([]storage.RowID(nil), resp.(node.InsertResult).Rows...)
+			tx.OnRollback(func() error {
+				return c.undoCall(n, node.DeleteRows{Frag: arName, Rows: rows})
+			})
+		} else {
+			dr := resp.(node.DeleteResult)
+			tx.OnRollback(func() error {
+				return c.undoCall(n, node.RestoreRows{Frag: arName, Rows: dr.Rows, Tuples: dr.Tuples})
+			})
+		}
+	}
+	return scErr
+}
+
+// stageGlobalIndex maintains one global index of the updated table. The
+// statement's entries are grouped by index home node into one batched
+// envelope per destination — replacing the per-(tuple, index) message
+// storm — while each envelope's Sources field keeps the logical accounting
+// of the calls it replaces: every entry counts one SEND from the base
+// tuple's home node to the index home (free when they coincide), and the
+// node meters charge per entry, so the paper's cost figures are unchanged
+// by batching.
+func (c *Cluster) stageGlobalIndex(tx *txn.Txn, t *catalog.Table, gi *catalog.GlobalIndex, locs []located, op maintain.Op) error {
+	type giBatch struct {
+		vals []types.Value
+		gs   []storage.GlobalRowID
+		srcs []int32
+	}
+	ci := t.Schema.MustColIndex(gi.Col)
+	giName := gi.Name
+	batches := make([]giBatch, c.cfg.Nodes)
+	for _, loc := range locs {
+		val := loc.tuple[ci]
+		home := c.part.NodeFor(val)
+		b := &batches[home]
+		b.vals = append(b.vals, val)
+		b.gs = append(b.gs, storage.GlobalRowID{Node: int32(loc.node), Row: loc.row})
+		b.srcs = append(b.srcs, int32(loc.node))
+	}
+	var calls []netsim.Call
+	var dests []int
+	for home := range batches {
+		b := &batches[home]
+		if len(b.vals) == 0 {
+			continue
+		}
+		var req any
+		if op == maintain.OpInsert {
+			req = node.GIInsertBatch{GI: giName, Vals: b.vals, Gs: b.gs, Metered: true, Sources: b.srcs}
+		} else {
+			req = node.GIDeleteBatch{GI: giName, Vals: b.vals, Gs: b.gs, Sources: b.srcs}
+		}
+		calls = append(calls, netsim.Call{From: netsim.Coordinator, To: home, Req: req})
+		dests = append(dests, home)
+	}
+	resps, scErr := c.scatter(calls)
+	var outOfSync error
+	for ci2, resp := range resps {
+		if resp == nil {
+			continue
+		}
+		home := dests[ci2]
+		b := batches[home]
+		if op == maintain.OpInsert {
+			// Compensations originate at the coordinator, like every
+			// undoCall: each undone entry is one coordinator SEND.
+			srcs := coordinatorSources(len(b.vals))
+			tx.OnRollback(func() error {
+				return c.undoCall(home, node.GIDeleteBatch{GI: giName, Vals: b.vals, Gs: b.gs, Sources: srcs})
+			})
+		} else {
+			ok := resp.(node.GIDeletedBatch).OK
+			restored := giBatch{}
+			for i, existed := range ok {
+				if !existed {
+					if outOfSync == nil {
+						outOfSync = fmt.Errorf("cluster: global index %q missing entry for %v (out of sync)", giName, b.vals[i])
+					}
+					continue
+				}
+				restored.vals = append(restored.vals, b.vals[i])
+				restored.gs = append(restored.gs, b.gs[i])
+			}
+			if len(restored.vals) == 0 {
+				continue
+			}
+			srcs := coordinatorSources(len(restored.vals))
+			tx.OnRollback(func() error {
+				return c.undoCall(home, node.GIInsertBatch{GI: giName, Vals: restored.vals, Gs: restored.gs, Metered: true, Sources: srcs})
+			})
+		}
+	}
+	if scErr != nil {
+		return scErr
+	}
+	return outOfSync
+}
+
+// coordinatorSources builds a Sources slice attributing every entry of a
+// compensation batch to the coordinator, matching the per-entry undoCall
+// accounting the batch replaces.
+func coordinatorSources(n int) []int32 {
+	srcs := make([]int32, n)
+	for i := range srcs {
+		srcs[i] = int32(netsim.Coordinator)
+	}
+	return srcs
+}
+
+// stageView computes and applies one view's delta. The strategy comes from
+// the compiled stage: the pinned option, or the cost advisor's cheapest
+// option for this statement's actual delta size.
+func (c *Cluster) stageView(tx *txn.Txn, vs *mplan.ViewStage, mp *mplan.Plan, tuples []types.Tuple) error {
+	opt := vs.Choose(c.cfg.Nodes, len(tuples), mp.ARCount, mp.GICount)
+	delta, _, err := maintain.ComputeViewDelta(c.env, opt.Plan, tuples, c.cfg.Algo)
+	if err != nil {
+		return err
+	}
+	v := vs.View
+	if err := maintain.ApplyToView(c.env, v, delta, mp.Op); err != nil {
+		return err
+	}
+	undoOp := maintain.OpDelete
+	if mp.Op == maintain.OpDelete {
+		undoOp = maintain.OpInsert
+	}
+	tx.OnRollback(func() error {
+		// Node-down failures are absorbed: a crashed node's view fragments
+		// are rebuilt from base relations during Recover, which subsumes
+		// the unapplied part of this undo.
+		return absorbNodeDown(maintain.ApplyToView(c.env, v, delta, undoOp))
+	})
+	return nil
+}
+
+// ExplainPipeline renders the compiled maintenance pipeline for one
+// (table, op) pair — EXPLAIN for the whole write path. op is "insert" or
+// "delete".
+func (c *Cluster) ExplainPipeline(table, op string) (string, error) {
+	var mop maintain.Op
+	switch op {
+	case "insert":
+		mop = maintain.OpInsert
+	case "delete":
+		mop = maintain.OpDelete
+	default:
+		return "", fmt.Errorf("cluster: unknown pipeline op %q (want insert or delete)", op)
+	}
+	h := c.lockGlobal()
+	defer h.Release()
+	mp, err := c.planFor(table, mop)
+	if err != nil {
+		return "", err
+	}
+	return mp.Describe(), nil
+}
+
+// PlanCacheLen reports how many compiled plans the cache currently holds.
+func (c *Cluster) PlanCacheLen() int { return c.mcache.Len() }

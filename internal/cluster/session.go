@@ -5,6 +5,7 @@ import (
 
 	"joinview/internal/catalog"
 	"joinview/internal/expr"
+	"joinview/internal/maintain"
 	"joinview/internal/node"
 	"joinview/internal/txn"
 	"joinview/internal/types"
@@ -87,10 +88,14 @@ func (t *Txn) deleteLockedStmt(table string, pred expr.Expr) ([]types.Tuple, err
 	}
 	victims := append([]types.Tuple(nil), deleted...)
 	t.u.OnRollback(func() error {
-		// Logical inverse: re-insert the victims through the full
-		// maintenance pipeline, as an atomic statement of its own.
+		// Logical inverse: re-insert the victims through the compiled
+		// insert pipeline, as an atomic statement of its own.
+		mp, err := t.c.planFor(tab.Name, maintain.OpInsert)
+		if err != nil {
+			return err
+		}
 		if err := t.c.runStmt(func(undo *txn.Txn) error {
-			return t.c.insertLocked(undo, tab, victims)
+			return t.c.execPlan(undo, mp, victims, nil)
 		}); err != nil {
 			return err
 		}
@@ -149,8 +154,12 @@ func (t *Txn) Update(table string, set map[string]types.Value, pred expr.Expr) (
 // insertLockedStmt is the insert body shared by Insert and Update (mu
 // already held).
 func (t *Txn) insertLockedStmt(tab *catalog.Table, tuples []types.Tuple) error {
+	mp, err := t.c.planFor(tab.Name, maintain.OpInsert)
+	if err != nil {
+		return err
+	}
 	if err := t.c.runStmt(func(stmt *txn.Txn) error {
-		return t.c.insertLocked(stmt, tab, tuples)
+		return t.c.execPlan(stmt, mp, tuples, nil)
 	}); err != nil {
 		return err
 	}
@@ -194,8 +203,12 @@ func (t *Txn) Rollback() error {
 func (t *Txn) Active() bool { return !t.done }
 
 // deleteTuplesLocked removes one stored instance per given tuple through
-// the full maintenance pipeline (value-addressed delete; mu already held).
+// the compiled delete pipeline (value-addressed delete; mu already held).
 func (c *Cluster) deleteTuplesLocked(tab *catalog.Table, tuples []types.Tuple) error {
+	mp, err := c.planFor(tab.Name, maintain.OpDelete)
+	if err != nil {
+		return err
+	}
 	// Route each tuple to its home node and locate one instance there.
 	buckets, err := c.part.Spread(tab.Schema, tab.PartitionCol, tuples)
 	if err != nil {
@@ -222,6 +235,6 @@ func (c *Cluster) deleteTuplesLocked(tab *catalog.Table, tuples []types.Tuple) e
 		}
 	}
 	return c.runStmt(func(undo *txn.Txn) error {
-		return c.applyDelete(undo, tab, victims, locs)
+		return c.execPlan(undo, mp, victims, locs)
 	})
 }

@@ -1,0 +1,85 @@
+package experiments
+
+import "testing"
+
+// TestAdaptiveBeatsFixedStrategies is the experiment's headline claim: over
+// the mixed delta stream the cost-advisor-driven adaptive run never does
+// more total work than the best fixed method (it discovers the winner per
+// statement from the cached plan's options, paying nothing for keeping the
+// alternatives open), clearly beats the mispinned methods, and reuses its
+// compiled plan for every statement after the first.
+func TestAdaptiveBeatsFixedStrategies(t *testing.T) {
+	const statements = 120
+	rs, err := AdaptiveStrategy(8, statements)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 4 {
+		t.Fatalf("got %d results, want 4", len(rs))
+	}
+	var adaptive *AdaptiveResult
+	bestFixed, worstFixed := int64(-1), int64(-1)
+	bestLabel := ""
+	for i := range rs {
+		r := &rs[i]
+		if r.Strategy == "adaptive" {
+			adaptive = r
+			continue
+		}
+		if bestFixed < 0 || r.TWIOs < bestFixed {
+			bestFixed, bestLabel = r.TWIOs, r.Strategy
+		}
+		if r.TWIOs > worstFixed {
+			worstFixed = r.TWIOs
+		}
+	}
+	if adaptive == nil {
+		t.Fatal("no adaptive row")
+	}
+	if adaptive.TWIOs > bestFixed {
+		t.Errorf("adaptive TW %d exceeds best fixed (%s) %d", adaptive.TWIOs, bestLabel, bestFixed)
+	}
+	if adaptive.TWIOs >= worstFixed {
+		t.Errorf("adaptive TW %d does not beat the worst fixed method %d — the comparison shows nothing",
+			adaptive.TWIOs, worstFixed)
+	}
+	total := 0
+	for _, n := range adaptive.Picks {
+		total += n
+	}
+	if total != statements {
+		t.Errorf("advisor consulted %d times, want %d: picks %v", total, statements, adaptive.Picks)
+	}
+	for _, r := range rs {
+		if r.PlanCacheHitRate <= 0.99 {
+			t.Errorf("%s: plan-cache hit rate %.4f (hits %d, misses %d), want > 0.99",
+				r.Strategy, r.PlanCacheHitRate, r.PlanCacheHits, r.PlanCacheMisses)
+		}
+		if r.StagePages["base"] <= 0 || r.StagePages["view"] <= 0 {
+			t.Errorf("%s: per-stage breakdown missing base/view pages: %v", r.Strategy, r.StagePages)
+		}
+	}
+}
+
+// TestAdaptiveDeltasMixRegimes pins the stream shape the experiment's
+// claims depend on: both size regimes and both distributions present.
+func TestAdaptiveDeltasMixRegimes(t *testing.T) {
+	ds := AdaptiveDeltas(40)
+	small, large, zipf := 0, 0, 0
+	for _, d := range ds {
+		if d.Size <= 8 {
+			small++
+		} else {
+			large++
+		}
+		if d.Zipf {
+			zipf++
+		}
+	}
+	if small == 0 || large == 0 {
+		t.Errorf("stream not mixed: %d small, %d large", small, large)
+	}
+	if zipf == 0 || zipf == len(ds) {
+		t.Errorf("stream distribution not mixed: %d/%d zipf", zipf, len(ds))
+	}
+}

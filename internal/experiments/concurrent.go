@@ -9,6 +9,7 @@ import (
 	"joinview/internal/catalog"
 	"joinview/internal/cluster"
 	"joinview/internal/node"
+	"joinview/internal/stats"
 	"joinview/internal/types"
 )
 
@@ -34,6 +35,16 @@ type ConcurrentResult struct {
 	// and heap allocations of the parallel run.
 	MsgsPerStmt   float64
 	AllocsPerStmt float64
+	// Plan-cache counters of the parallel run: with per-session tables and
+	// no DDL, every statement after each table's first compilation should
+	// reuse the cached maintenance pipeline.
+	PlanCacheHits    int64
+	PlanCacheMisses  int64
+	PlanCacheHitRate float64
+	// Stages is the per-stage page/message breakdown of the serial run,
+	// where one-statement-at-a-time dispatch attributes I/O to pipeline
+	// stages exactly.
+	Stages map[string]stats.StageCounters
 }
 
 // ConcurrentStrategies are the maintenance methods the experiment sweeps.
@@ -66,11 +77,11 @@ func ConcurrentSessions(ls []int, sessions, stmtsPerSession, rowsPerStmt int, la
 	var out []ConcurrentResult
 	for _, l := range ls {
 		for _, st := range ConcurrentStrategies() {
-			serial, _, _, err := runConcurrent(l, sessions, stmtsPerSession, rowsPerStmt, st.Strategy, latency, true)
+			serial, _, _, serialPipe, err := runConcurrent(l, sessions, stmtsPerSession, rowsPerStmt, st.Strategy, latency, true)
 			if err != nil {
 				return nil, fmt.Errorf("L=%d %s serial: %w", l, st.Label, err)
 			}
-			par, msgs, allocs, err := runConcurrent(l, sessions, stmtsPerSession, rowsPerStmt, st.Strategy, latency, false)
+			par, msgs, allocs, parPipe, err := runConcurrent(l, sessions, stmtsPerSession, rowsPerStmt, st.Strategy, latency, false)
 			if err != nil {
 				return nil, fmt.Errorf("L=%d %s parallel: %w", l, st.Label, err)
 			}
@@ -81,6 +92,10 @@ func ConcurrentSessions(ls []int, sessions, stmtsPerSession, rowsPerStmt int, la
 				Speedup:             par / serial,
 				MsgsPerStmt:         msgs,
 				AllocsPerStmt:       allocs,
+				PlanCacheHits:       parPipe.PlanCacheHits,
+				PlanCacheMisses:     parPipe.PlanCacheMisses,
+				PlanCacheHitRate:    parPipe.HitRate(),
+				Stages:              serialPipe.Stages,
 			})
 		}
 	}
@@ -89,17 +104,17 @@ func ConcurrentSessions(ls []int, sessions, stmtsPerSession, rowsPerStmt int, la
 
 // runConcurrent measures one cell: statements/sec across all sessions,
 // plus per-statement messages and allocations.
-func runConcurrent(l, sessions, stmts, rows int, strategy catalog.Strategy, latency time.Duration, serialDML bool) (stmtsPerSec, msgsPerStmt, allocsPerStmt float64, err error) {
+func runConcurrent(l, sessions, stmts, rows int, strategy catalog.Strategy, latency time.Duration, serialDML bool) (stmtsPerSec, msgsPerStmt, allocsPerStmt float64, pipe stats.PipelineSnapshot, err error) {
 	c, err := cluster.New(cluster.Config{
 		Nodes: l, Algo: node.AlgoIndex, UseChannels: true, SerialDML: serialDML,
 		NetLatency: latency,
 	})
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, pipe, err
 	}
 	defer c.Close()
 	if err := LoadSessionSchemas(c, sessions, strategy); err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, pipe, err
 	}
 	c.ResetMetrics()
 	var ms0, ms1 runtime.MemStats
@@ -125,7 +140,7 @@ func runConcurrent(l, sessions, stmts, rows int, strategy catalog.Strategy, late
 	runtime.ReadMemStats(&ms1)
 	for _, e := range errs {
 		if e != nil {
-			return 0, 0, 0, e
+			return 0, 0, 0, pipe, e
 		}
 	}
 	total := float64(sessions * stmts)
@@ -133,6 +148,7 @@ func runConcurrent(l, sessions, stmts, rows int, strategy catalog.Strategy, late
 	return total / elapsed,
 		float64(m.Net.Messages) / total,
 		float64(ms1.Mallocs-ms0.Mallocs) / total,
+		m.Pipeline,
 		nil
 }
 
@@ -224,7 +240,7 @@ func ConcurrentSessionsGrid(rs []ConcurrentResult) Grid {
 	g := Grid{
 		Title: "Concurrent sessions (extension): statement throughput, serial vs parallel dispatch",
 		Header: []string{"L", "sessions", "method", "serial stmts/s", "parallel stmts/s",
-			"speedup", "msgs/stmt", "allocs/stmt"},
+			"speedup", "msgs/stmt", "allocs/stmt", "cache hit%"},
 	}
 	for _, r := range rs {
 		g.Rows = append(g.Rows, []string{
@@ -236,6 +252,7 @@ func ConcurrentSessionsGrid(rs []ConcurrentResult) Grid {
 			fmt.Sprintf("%.2fx", r.Speedup),
 			fmt.Sprintf("%.1f", r.MsgsPerStmt),
 			fmt.Sprintf("%.0f", r.AllocsPerStmt),
+			fmt.Sprintf("%.1f", 100*r.PlanCacheHitRate),
 		})
 	}
 	return g

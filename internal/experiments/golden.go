@@ -1,0 +1,39 @@
+package experiments
+
+// GoldenCase is one measured experiment grid with a pinned, small axis set,
+// used for trace-equivalence checking: the rendered grid must stay
+// byte-identical across refactors of the write path and across transports.
+// The checked-in traces live in testdata/seed and were generated from the
+// original hand-rolled executor (go run ./internal/experiments/goldengen).
+type GoldenCase struct {
+	Name string
+	Run  func() (Grid, error)
+}
+
+// GoldenCases lists every measured experiment grid (the paper's fig7–fig14
+// and Table 1, plus the repo's extensions) at the axes the seed traces were
+// captured with. NetworkSensitivity is excluded: it reports wall-clock µs.
+func GoldenCases() []GoldenCase {
+	return []GoldenCase{
+		{"table1", func() (Grid, error) { return Table1(400), nil }},
+		{"fig7", func() (Grid, error) { return Fig7Measured([]int{1, 2, 8}) }},
+		{"fig8", func() (Grid, error) { return Fig8Measured(8, []int{1, 8}) }},
+		{"fig9", func() (Grid, error) { return Fig9Measured([]int{2, 8}) }},
+		{"fig10", func() (Grid, error) { return Fig10Measured([]int{2, 4}) }},
+		{"fig11", func() (Grid, error) { return Fig11Measured(8, []int{1, 100}) }},
+		{"fig12", func() (Grid, error) { return Fig12Model(), nil }},
+		{"fig13", func() (Grid, error) { return Fig13Predicted([]int{2, 4, 8}), nil }},
+		{"fig14", func() (Grid, error) {
+			rs, err := Fig14Measured([]int{2}, 400, 16)
+			if err != nil {
+				return Grid{}, err
+			}
+			return Fig14Grid(rs), nil
+		}},
+		{"storage", func() (Grid, error) { return StorageTradeoff(4, PaperN) }},
+		{"buffering", func() (Grid, error) { return BufferingEffect(4, 500, 200) }},
+		{"skew", func() (Grid, error) { return SkewSensitivity(4, 128, 1.5) }},
+		{"durability", func() (Grid, error) { return Durability(4, 50, 64) }},
+		{"faults", func() (Grid, error) { return FaultOverhead(4, 50, 0.02, 1) }},
+	}
+}

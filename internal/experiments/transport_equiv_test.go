@@ -1,61 +1,72 @@
 package experiments
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"joinview/internal/cluster"
 )
 
-// TestTransportEquivalence reruns the measured experiments on the channel
-// transport with the scatter-gather dispatcher and asserts the rendered
-// grids — every tw-ios, maxnode-ios and msgs cell — are byte-identical to
-// the Direct-transport runs. The logical meters must not notice whether
-// per-node calls were dispatched serially on one goroutine or gathered
-// from a worker pool, nor whether global-index traffic traveled as
-// per-entry messages or batched envelopes.
+// TestTransportEquivalence runs every measured experiment grid on both
+// transports and asserts each render — every tw-ios, maxnode-ios and msgs
+// cell — is byte-identical to the checked-in seed trace
+// (testdata/seed/*.golden, captured from the original hand-rolled
+// executor before the compiled-plan pipeline replaced it).
+//
+// Two properties at once: the compiled pipeline reproduces the seed's
+// traces exactly, and the logical meters do not notice whether per-node
+// calls were dispatched serially on one goroutine or gathered from a
+// worker pool, nor whether global-index traffic traveled as per-entry
+// messages or batched envelopes.
 //
 // NetworkSensitivity is excluded: it reports wall-clock µs and already
 // requires the channel transport. Axes are kept small; jvbench runs the
 // full sweeps.
 func TestTransportEquivalence(t *testing.T) {
-	cases := []struct {
-		name string
-		run  func() (Grid, error)
-	}{
-		{"fig7", func() (Grid, error) { return Fig7Measured([]int{1, 2, 8}) }},
-		{"fig8", func() (Grid, error) { return Fig8Measured(8, []int{1, 8}) }},
-		{"fig9", func() (Grid, error) { return Fig9Measured([]int{2, 8}) }},
-		{"fig10", func() (Grid, error) { return Fig10Measured([]int{2, 4}) }},
-		{"fig11", func() (Grid, error) { return Fig11Measured(8, []int{1, 100}) }},
-		{"fig14", func() (Grid, error) {
-			rs, err := Fig14Measured([]int{2}, 400, 16)
+	for _, tc := range GoldenCases() {
+		t.Run(tc.Name, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", "seed", tc.Name+".golden"))
 			if err != nil {
-				return Grid{}, err
+				t.Fatalf("seed trace: %v", err)
 			}
-			return Fig14Grid(rs), nil
-		}},
-		{"storage", func() (Grid, error) { return StorageTradeoff(4, PaperN) }},
-		{"buffering", func() (Grid, error) { return BufferingEffect(4, 500, 200) }},
-		{"skew", func() (Grid, error) { return SkewSensitivity(4, 128, 1.5) }},
-		{"durability", func() (Grid, error) { return Durability(4, 50, 64) }},
-		{"faults", func() (Grid, error) { return FaultOverhead(4, 50, 0.02, 1) }},
-	}
-	for _, tc := range cases {
-		t.Run(tc.name, func(t *testing.T) {
 			ConfigHook = nil
-			direct, err := tc.run()
+			direct, err := tc.Run()
 			if err != nil {
 				t.Fatalf("direct: %v", err)
 			}
+			if got := direct.Render(); got != string(want) {
+				t.Errorf("direct transport diverges from seed trace\nseed:\n%s\ngot:\n%s", want, got)
+			}
 			ConfigHook = func(cfg *cluster.Config) { cfg.UseChannels = true }
 			defer func() { ConfigHook = nil }()
-			chann, err := tc.run()
+			chann, err := tc.Run()
 			if err != nil {
 				t.Fatalf("channels: %v", err)
 			}
-			if d, c := direct.Render(), chann.Render(); d != c {
-				t.Errorf("traces diverge between transports\ndirect:\n%s\nchannels:\n%s", d, c)
+			if got := chann.Render(); got != string(want) {
+				t.Errorf("channel transport diverges from seed trace\nseed:\n%s\ngot:\n%s", want, got)
 			}
 		})
+	}
+}
+
+// TestPlanCacheUnderGoldenWorkload pins the cache-effectiveness claim the
+// traces alone cannot show: rerunning a measured grid with the plan cache
+// disabled (per-statement compilation, the seed's planning model) must
+// still reproduce the same bytes — caching is a pure optimization.
+func TestPlanCacheUnderGoldenWorkload(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "seed", "fig7.golden"))
+	if err != nil {
+		t.Fatalf("seed trace: %v", err)
+	}
+	ConfigHook = func(cfg *cluster.Config) { cfg.DisablePlanCache = true }
+	defer func() { ConfigHook = nil }()
+	g, err := Fig7Measured([]int{1, 2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Render(); got != string(want) {
+		t.Errorf("uncached pipeline diverges from seed trace\nseed:\n%s\ngot:\n%s", want, got)
 	}
 }

@@ -90,7 +90,7 @@ func (p *Partitioner) Spread(s *types.Schema, col string, tuples []types.Tuple) 
 	backing := make([]types.Tuple, len(tuples))
 	off := 0
 	for n := 0; n < p.n; n++ {
-		buckets[n] = backing[off:off : off+counts[n]]
+		buckets[n] = backing[off : off : off+counts[n]]
 		off += counts[n]
 	}
 	for j, t := range tuples {

@@ -1,0 +1,298 @@
+// Package mplan compiles the full maintenance work of one DML statement —
+// base mutation, auxiliary-relation redistribution, global-index upkeep
+// and view-delta propagation — into a reusable stage DAG, so the hot write
+// path plans once per (table, op) instead of once per statement.
+//
+// A compiled Plan is pure metadata: it pins the catalog objects and the
+// per-view maintenance options (one precompiled delta-join plan plus cost
+// chain per feasible strategy), and records which relational statistics it
+// read. The cluster's pipeline executor walks the stages; the strategy for
+// each view is chosen at execution time from the precompiled options using
+// the cost advisor with the actual delta size, so a cached plan adapts to
+// the workload without re-planning.
+package mplan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"joinview/internal/catalog"
+	"joinview/internal/cost"
+	"joinview/internal/maintain"
+	"joinview/internal/plan"
+	"joinview/internal/stats"
+)
+
+// StageKind classifies one stage of a compiled maintenance plan.
+type StageKind uint8
+
+// Stage kinds, in the order the executor runs them: the base mutation,
+// then every auxiliary relation, then every global index, then every view.
+const (
+	StageBase StageKind = iota
+	StageAuxRel
+	StageGlobalIndex
+	StageView
+)
+
+func (k StageKind) String() string {
+	switch k {
+	case StageBase:
+		return "base"
+	case StageAuxRel:
+		return "auxrel"
+	case StageGlobalIndex:
+		return "globalindex"
+	case StageView:
+		return "view"
+	default:
+		return fmt.Sprintf("stage(%d)", uint8(k))
+	}
+}
+
+// FanoutDep records one statistics value the compiled plan depends on.
+// plan.Build orders delta joins by the fan-outs of the *probed* tables, so
+// a compiled plan is only reusable while those fan-outs are unchanged —
+// the updated table's own statistics (bumped after every statement) are
+// never probed for its own updates and are deliberately not recorded.
+type FanoutDep struct {
+	Table, Col string
+	Fanout     float64
+}
+
+// StrategyOption is one feasible maintenance method for a view, with its
+// delta-join plan and cost-model chain precompiled.
+type StrategyOption struct {
+	Strategy catalog.Strategy
+	Plan     *plan.Plan
+	Chain    []cost.ChainStep
+}
+
+// TW returns the option's modeled total workload (the paper's TW: I/Os
+// summed over nodes) for a delta of a tuples on an l-node cluster.
+// arUpdates/giUpdates are the counts of the updated table's own auxiliary
+// structures.
+func (o *StrategyOption) TW(l, a, arUpdates, giUpdates int) float64 {
+	switch o.Strategy {
+	case catalog.StrategyNaive:
+		return cost.TotalNaive(l, a, o.Chain)
+	case catalog.StrategyAuxRel:
+		return cost.TotalAuxRel(l, a, o.Chain, arUpdates)
+	case catalog.StrategyGlobalIndex:
+		return cost.TotalGlobalIndex(l, a, o.Chain, giUpdates)
+	default:
+		return 0
+	}
+}
+
+// ViewStage is the compiled propagation work for one view.
+type ViewStage struct {
+	View *catalog.View
+	// Pinned reports that the view definition fixes the strategy for this
+	// table (View.Strategy or an override), in which case Options has
+	// exactly one entry and the advisor is bypassed.
+	Pinned bool
+	// Options lists the feasible maintenance methods in advisor preference
+	// order (auxrel, globalindex, naive); ties in modeled cost keep the
+	// earlier option.
+	Options []StrategyOption
+}
+
+// Choose picks the option used for a delta of deltaSize tuples: the pinned
+// option, or the minimum modeled TW among the precompiled options.
+func (vs *ViewStage) Choose(l, deltaSize, arUpdates, giUpdates int) *StrategyOption {
+	best := &vs.Options[0]
+	if vs.Pinned {
+		return best
+	}
+	bestTW := best.TW(l, deltaSize, arUpdates, giUpdates)
+	for i := 1; i < len(vs.Options); i++ {
+		o := &vs.Options[i]
+		if tw := o.TW(l, deltaSize, arUpdates, giUpdates); tw < bestTW {
+			best, bestTW = o, tw
+		}
+	}
+	return best
+}
+
+// Stage is one unit of a compiled plan. Exactly one of AR, GI, View is set
+// for the non-base kinds; the executor interprets the base stage by the
+// plan's Op.
+type Stage struct {
+	Kind StageKind
+	AR   *catalog.AuxRel
+	GI   *catalog.GlobalIndex
+	View *ViewStage
+}
+
+// Plan is the compiled maintenance pipeline for one (table, op) pair.
+type Plan struct {
+	Table *catalog.Table
+	Op    maintain.Op
+	// Stages in execution order: base, ARs (name order), GIs (name order),
+	// views (name order) — the sequence the paper's method descriptions
+	// and the seed executor use.
+	Stages []Stage
+	// ARCount/GICount are the updated table's auxiliary-structure counts,
+	// inputs to the advisor's TW model.
+	ARCount, GICount int
+	// Version is the catalog version the plan was compiled against.
+	Version uint64
+	// Deps are the statistics reads the plan's join orders depend on.
+	Deps []FanoutDep
+}
+
+// Compile builds the maintenance plan for one (table, op) from the catalog
+// and current statistics.
+func Compile(cat *catalog.Catalog, st *stats.Stats, table string, op maintain.Op) (*Plan, error) {
+	version := cat.Version()
+	t, err := cat.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	mp := &Plan{Table: t, Op: op, Version: version}
+	mp.Stages = append(mp.Stages, Stage{Kind: StageBase})
+	ars := cat.AuxRelsFor(table)
+	for _, ar := range ars {
+		mp.Stages = append(mp.Stages, Stage{Kind: StageAuxRel, AR: ar})
+	}
+	mp.ARCount = len(ars)
+	gis := cat.GlobalIndexesFor(table)
+	for _, gi := range gis {
+		mp.Stages = append(mp.Stages, Stage{Kind: StageGlobalIndex, GI: gi})
+	}
+	mp.GICount = len(gis)
+	deps := depSet{}
+	for _, v := range cat.ViewsOn(table) {
+		vs, err := CompileView(cat, st, v, table)
+		if err != nil {
+			return nil, err
+		}
+		mp.Stages = append(mp.Stages, Stage{Kind: StageView, View: vs})
+		deps.recordView(st, v, table)
+	}
+	mp.Deps = deps.list()
+	return mp, nil
+}
+
+// CompileView compiles the propagation stage for one view: the pinned
+// strategy's plan, or — for StrategyAuto — every feasible strategy's plan
+// in advisor preference order.
+func CompileView(cat *catalog.Catalog, st *stats.Stats, v *catalog.View, table string) (*ViewStage, error) {
+	vs := &ViewStage{View: v}
+	if s := v.StrategyFor(table); s != catalog.StrategyAuto {
+		p, err := plan.Build(cat, st, v, table, s)
+		if err != nil {
+			return nil, err
+		}
+		vs.Pinned = true
+		vs.Options = []StrategyOption{{Strategy: s, Plan: p, Chain: chainOf(p)}}
+		return vs, nil
+	}
+	for _, s := range []catalog.Strategy{catalog.StrategyAuxRel, catalog.StrategyGlobalIndex, catalog.StrategyNaive} {
+		p, err := plan.Build(cat, st, v, table, s)
+		if err != nil {
+			continue // structures missing: strategy unavailable
+		}
+		vs.Options = append(vs.Options, StrategyOption{Strategy: s, Plan: p, Chain: chainOf(p)})
+	}
+	if len(vs.Options) == 0 {
+		return nil, fmt.Errorf("mplan: view %q has no feasible maintenance strategy for table %q", v.Name, table)
+	}
+	return vs, nil
+}
+
+// chainOf projects a delta-join plan onto the analytical cost model.
+func chainOf(p *plan.Plan) []cost.ChainStep {
+	steps := make([]cost.ChainStep, len(p.Steps))
+	for i, s := range p.Steps {
+		steps[i] = cost.ChainStep{Fanout: s.Fanout, Clustered: s.FragClusteredOnCol}
+	}
+	return steps
+}
+
+// Valid reports whether the plan may still be executed: the catalog has
+// not moved and every statistics value the join orders were derived from
+// is unchanged.
+func (p *Plan) Valid(cat *catalog.Catalog, st *stats.Stats) bool {
+	if cat.Version() != p.Version {
+		return false
+	}
+	for _, d := range p.Deps {
+		if st.Fanout(d.Table, d.Col) != d.Fanout {
+			return false
+		}
+	}
+	return true
+}
+
+// Describe renders the compiled pipeline for EXPLAIN-style tooling.
+func (p *Plan) Describe() string {
+	var sb strings.Builder
+	op := "insert"
+	if p.Op == maintain.OpDelete {
+		op = "delete"
+	}
+	fmt.Fprintf(&sb, "pipeline for %s into %s (catalog v%d, %d stages)\n", op, p.Table.Name, p.Version, len(p.Stages))
+	for i, s := range p.Stages {
+		switch s.Kind {
+		case StageBase:
+			fmt.Fprintf(&sb, "  stage %d: %-11s %s\n", i+1, s.Kind, p.Table.Name)
+		case StageAuxRel:
+			fmt.Fprintf(&sb, "  stage %d: %-11s %s (on %s)\n", i+1, s.Kind, s.AR.Name, s.AR.PartitionCol)
+		case StageGlobalIndex:
+			fmt.Fprintf(&sb, "  stage %d: %-11s %s (on %s)\n", i+1, s.Kind, s.GI.Name, s.GI.Col)
+		case StageView:
+			mode := "adaptive"
+			if s.View.Pinned {
+				mode = "pinned"
+			}
+			fmt.Fprintf(&sb, "  stage %d: %-11s %s (%s: %s)\n", i+1, s.Kind, s.View.View.Name, mode, optionNames(s.View.Options))
+		}
+	}
+	return sb.String()
+}
+
+func optionNames(opts []StrategyOption) string {
+	names := make([]string, len(opts))
+	for i, o := range opts {
+		names[i] = o.Strategy.String()
+	}
+	return strings.Join(names, "|")
+}
+
+// depSet deduplicates fan-out dependencies while compiling.
+type depSet map[[2]string]float64
+
+// recordView records the fan-out of every join-predicate side of v that is
+// not the updated table — a superset of the statistics plan.Build can read
+// while ordering the view's delta joins (the updated table starts covered,
+// so its own fan-outs are never probed).
+func (d depSet) recordView(st *stats.Stats, v *catalog.View, table string) {
+	for _, j := range v.Joins {
+		for _, side := range []struct{ t, col string }{{j.Left, j.LeftCol}, {j.Right, j.RightCol}} {
+			if side.t == table {
+				continue
+			}
+			d[[2]string{side.t, side.col}] = st.Fanout(side.t, side.col)
+		}
+	}
+}
+
+func (d depSet) list() []FanoutDep {
+	if len(d) == 0 {
+		return nil
+	}
+	out := make([]FanoutDep, 0, len(d))
+	for k, f := range d {
+		out = append(out, FanoutDep{Table: k[0], Col: k[1], Fanout: f})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Table != out[b].Table {
+			return out[a].Table < out[b].Table
+		}
+		return out[a].Col < out[b].Col
+	})
+	return out
+}

@@ -1,0 +1,121 @@
+// Pipeline counters: how the compile-once maintenance pipeline is doing.
+// The plan cache records lookup hits and misses; the executor records, per
+// stage kind, how many times the stage ran and — when the cluster executes
+// statements serially, so the global meters are unambiguous — how many
+// pages and messages the stage cost.
+package stats
+
+import "sync"
+
+// PipelineCounters accumulates plan-cache and per-stage pipeline metrics.
+// Safe for concurrent use.
+type PipelineCounters struct {
+	mu     sync.Mutex
+	hits   int64
+	misses int64
+	stages map[string]StageCounters
+}
+
+// StageCounters is the accumulated cost of one pipeline stage kind.
+type StageCounters struct {
+	// Executions counts how many times a stage of this kind ran.
+	Executions int64
+	// Pages and Messages are the stage's metered cost. They are only
+	// attributed when the cluster runs statements serially (one statement
+	// owns the global meters for its duration); under parallel dispatch
+	// they stay zero and only Executions advances.
+	Pages    int64
+	Messages int64
+}
+
+// NewPipelineCounters returns zeroed counters.
+func NewPipelineCounters() *PipelineCounters {
+	return &PipelineCounters{stages: map[string]StageCounters{}}
+}
+
+// RecordLookup counts one plan-cache lookup.
+func (p *PipelineCounters) RecordLookup(hit bool) {
+	p.mu.Lock()
+	if hit {
+		p.hits++
+	} else {
+		p.misses++
+	}
+	p.mu.Unlock()
+}
+
+// RecordStage counts one execution of the named stage kind, attributing
+// pages and messages (pass zeros when attribution is ambiguous).
+func (p *PipelineCounters) RecordStage(kind string, pages, messages int64) {
+	p.mu.Lock()
+	sc := p.stages[kind]
+	sc.Executions++
+	sc.Pages += pages
+	sc.Messages += messages
+	p.stages[kind] = sc
+	p.mu.Unlock()
+}
+
+// Reset zeroes all counters (measurement windows reset them together with
+// the cluster's storage and network meters).
+func (p *PipelineCounters) Reset() {
+	p.mu.Lock()
+	p.hits, p.misses = 0, 0
+	p.stages = map[string]StageCounters{}
+	p.mu.Unlock()
+}
+
+// Snapshot returns a copy of the counters.
+func (p *PipelineCounters) Snapshot() PipelineSnapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := PipelineSnapshot{
+		PlanCacheHits:   p.hits,
+		PlanCacheMisses: p.misses,
+	}
+	if len(p.stages) > 0 {
+		s.Stages = make(map[string]StageCounters, len(p.stages))
+		for k, v := range p.stages {
+			s.Stages[k] = v
+		}
+	}
+	return s
+}
+
+// PipelineSnapshot is a point-in-time copy of the pipeline counters.
+type PipelineSnapshot struct {
+	PlanCacheHits   int64
+	PlanCacheMisses int64
+	// Stages maps stage kind ("base", "auxrel", "globalindex", "view") to
+	// its accumulated cost; nil when nothing ran.
+	Stages map[string]StageCounters
+}
+
+// HitRate returns hits / (hits + misses), or 0 with no lookups.
+func (s PipelineSnapshot) HitRate() float64 {
+	total := s.PlanCacheHits + s.PlanCacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.PlanCacheHits) / float64(total)
+}
+
+// Sub returns the delta s - o, for measurement windows.
+func (s PipelineSnapshot) Sub(o PipelineSnapshot) PipelineSnapshot {
+	d := PipelineSnapshot{
+		PlanCacheHits:   s.PlanCacheHits - o.PlanCacheHits,
+		PlanCacheMisses: s.PlanCacheMisses - o.PlanCacheMisses,
+	}
+	if len(s.Stages) > 0 {
+		d.Stages = make(map[string]StageCounters, len(s.Stages))
+		for k, v := range s.Stages {
+			prev := o.Stages[k]
+			d.Stages[k] = StageCounters{
+				Executions: v.Executions - prev.Executions,
+				Pages:      v.Pages - prev.Pages,
+				Messages:   v.Messages - prev.Messages,
+			}
+		}
+	}
+	return d
+}

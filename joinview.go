@@ -190,6 +190,11 @@ type Options struct {
 	// CheckpointEvery takes an automatic per-node checkpoint after that
 	// many redo records (0: only explicit Checkpoint calls).
 	CheckpointEvery int
+	// DisablePlanCache makes every DML statement compile its maintenance
+	// pipeline from scratch instead of reusing the catalog-versioned plan
+	// cache. Identical results, only slower — a debugging aid for
+	// isolating caching effects (Metrics.Pipeline reports only misses).
+	DisablePlanCache bool
 }
 
 // Fault-injection surface, re-exported from the internal fault package.
@@ -232,21 +237,22 @@ func Open(opts Options) (*DB, error) {
 		algo = node.AlgoSortMerge
 	}
 	c, err := cluster.New(cluster.Config{
-		Nodes:           opts.Nodes,
-		PageRows:        opts.PageRows,
-		MemPages:        opts.MemPages,
-		UseChannels:     opts.UseChannels,
-		Algo:            algo,
-		BufferPages:     opts.BufferPages,
-		NetLatency:      opts.NetLatency,
-		CallTimeout:     opts.CallTimeout,
-		RetryAttempts:   opts.RetryAttempts,
-		RetryBackoff:    opts.RetryBackoff,
-		RetryBackoffMax: opts.RetryBackoffMax,
-		RetrySeed:       opts.RetrySeed,
-		Faults:          opts.Faults,
-		Durability:      opts.Durability,
-		CheckpointEvery: opts.CheckpointEvery,
+		Nodes:            opts.Nodes,
+		PageRows:         opts.PageRows,
+		MemPages:         opts.MemPages,
+		UseChannels:      opts.UseChannels,
+		Algo:             algo,
+		BufferPages:      opts.BufferPages,
+		NetLatency:       opts.NetLatency,
+		CallTimeout:      opts.CallTimeout,
+		RetryAttempts:    opts.RetryAttempts,
+		RetryBackoff:     opts.RetryBackoff,
+		RetryBackoffMax:  opts.RetryBackoffMax,
+		RetrySeed:        opts.RetrySeed,
+		Faults:           opts.Faults,
+		Durability:       opts.Durability,
+		CheckpointEvery:  opts.CheckpointEvery,
+		DisablePlanCache: opts.DisablePlanCache,
 	})
 	if err != nil {
 		return nil, err
@@ -340,6 +346,13 @@ func (db *DB) ResolveStrategy(viewName, table string, deltaSize int) (Strategy, 
 		return 0, err
 	}
 	return db.c.ResolveStrategy(v, table, deltaSize)
+}
+
+// ExplainPipeline renders the compiled maintenance pipeline for one
+// (table, op) pair — op is "insert" or "delete" — listing its stages in
+// execution order and, for auto-strategy views, the advisor's options.
+func (db *DB) ExplainPipeline(table, op string) (string, error) {
+	return db.c.ExplainPipeline(table, op)
 }
 
 // Tx is an open multi-statement transaction (Begin/Insert/Delete/Update/
