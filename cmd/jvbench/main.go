@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, fig7..fig14, storage, buffering, skew, network, faults, durability, parallel, adaptive")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, fig7..fig14, storage, buffering, skew, network, faults, durability, parallel, adaptive, elastic")
 	measured := flag.Bool("measured", false, "also run the measured (simulator) variants of figs 7-11")
 	maxL := flag.Int("maxl", 128, "largest node count to sweep")
 	scale := flag.Int("scale", 100, "Table 1 scale divisor for fig14 (100 = 1,500 customers)")
@@ -66,6 +66,11 @@ func main() {
 	exitCode := 0
 	if *exp == "adaptive" {
 		if err := runAdaptive(*maxL, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "jvbench:", err)
+			exitCode = 1
+		}
+	} else if *exp == "elastic" {
+		if err := runElastic(*sessions, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, "jvbench:", err)
 			exitCode = 1
 		}
@@ -130,6 +135,24 @@ func runAdaptive(maxL int, jsonPath string) error {
 	fmt.Printf("(measured in %v)\n\n", time.Since(start).Round(time.Millisecond))
 	if jsonPath == "" {
 		jsonPath = "BENCH_adaptive.json"
+	}
+	return writeJSON(jsonPath, results)
+}
+
+// runElastic measures a live 4 -> 5 node expansion under concurrent
+// sessions for every maintenance strategy and writes the results to
+// BENCH_elastic.json or the -json path.
+func runElastic(sessions int, jsonPath string) error {
+	start := time.Now()
+	results, err := experiments.Elastic(sessions, 300, 8)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.ElasticGrid(results).Render())
+	fmt.Printf("(measured in %v; %d sessions, simulated %v/message interconnect)\n\n",
+		time.Since(start).Round(time.Millisecond), sessions, experiments.DefaultNetLatency)
+	if jsonPath == "" {
+		jsonPath = "BENCH_elastic.json"
 	}
 	return writeJSON(jsonPath, results)
 }

@@ -10,6 +10,8 @@
 //	                   n-tuple update of the table (default 1)
 //	\tables            list tables, auxiliary structures and views
 //	\storage           show the space footprint of every stored object
+//	\topology          show the partition-map epoch, per-node hash slots
+//	                   and any in-flight migration
 //	\quit              exit
 //
 // Usage: jvshell [-nodes 4] [-channels] [-f script.sql]
@@ -148,6 +150,36 @@ func handleMeta(db *joinview.DB, cmd string) bool {
 			}
 			fmt.Printf("%s %s over %v using %s\n", shape, name, v.Tables, v.Strategy)
 		}
+	case "\\topology":
+		top := db.Topology()
+		fmt.Printf("partition map epoch %d, %d nodes, %d hash slots\n", top.Epoch, top.Nodes, len(top.SlotOwner))
+		owned := map[int][]int{}
+		for slot, n := range top.SlotOwner {
+			owned[n] = append(owned[n], slot)
+		}
+		for n := 0; n < top.Nodes; n++ {
+			slots := owned[n]
+			label := ""
+			for _, r := range top.Retired {
+				if r == n {
+					label = " (retired)"
+				}
+			}
+			fmt.Printf("  node %d%s: %d slots %v\n", n, label, len(slots), slots)
+		}
+		if m := top.InFlight; m != nil {
+			fmt.Printf("migration %d in flight: phase %s, slots %v -> nodes %v, catch-up queue depth %d\n",
+				m.ID, m.Phase, m.Slots, m.Dsts, m.QueueDepth)
+		} else if stats, ok := db.LastMigration(); ok {
+			outcome := "aborted"
+			if stats.Committed {
+				outcome = "committed"
+			}
+			fmt.Printf("last migration %d %s: %d slots, %d rows / %d pages copied, cutover stall %v\n",
+				stats.ID, outcome, len(stats.Slots), stats.RowsCopied, stats.PagesCopied, stats.CutoverStall)
+		} else {
+			fmt.Println("no migration in flight")
+		}
 	case "\\storage":
 		rep, err := db.StorageReport()
 		if err != nil {
@@ -160,7 +192,7 @@ func handleMeta(db *joinview.DB, cmd string) bool {
 		}
 		fmt.Printf("auxiliary-structure overhead: %d rows (%d values)\n", rep.Overhead(), rep.OverheadValues())
 	default:
-		fmt.Println("commands: \\metrics \\reset \\check <view> \\explain <view> <table> [n] \\tables \\storage \\quit")
+		fmt.Println("commands: \\metrics \\reset \\check <view> \\explain <view> <table> [n] \\tables \\storage \\topology \\quit")
 	}
 	return false
 }

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 
 	"joinview/internal/expr"
+	"joinview/internal/hashpart"
 	"joinview/internal/types"
 )
 
@@ -350,6 +351,12 @@ type Catalog struct {
 	auxrels  map[string]*AuxRel
 	gindexes map[string]*GlobalIndex
 	version  atomic.Uint64
+	// pmap is the cluster's versioned partition map: the epoch-stamped
+	// slot→node assignment the elasticity machinery installs at every
+	// migration cutover. Readers (the plan cache's validity check, the
+	// topology report) load it lock-free; nil means the fixed identity
+	// topology (epoch 0).
+	pmap atomic.Pointer[hashpart.Map]
 }
 
 // Version returns the catalog's schema version: a counter bumped by every
@@ -359,6 +366,34 @@ func (c *Catalog) Version() uint64 { return c.version.Load() }
 
 // bump advances the schema version after a successful mutation.
 func (c *Catalog) bump() { c.version.Add(1) }
+
+// SetPartitionMap records the installed slot→node partition map. The
+// cluster calls it at construction and at every migration cutover; the
+// epoch bump (not a catalog-version bump) is what invalidates compiled
+// maintenance plans, so fixed-topology workloads see no extra recompiles.
+func (c *Catalog) SetPartitionMap(m hashpart.Map) {
+	m = m.Clone()
+	c.pmap.Store(&m)
+}
+
+// PartitionMap returns the recorded partition map and whether one was set.
+func (c *Catalog) PartitionMap() (hashpart.Map, bool) {
+	p := c.pmap.Load()
+	if p == nil {
+		return hashpart.Map{}, false
+	}
+	return p.Clone(), true
+}
+
+// PartitionEpoch returns the installed partition map's epoch (0 when the
+// topology never changed). Compiled maintenance plans record it and are
+// invalid once it moves.
+func (c *Catalog) PartitionEpoch() uint64 {
+	if p := c.pmap.Load(); p != nil {
+		return p.Epoch
+	}
+	return 0
+}
 
 // New returns an empty catalog.
 func New() *Catalog {

@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"joinview/internal/fault"
+	"joinview/internal/netsim"
+	"joinview/internal/node"
+)
+
+// newBreakerCluster builds a small cluster with the per-node circuit
+// breaker armed: threshold consecutive exhausted deliveries to one node
+// open its breaker.
+func newBreakerCluster(t *testing.T, inj *fault.Injector, threshold int) *Cluster {
+	t.Helper()
+	c, err := New(Config{Nodes: 2, Faults: inj, RetryAttempts: 2, BreakerThreshold: threshold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// exhaust burns one full retry budget against the node with injected
+// transient handler errors, so the delivery fails and the breaker counts
+// one consecutive failure.
+func exhaust(t *testing.T, c *Cluster, inj *fault.Injector, n int) {
+	t.Helper()
+	inj.FailNext(fault.KindHandlerErr, c.cfg.RetryAttempts)
+	if _, err := c.tr.Call(netsim.Coordinator, n, node.Ping{}); err == nil {
+		t.Fatal("delivery should have exhausted its retry budget")
+	}
+}
+
+// TestBreakerOpensAfterConsecutiveTimeouts drives a node through
+// BreakerThreshold consecutive exhausted deliveries and asserts the
+// breaker opens: later calls fail fast with ErrSuspect without touching
+// the wire, and recovery closes the breaker again.
+func TestBreakerOpensAfterConsecutiveTimeouts(t *testing.T) {
+	inj := fault.New(fault.Config{Seed: 11})
+	c := newBreakerCluster(t, inj, 3)
+
+	for i := 0; i < 3; i++ {
+		if got := c.Suspect(); len(got) != 0 {
+			t.Fatalf("breaker open after %d failures: %v", i, got)
+		}
+		exhaust(t, c, inj, 1)
+	}
+	if got := c.Suspect(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Suspect() = %v, want [1]", got)
+	}
+
+	// Open breaker: fail fast, no delivery attempted.
+	faultsBefore := inj.Stats().Total()
+	_, err := c.tr.Call(netsim.Coordinator, 1, node.Ping{})
+	if !errors.Is(err, ErrSuspect) {
+		t.Fatalf("call to suspect node: %v, want ErrSuspect", err)
+	}
+	if after := inj.Stats().Total(); after != faultsBefore {
+		t.Fatalf("fail-fast call still reached the transport: %d faults -> %d", faultsBefore, after)
+	}
+
+	// The healthy node is unaffected.
+	if _, err := c.tr.Call(netsim.Coordinator, 0, node.Ping{}); err != nil {
+		t.Fatalf("call to healthy node: %v", err)
+	}
+
+	// Recovery closes the breaker and the node serves again.
+	if err := c.Recover(1); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if got := c.Suspect(); len(got) != 0 {
+		t.Fatalf("breaker still open after recovery: %v", got)
+	}
+	if _, err := c.tr.Call(netsim.Coordinator, 1, node.Ping{}); err != nil {
+		t.Fatalf("call after recovery: %v", err)
+	}
+}
+
+// TestBreakerResetBySuccess asserts the failure count is consecutive, not
+// cumulative: a success between exhausted deliveries resets it, so the
+// same total number of failures never opens the breaker.
+func TestBreakerResetBySuccess(t *testing.T) {
+	inj := fault.New(fault.Config{Seed: 11})
+	c := newBreakerCluster(t, inj, 3)
+
+	for i := 0; i < 5; i++ {
+		exhaust(t, c, inj, 1)
+		exhaust(t, c, inj, 1)
+		if _, err := c.tr.Call(netsim.Coordinator, 1, node.Ping{}); err != nil {
+			t.Fatalf("clean call %d: %v", i, err)
+		}
+	}
+	if got := c.Suspect(); len(got) != 0 {
+		t.Fatalf("breaker opened despite interleaved successes: %v", got)
+	}
+}
+
+// TestBreakerDisabledByDefault asserts a zero threshold disables the
+// breaker entirely: any number of exhausted deliveries never trips it.
+func TestBreakerDisabledByDefault(t *testing.T) {
+	inj := fault.New(fault.Config{Seed: 11})
+	c := newBreakerCluster(t, inj, 0)
+
+	for i := 0; i < 6; i++ {
+		exhaust(t, c, inj, 1)
+	}
+	if got := c.Suspect(); len(got) != 0 {
+		t.Fatalf("disabled breaker tripped: %v", got)
+	}
+	if _, err := c.tr.Call(netsim.Coordinator, 1, node.Ping{}); err != nil {
+		t.Fatalf("call after storm: %v", err)
+	}
+}

@@ -94,6 +94,14 @@ type Config struct {
 	// scatter-gather dispatcher and the table-level lock manager are
 	// measured against.
 	SerialDML bool
+	// BreakerThreshold enables the per-node circuit breaker: after that
+	// many consecutive failed delivery attempts (exhausted retry budgets
+	// or timeouts) against one node, the node is marked suspect and every
+	// further call to it fails fast with ErrSuspect instead of burning the
+	// full retry/backoff budget per statement. Recovery (Recover,
+	// RestartNode) closes the breaker. Zero disables the breaker (the
+	// deterministic chaos schedules assume every delivery is attempted).
+	BreakerThreshold int
 	// DisablePlanCache makes every DML statement compile its maintenance
 	// plan from scratch instead of reusing the (table, op)-keyed plan
 	// cache — the per-statement planning model the pipeline replaced, kept
@@ -161,6 +169,29 @@ type Cluster struct {
 	// QueryJoin calls.
 	tempSeq atomic.Uint64
 
+	// nmu guards the nodes slice against concurrent growth (AddNode runs
+	// under the global exclusive lock, but Metrics readers take no locks);
+	// nNodes mirrors len(nodes) for lock-free hot-path reads.
+	nmu    sync.RWMutex
+	nNodes atomic.Int32
+
+	// Elasticity state: mig is the in-flight migration (nil when idle),
+	// lastMig the most recent completed or aborted migration's cost
+	// accounting, migSeq numbers migrations across the cluster's life,
+	// retired marks decommissioned nodes (they stay addressable but own
+	// no hash slots).
+	migMu   sync.RWMutex
+	mig     *migration
+	lastMig *MigrationStats
+	migSeq  atomic.Uint64
+	retired map[int]bool
+
+	// Circuit-breaker state (Config.BreakerThreshold): consecutive
+	// delivery failures per node, and the open set.
+	brkMu     sync.Mutex
+	brkConsec map[int]int
+	brkOpen   map[int]bool
+
 	// mcache holds the compiled maintenance plans of the write path,
 	// keyed by (table, op) and invalidated by catalog-version or
 	// statistics drift; pstats counts its hits/misses and the pipeline's
@@ -204,7 +235,12 @@ func New(cfg Config) (*Cluster, error) {
 		lm:          lockmgr.New(),
 		mcache:      mplan.NewCache(),
 		pstats:      stats.NewPipelineCounters(),
+		retired:     map[int]bool{},
+		brkConsec:   map[int]int{},
+		brkOpen:     map[int]bool{},
 	}
+	c.nNodes.Store(int32(cfg.Nodes))
+	c.cat.SetPartitionMap(c.part.Map())
 	c.coordLog = wal.NewLog(c.coordMeter, cfg.PageRows)
 	handlers := make([]netsim.Handler, cfg.Nodes)
 	for i := 0; i < cfg.Nodes; i++ {
@@ -253,8 +289,17 @@ func (c *Cluster) Catalog() *catalog.Catalog { return c.cat }
 // Stats exposes the statistics store.
 func (c *Cluster) Stats() *stats.Stats { return c.st }
 
-// NumNodes returns L.
-func (c *Cluster) NumNodes() int { return c.cfg.Nodes }
+// NumNodes returns L, the current node count (it grows when AddNode
+// expands the cluster).
+func (c *Cluster) NumNodes() int { return int(c.nNodes.Load()) }
+
+// allNodes snapshots the node slice (it only ever grows; entries are
+// immutable pointers).
+func (c *Cluster) allNodes() []*node.DataNode {
+	c.nmu.RLock()
+	defer c.nmu.RUnlock()
+	return c.nodes[:len(c.nodes):len(c.nodes)]
+}
 
 // Config returns the cluster configuration.
 func (c *Cluster) Config() Config { return c.cfg }
@@ -348,14 +393,24 @@ func (m Metrics) Sub(o Metrics) Metrics {
 		Node: make([]storage.Counts, len(m.Node)),
 		Pool: make([]buffer.Stats, len(m.Pool)),
 	}
+	// The earlier snapshot may predate an AddNode: missing nodes
+	// subtract as zero.
 	for i := range m.Node {
-		out.Node[i] = m.Node[i].Sub(o.Node[i])
+		if i < len(o.Node) {
+			out.Node[i] = m.Node[i].Sub(o.Node[i])
+		} else {
+			out.Node[i] = m.Node[i]
+		}
 	}
 	for i := range m.Pool {
+		op := buffer.Stats{}
+		if i < len(o.Pool) {
+			op = o.Pool[i]
+		}
 		out.Pool[i] = buffer.Stats{
-			Hits:      m.Pool[i].Hits - o.Pool[i].Hits,
-			Misses:    m.Pool[i].Misses - o.Pool[i].Misses,
-			Evictions: m.Pool[i].Evictions - o.Pool[i].Evictions,
+			Hits:      m.Pool[i].Hits - op.Hits,
+			Misses:    m.Pool[i].Misses - op.Misses,
+			Evictions: m.Pool[i].Evictions - op.Evictions,
 		}
 	}
 	out.Net = netsim.Stats{
@@ -372,15 +427,16 @@ func (m Metrics) Sub(o Metrics) Metrics {
 // Metrics reads all node meters and the transport counters. Meters are
 // atomic, so this is safe alongside the channel transport.
 func (c *Cluster) Metrics() Metrics {
+	nodes := c.allNodes()
 	m := Metrics{
-		Node:     make([]storage.Counts, len(c.nodes)),
-		Pool:     make([]buffer.Stats, len(c.nodes)),
+		Node:     make([]storage.Counts, len(nodes)),
+		Pool:     make([]buffer.Stats, len(nodes)),
 		Net:      c.tr.Stats(),
 		Retries:  c.retries.Load(),
 		Coord:    c.coordMeter.Snapshot(),
 		Pipeline: c.pstats.Snapshot(),
 	}
-	for i, n := range c.nodes {
+	for i, n := range nodes {
 		m.Node[i] = n.Meter().Snapshot()
 		m.Pool[i] = n.PoolStatsSnapshot()
 	}
@@ -392,7 +448,7 @@ func (c *Cluster) Metrics() Metrics {
 // buffering effect). Experiments call it after DDL/loading so measurement
 // windows start clean.
 func (c *Cluster) ResetMetrics() {
-	for _, n := range c.nodes {
+	for _, n := range c.allNodes() {
 		n.Meter().Reset()
 		n.ResetPoolStats()
 	}
@@ -444,7 +500,7 @@ func (c *Cluster) gather(frag string) ([]types.Tuple, error) {
 func (c *Cluster) gatherPartial(frag string, req func() any) ([]types.Tuple, error) {
 	var out []types.Tuple
 	partial := false
-	for n := 0; n < c.cfg.Nodes; n++ {
+	for n := 0; n < c.NumNodes(); n++ {
 		resp, err := c.tr.Call(netsim.Coordinator, n, req())
 		if err != nil {
 			if _, down := fault.IsNodeDown(err); down {

@@ -22,6 +22,9 @@ import (
 func (c *Cluster) CreateTable(t *catalog.Table) error {
 	h := c.lockGlobal()
 	defer h.Release()
+	if err := c.failIfMigrating(); err != nil {
+		return err
+	}
 	if t.ClusterCol == "" {
 		t.ClusterCol = t.PartitionCol
 	}
@@ -48,6 +51,9 @@ func (c *Cluster) CreateTable(t *catalog.Table) error {
 func (c *Cluster) CreateIndex(table, name, col string) error {
 	h := c.lockGlobal()
 	defer h.Release()
+	if err := c.failIfMigrating(); err != nil {
+		return err
+	}
 	if err := c.cat.AddIndex(table, catalog.Index{Name: name, Col: col}); err != nil {
 		return err
 	}
@@ -60,6 +66,9 @@ func (c *Cluster) CreateIndex(table, name, col string) error {
 func (c *Cluster) CreateAuxRel(spec *catalog.AuxRel) error {
 	h := c.lockGlobal()
 	defer h.Release()
+	if err := c.failIfMigrating(); err != nil {
+		return err
+	}
 	return c.createAuxRelLocked(spec)
 }
 
@@ -135,6 +144,9 @@ func (c *Cluster) spreadInsert(frag string, schema *types.Schema, col string, tu
 func (c *Cluster) CreateGlobalIndex(spec *catalog.GlobalIndex) error {
 	h := c.lockGlobal()
 	defer h.Release()
+	if err := c.failIfMigrating(); err != nil {
+		return err
+	}
 	return c.createGlobalIndexLocked(spec)
 }
 
@@ -152,14 +164,14 @@ func (c *Cluster) createGlobalIndexLocked(spec *catalog.GlobalIndex) error {
 	ci := t.Schema.MustColIndex(spec.Col)
 	// Per source node: read (row id, tuple) pairs, then batch entries to
 	// each global-index home node.
-	for src := 0; src < c.cfg.Nodes; src++ {
+	for src := 0; src < c.NumNodes(); src++ {
 		resp, err := c.call(src, node.ScanWithRows{Frag: spec.Table})
 		if err != nil {
 			return err
 		}
 		rr := resp.(node.RowsResult)
-		batchVals := make([][]types.Value, c.cfg.Nodes)
-		batchGs := make([][]storage.GlobalRowID, c.cfg.Nodes)
+		batchVals := make([][]types.Value, c.NumNodes())
+		batchGs := make([][]storage.GlobalRowID, c.NumNodes())
 		for i, tup := range rr.Tuples {
 			v := tup[ci]
 			home := c.part.NodeFor(v)
@@ -184,6 +196,9 @@ func (c *Cluster) createGlobalIndexLocked(spec *catalog.GlobalIndex) error {
 func (c *Cluster) EnsureStructures(v *catalog.View) error {
 	h := c.lockGlobal()
 	defer h.Release()
+	if err := c.failIfMigrating(); err != nil {
+		return err
+	}
 	return c.ensureStructuresLocked(v)
 }
 
@@ -245,6 +260,9 @@ func (c *Cluster) ensureStructuresLocked(v *catalog.View) error {
 func (c *Cluster) CreateView(v *catalog.View) error {
 	h := c.lockGlobal()
 	defer h.Release()
+	if err := c.failIfMigrating(); err != nil {
+		return err
+	}
 	if err := c.cat.AddView(v); err != nil {
 		return err
 	}
@@ -272,6 +290,9 @@ func (c *Cluster) CreateView(v *catalog.View) error {
 func (c *Cluster) DropView(name string) error {
 	h := c.lockGlobal()
 	defer h.Release()
+	if err := c.failIfMigrating(); err != nil {
+		return err
+	}
 	if err := c.cat.DropView(name); err != nil {
 		return err
 	}
@@ -283,6 +304,9 @@ func (c *Cluster) DropView(name string) error {
 func (c *Cluster) DropAuxRel(name string) error {
 	h := c.lockGlobal()
 	defer h.Release()
+	if err := c.failIfMigrating(); err != nil {
+		return err
+	}
 	ar, err := c.cat.AuxRel(name)
 	if err != nil {
 		return err
@@ -335,6 +359,9 @@ func (c *Cluster) viewNeedingAuxRel(ar *catalog.AuxRel) string {
 func (c *Cluster) DropGlobalIndex(name string) error {
 	h := c.lockGlobal()
 	defer h.Release()
+	if err := c.failIfMigrating(); err != nil {
+		return err
+	}
 	if err := c.cat.DropGlobalIndex(name); err != nil {
 		return err
 	}
@@ -346,6 +373,9 @@ func (c *Cluster) DropGlobalIndex(name string) error {
 func (c *Cluster) DropTable(name string) error {
 	h := c.lockGlobal()
 	defer h.Release()
+	if err := c.failIfMigrating(); err != nil {
+		return err
+	}
 	if _, err := c.cat.Table(name); err != nil {
 		return err
 	}

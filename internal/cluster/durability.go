@@ -180,8 +180,8 @@ func (c *Cluster) Checkpoint() ([]node.CheckpointResult, error) {
 	}
 	h := c.lockGlobal()
 	defer h.Release()
-	out := make([]node.CheckpointResult, c.cfg.Nodes)
-	for n := 0; n < c.cfg.Nodes; n++ {
+	out := make([]node.CheckpointResult, c.NumNodes())
+	for n := 0; n < c.NumNodes(); n++ {
 		if c.isDown(n) {
 			continue
 		}
@@ -204,8 +204,8 @@ func (c *Cluster) CrashNode(n int) error {
 	if !c.cfg.Durability {
 		return fmt.Errorf("cluster: CrashNode requires Durability mode (non-durable crashes keep state; use the fault injector)")
 	}
-	if n < 0 || n >= c.cfg.Nodes {
-		return fmt.Errorf("cluster: node %d out of range [0,%d)", n, c.cfg.Nodes)
+	if n < 0 || n >= c.NumNodes() {
+		return fmt.Errorf("cluster: node %d out of range [0,%d)", n, c.NumNodes())
 	}
 	if c.cfg.Faults != nil {
 		c.cfg.Faults.Crash(n)
@@ -231,12 +231,13 @@ func (c *Cluster) restartNodeLocked(n int) (node.RestartResult, error) {
 	if !c.cfg.Durability {
 		return node.RestartResult{}, fmt.Errorf("cluster: RestartNode requires Durability mode")
 	}
-	if n < 0 || n >= c.cfg.Nodes {
-		return node.RestartResult{}, fmt.Errorf("cluster: node %d out of range [0,%d)", n, c.cfg.Nodes)
+	if n < 0 || n >= c.NumNodes() {
+		return node.RestartResult{}, fmt.Errorf("cluster: node %d out of range [0,%d)", n, c.NumNodes())
 	}
 	if c.cfg.Faults != nil {
 		c.cfg.Faults.Restart(n)
 	}
+	c.breakerReset(n)
 	resp, err := c.rawDeliver(n, node.RestartReq{})
 	if err != nil {
 		return node.RestartResult{}, fmt.Errorf("cluster: restarting node %d: %w", n, err)

@@ -71,13 +71,16 @@ func (c *Cluster) stmtClaims(table string) []lockmgr.Claim {
 
 // lockStmt acquires the locks for one DML statement on table. In any
 // serial mode this is the global exclusive lock (the seed's one-big-lock
-// behavior); otherwise the statement's table-level claims.
+// behavior); otherwise the statement's table-level claims plus a shared
+// claim on every hash range currently being migrated, so the migration
+// cutover (which takes those ranges exclusively) cannot slide under a
+// statement that is mid-flight against the moving data.
 func (c *Cluster) lockStmt(table string) *lockmgr.Held {
 	if c.serialStmts() {
 		return c.lm.AcquireGlobal()
 	}
 	h := c.lm.AcquireShared()
-	h.Lock(c.stmtClaims(table)...)
+	h.Lock(append(c.stmtClaims(table), c.migRangeClaims(lockmgr.S)...)...)
 	return h
 }
 

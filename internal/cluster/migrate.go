@@ -1,0 +1,1582 @@
+package cluster
+
+// Online cluster elasticity: AddNode/DecommissionNode on a live cluster.
+//
+// The partition map (internal/hashpart) is an epoch-stamped slot→node
+// table; changing topology means reassigning hash slots and moving each
+// reassigned slot's data — base-fragment rows, auxiliary-relation rows,
+// view rows and global-index entries — from its source to its destination
+// while DML keeps committing. Each migration runs in three phases:
+//
+//	copy     Per base table (then per view), under a brief shared claim
+//	         that blocks only that object's writers: snapshot the
+//	         migrating slots' rows out of the source fragments into
+//	         staging fragments at the destination, and arm a "tap" on the
+//	         fragment before releasing the claim. From then on every
+//	         mutation the coordinator delivers against migrating data is
+//	         mirrored — value-filtered, rewritten to the staging names —
+//	         into the delta catch-up queue.
+//	catchup  Replay the queue against the staging fragments in batches
+//	         while DML continues to run (and continues to enqueue).
+//	cutover  Under an exclusive claim on every migrating hash range (plus
+//	         the tables and views, so readers cannot observe the move):
+//	         drain the queue, merge staging into the real fragments at
+//	         the destinations, delete the moved rows at the sources, fix
+//	         up global-index entries that referenced moved base rows, and
+//	         atomically install the new partition map with an epoch bump
+//	         (which invalidates every compiled maintenance plan).
+//
+// Every transition is logged to the coordinator's WAL. The commit point
+// is the cutover's map install: a start record without a commit record
+// means the migration never happened (presumed abort), and
+// ResumeMigrations drops whatever staging fragments it left behind. The
+// fault injector's migration-phase triggers (fault.CrashAtPhase,
+// fault.FailAtPhase) land node crashes and coordinator failures exactly
+// at these boundaries.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"joinview/internal/catalog"
+	"joinview/internal/fault"
+	"joinview/internal/hashpart"
+	"joinview/internal/lockmgr"
+	"joinview/internal/netsim"
+	"joinview/internal/node"
+	"joinview/internal/storage"
+	"joinview/internal/types"
+	"joinview/internal/wal"
+)
+
+// ErrMigration marks operations refused because a migration is in flight
+// (DDL, a second migration) or failed mid-flight.
+var ErrMigration = errors.New("cluster: migration")
+
+// migMove is one hash slot's relocation.
+type migMove struct {
+	Src, Dst int
+}
+
+// MigrationStats is the cost accounting of one migration.
+type MigrationStats struct {
+	// ID is the migration's cluster-unique id; Epoch the partition-map
+	// epoch it installed (0 if aborted).
+	ID    uint64
+	Epoch uint64
+	// Slots lists the hash slots that moved; Dsts the distinct
+	// destination nodes.
+	Slots []int
+	Dsts  []int
+	// RowsCopied counts tuples and global-index entries shipped during
+	// the snapshot phase; PagesCopied their page-grained I/O equivalent
+	// (snapshot reads + staging writes + cutover moves).
+	RowsCopied  int64
+	PagesCopied int64
+	// Envelopes counts the transport deliveries the migration itself
+	// issued (snapshot, replay, cutover and cleanup traffic).
+	Envelopes int64
+	// CatchupPeak is the delta queue's high-water mark; CatchupReplayed
+	// the total mirrored operations replayed into staging.
+	CatchupPeak     int
+	CatchupReplayed int
+	// CutoverStall is how long the exclusive cutover window lasted — the
+	// only time concurrent DML is blocked cluster-wide.
+	CutoverStall time.Duration
+	// Elapsed is the whole migration's wall-clock time.
+	Elapsed time.Duration
+	// Committed reports whether the new map was installed.
+	Committed bool
+}
+
+// MigrationStatus describes an in-flight migration for Topology.
+type MigrationStatus struct {
+	ID         uint64
+	Phase      string
+	Slots      []int
+	Dsts       []int
+	QueueDepth int
+}
+
+// Topology reports the cluster's partition map and elasticity state.
+type Topology struct {
+	// Epoch is the installed partition map's version.
+	Epoch uint64
+	// Nodes is the current node count; SlotOwner maps hash slot → node.
+	Nodes     int
+	SlotOwner []int
+	// Retired lists decommissioned nodes (addressable, but owning no
+	// slots).
+	Retired []int
+	// InFlight is the active migration, nil when idle.
+	InFlight *MigrationStatus
+}
+
+// migTap mirrors mutations against one migrating fragment into the
+// catch-up queue. partIdx is the partition column's index in the
+// fragment's tuples; staging maps destination node → staging fragment
+// name there.
+type migTap struct {
+	hintCol string
+	partIdx int
+	staging map[int]string
+}
+
+// migStaging names one staging fragment for the WAL record and cleanup.
+type migStaging struct {
+	Node int
+	Name string
+	GI   bool
+}
+
+// migQueued is one mirrored operation awaiting replay at a destination.
+type migQueued struct {
+	dst int
+	req any
+}
+
+// migration is the coordinator-side state of one in-flight migration.
+type migration struct {
+	id uint64
+	// routing is the map in force while the migration runs (data still at
+	// the sources); target is the map installed at cutover. Both have the
+	// same slot count, so slot identity is stable.
+	routing hashpart.Map
+	target  hashpart.Map
+	moves   map[int]migMove
+	dsts    []int
+	staging []migStaging
+
+	mu      sync.Mutex
+	phase   string
+	taps    map[string]*migTap // base/AR/view fragment → tap
+	giTaps  map[string]*migTap // global index → tap
+	queue   []migQueued
+	stopped bool // cutover reached or migration aborted: stop mirroring
+
+	stats MigrationStats
+	start time.Time
+}
+
+// Migration WAL records (carried in the coordinator log's Req payloads).
+type migStartRec struct {
+	ID      uint64
+	Moves   map[int]migMove
+	Target  hashpart.Map
+	Staging []migStaging
+}
+type migPhaseRec struct {
+	ID    uint64
+	Phase string
+}
+type migCommitRec struct{ ID uint64 }
+type migAbortRec struct{ ID uint64 }
+
+// migCleanupRec records that the post-commit cleanup (source-copy scrub,
+// staging drops) completed; a commit record without one means
+// ResumeMigrations must roll the cleanup forward.
+type migCleanupRec struct{ ID uint64 }
+
+// MigrationActive reports whether a migration is in flight.
+func (c *Cluster) MigrationActive() bool {
+	c.migMu.RLock()
+	defer c.migMu.RUnlock()
+	return c.mig != nil
+}
+
+// LastMigration returns the most recent migration's cost accounting.
+func (c *Cluster) LastMigration() (MigrationStats, bool) {
+	c.migMu.RLock()
+	defer c.migMu.RUnlock()
+	if c.lastMig == nil {
+		return MigrationStats{}, false
+	}
+	return *c.lastMig, true
+}
+
+// Topology reports the partition map, retired nodes and any in-flight
+// migration.
+func (c *Cluster) Topology() Topology {
+	m := c.part.Map()
+	t := Topology{
+		Epoch:     m.Epoch,
+		Nodes:     c.NumNodes(),
+		SlotOwner: append([]int(nil), m.Owner...),
+	}
+	c.migMu.RLock()
+	for n := range c.retired {
+		t.Retired = append(t.Retired, n)
+	}
+	sort.Ints(t.Retired)
+	if mig := c.mig; mig != nil {
+		mig.mu.Lock()
+		t.InFlight = &MigrationStatus{
+			ID:         mig.id,
+			Phase:      mig.phase,
+			Slots:      sortedSlots(mig.moves),
+			Dsts:       append([]int(nil), mig.dsts...),
+			QueueDepth: len(mig.queue),
+		}
+		mig.mu.Unlock()
+	}
+	c.migMu.RUnlock()
+	return t
+}
+
+// failIfMigrating refuses catalog-shape changes while data is in flight:
+// a fragment created mid-migration would have no staging copy and no tap.
+func (c *Cluster) failIfMigrating() error {
+	if c.MigrationActive() {
+		return fmt.Errorf("%w in flight: retry after it completes", ErrMigration)
+	}
+	return nil
+}
+
+// migRangeClaims returns one claim per in-flight hash range, in the given
+// mode. DML statements take them shared; the cutover takes them
+// exclusive, so the map install cannot slide under a statement mid-flight
+// against the moving data. Idle clusters pay one atomic load.
+func (c *Cluster) migRangeClaims(mode func(string) lockmgr.Claim) []lockmgr.Claim {
+	c.migMu.RLock()
+	m := c.mig
+	c.migMu.RUnlock()
+	if m == nil {
+		return nil
+	}
+	claims := make([]lockmgr.Claim, 0, len(m.moves))
+	for _, s := range sortedSlots(m.moves) {
+		claims = append(claims, mode(migRangeRes(s)))
+	}
+	return claims
+}
+
+func migRangeRes(slot int) string { return fmt.Sprintf("mig:slot:%d", slot) }
+
+func sortedSlots(moves map[int]migMove) []int {
+	out := make([]int, 0, len(moves))
+	for s := range moves {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// AddNode grows the cluster by one data-server node: it provisions the
+// node (transport inbox, empty fragments of every cataloged object),
+// installs a slot-doubled map when the slot table is too coarse, then
+// live-migrates a proportional share of hash slots to the new node while
+// DML continues. It returns the new node's id; on a migration error the
+// node exists but owns no slots — RebalanceNode(id) retries the data
+// movement.
+func (c *Cluster) AddNode() (int, error) {
+	dst, err := c.provisionNode()
+	if err != nil {
+		return -1, err
+	}
+	return dst, c.RebalanceNode(dst)
+}
+
+// provisionNode creates and wires a new empty node under the global
+// exclusive lock.
+func (c *Cluster) provisionNode() (int, error) {
+	h := c.lockGlobal()
+	defer h.Release()
+	if err := c.failIfDegraded(); err != nil {
+		return -1, err
+	}
+	if err := c.failIfMigrating(); err != nil {
+		return -1, err
+	}
+	adder, ok := c.base.(netsim.NodeAdder)
+	if !ok {
+		return -1, fmt.Errorf("cluster: transport %T does not support adding nodes", c.base)
+	}
+	dst := c.NumNodes()
+	dn := node.New(dst, c.cfg.MemPages)
+	if c.cfg.BufferPages > 0 {
+		dn.SetBufferPages(c.cfg.BufferPages)
+	}
+	if c.cfg.Durability {
+		dn.EnableDurability(c.cfg.PageRows, c.cfg.CheckpointEvery)
+	}
+	if _, err := adder.AddNode(dn.Handler()); err != nil {
+		return -1, err
+	}
+	c.nmu.Lock()
+	c.nodes = append(c.nodes, dn)
+	c.nmu.Unlock()
+	c.nNodes.Store(int32(dst + 1))
+
+	// Empty fragments of every cataloged object, so broadcasts, gathers
+	// and checkpoints uniformly include the new node from here on.
+	for _, tn := range c.cat.Tables() {
+		t, err := c.cat.Table(tn)
+		if err != nil {
+			return dst, err
+		}
+		if _, err := c.rawCall(dst, node.CreateFragment{
+			Name: t.Name, Schema: t.Schema, ClusterCol: t.ClusterCol, PageRows: c.cfg.PageRows,
+		}); err != nil {
+			return dst, err
+		}
+		for _, ix := range t.Indexes {
+			if _, err := c.rawCall(dst, node.CreateIndex{Frag: t.Name, Name: ix.Name, Col: ix.Col}); err != nil {
+				return dst, err
+			}
+		}
+		for _, ar := range c.cat.AuxRelsFor(tn) {
+			if _, err := c.rawCall(dst, node.CreateFragment{
+				Name: ar.Name, Schema: ar.Schema, ClusterCol: ar.PartitionCol, PageRows: c.cfg.PageRows,
+			}); err != nil {
+				return dst, err
+			}
+		}
+		for _, gi := range c.cat.GlobalIndexesFor(tn) {
+			if _, err := c.rawCall(dst, node.CreateGlobalIndex{Name: gi.Name, DistClustered: gi.DistClustered}); err != nil {
+				return dst, err
+			}
+		}
+	}
+	for _, vn := range c.cat.Views() {
+		v, err := c.cat.View(vn)
+		if err != nil {
+			return dst, err
+		}
+		if _, err := c.rawCall(dst, node.CreateFragment{
+			Name: v.Name, Schema: v.Schema, ClusterCol: v.PartitionQualified(), PageRows: c.cfg.PageRows,
+		}); err != nil {
+			return dst, err
+		}
+	}
+
+	// Refine the slot table so the new node's share is expressible, then
+	// install it: owners are repeated, so routing is unchanged — only the
+	// epoch moves (compiled plans recompile against identical routing).
+	m := c.part.Map()
+	for len(m.Owner) < 2*(dst+1) {
+		m = m.Doubled()
+	}
+	m.Nodes = dst + 1
+	m.Epoch++
+	if err := c.part.Install(m); err != nil {
+		return dst, err
+	}
+	c.cat.SetPartitionMap(m)
+	return dst, nil
+}
+
+// RebalanceNode live-migrates a proportional share of hash slots to the
+// given (typically just-added, slot-less) node. Shares are stolen from
+// the most-loaded owners.
+func (c *Cluster) RebalanceNode(dst int) error {
+	cur := c.part.Map()
+	if dst < 0 || dst >= c.NumNodes() {
+		return fmt.Errorf("cluster: node %d out of range [0,%d)", dst, c.NumNodes())
+	}
+	active := c.NumNodes() - c.numRetired()
+	want := (len(cur.Owner) + active/2) / active
+	if want < 1 {
+		want = 1
+	}
+	moves := map[int]migMove{}
+	target := cur.Clone()
+	for len(target.SlotsOwnedBy(dst)) < want {
+		heavy, slots := -1, 0
+		for n := 0; n < target.Nodes; n++ {
+			if n == dst {
+				continue
+			}
+			if owned := len(target.SlotsOwnedBy(n)); owned > slots {
+				heavy, slots = n, owned
+			}
+		}
+		if heavy < 0 || slots <= len(target.SlotsOwnedBy(dst))+1 {
+			break // nothing meaningfully heavier to steal from
+		}
+		s := target.SlotsOwnedBy(heavy)[0]
+		moves[s] = migMove{Src: heavy, Dst: dst}
+		target.Owner[s] = dst
+	}
+	if len(moves) == 0 {
+		return nil
+	}
+	target.Epoch = cur.Epoch + 1
+	return c.migrate(cur, target, moves)
+}
+
+// DecommissionNode drains a node: every hash slot it owns is
+// live-migrated to the least-loaded surviving nodes, after which the node
+// is marked retired — still addressable (its empty fragments keep
+// broadcasts uniform) but owning no data. The node can then be taken
+// down without degrading the cluster.
+func (c *Cluster) DecommissionNode(n int) error {
+	cur := c.part.Map()
+	if n < 0 || n >= c.NumNodes() {
+		return fmt.Errorf("cluster: node %d out of range [0,%d)", n, c.NumNodes())
+	}
+	if c.numRetired() >= c.NumNodes()-1 && len(cur.SlotsOwnedBy(n)) > 0 {
+		return fmt.Errorf("cluster: cannot decommission the last active node")
+	}
+	target := cur.Clone()
+	moves := map[int]migMove{}
+	for _, s := range cur.SlotsOwnedBy(n) {
+		light, slots := -1, int(^uint(0)>>1)
+		for d := 0; d < target.Nodes; d++ {
+			if d == n || c.isRetired(d) {
+				continue
+			}
+			if owned := len(target.SlotsOwnedBy(d)); owned < slots {
+				light, slots = d, owned
+			}
+		}
+		if light < 0 {
+			return fmt.Errorf("cluster: no surviving node to drain node %d to", n)
+		}
+		moves[s] = migMove{Src: n, Dst: light}
+		target.Owner[s] = light
+	}
+	if len(moves) > 0 {
+		target.Epoch = cur.Epoch + 1
+		if err := c.migrate(cur, target, moves); err != nil {
+			return err
+		}
+	}
+	c.migMu.Lock()
+	c.retired[n] = true
+	c.migMu.Unlock()
+	return nil
+}
+
+func (c *Cluster) numRetired() int {
+	c.migMu.RLock()
+	defer c.migMu.RUnlock()
+	return len(c.retired)
+}
+
+func (c *Cluster) isRetired(n int) bool {
+	c.migMu.RLock()
+	defer c.migMu.RUnlock()
+	return c.retired[n]
+}
+
+// migrate runs the three-phase live migration of the given slot moves.
+func (c *Cluster) migrate(routing, target hashpart.Map, moves map[int]migMove) error {
+	m := &migration{
+		id:      c.migSeq.Add(1),
+		routing: routing,
+		target:  target,
+		moves:   moves,
+		taps:    map[string]*migTap{},
+		giTaps:  map[string]*migTap{},
+		start:   time.Now(),
+	}
+	dstSet := map[int]bool{}
+	for _, mv := range moves {
+		dstSet[mv.Dst] = true
+	}
+	for d := range dstSet {
+		m.dsts = append(m.dsts, d)
+	}
+	sort.Ints(m.dsts)
+	m.stats = MigrationStats{ID: m.id, Slots: sortedSlots(moves), Dsts: m.dsts}
+
+	// Plan every staging fragment up front so the WAL start record is a
+	// complete cleanup manifest even if the coordinator dies mid-copy.
+	for _, tn := range c.cat.Tables() {
+		for _, d := range m.dsts {
+			m.staging = append(m.staging, migStaging{Node: d, Name: m.stagingName(tn)})
+		}
+		for _, ar := range c.cat.AuxRelsFor(tn) {
+			for _, d := range m.dsts {
+				m.staging = append(m.staging, migStaging{Node: d, Name: m.stagingName(ar.Name)})
+			}
+		}
+		for _, gi := range c.cat.GlobalIndexesFor(tn) {
+			for _, d := range m.dsts {
+				m.staging = append(m.staging, migStaging{Node: d, Name: m.stagingName(gi.Name), GI: true})
+			}
+		}
+	}
+	for _, vn := range c.cat.Views() {
+		for _, d := range m.dsts {
+			m.staging = append(m.staging, migStaging{Node: d, Name: m.stagingName(vn)})
+		}
+	}
+
+	// Register the migration: from here on DML takes shared claims on the
+	// moving ranges and DDL is refused.
+	c.migMu.Lock()
+	if c.mig != nil {
+		c.migMu.Unlock()
+		return fmt.Errorf("%w already in flight", ErrMigration)
+	}
+	c.mig = m
+	c.migMu.Unlock()
+
+	c.migLog(migStartRec{ID: m.id, Moves: moves, Target: target, Staging: m.staging}, true)
+	err := c.runMigration(m)
+	if err != nil {
+		if m.committed() {
+			// The target map is installed — the migration happened; only
+			// the post-commit cleanup is unfinished. Roll forward, never
+			// back: ResumeMigrations scrubs the leftover source copies.
+			c.finishMigration(m)
+			return fmt.Errorf("%w %d committed but cleanup pending (%v): run ResumeMigrations", ErrMigration, m.id, err)
+		}
+		c.abortMigration(m, err)
+		return fmt.Errorf("%w %d aborted: %w", ErrMigration, m.id, err)
+	}
+	c.finishMigration(m)
+	return nil
+}
+
+// committed reports whether the migration passed its commit point (target
+// map installed).
+func (m *migration) committed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats.Committed
+}
+
+// reachedCutover reports whether the cutover phase began (destination
+// state may hold merged data; an abort must scrub it and rebuild GIs).
+func (m *migration) reachedCutover() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.phase == "cutover" || m.phase == "cleanup"
+}
+
+// finishMigration deregisters the migration and publishes its stats.
+func (c *Cluster) finishMigration(m *migration) {
+	m.mu.Lock()
+	m.stopped = true
+	m.stats.Elapsed = time.Since(m.start)
+	stats := m.stats
+	m.mu.Unlock()
+	c.migMu.Lock()
+	c.mig = nil
+	c.lastMig = &stats
+	c.migMu.Unlock()
+}
+
+func (m *migration) stagingName(frag string) string {
+	return fmt.Sprintf("%s~mig%d", frag, m.id)
+}
+
+// setPhase records the phase and announces it to the fault injector,
+// whose armed triggers may crash a node here — or fail the coordinator
+// itself (returning ErrPhaseFail), which aborts the migration without
+// cleanup; ResumeMigrations later rolls it back from the WAL manifest.
+func (c *Cluster) setPhase(m *migration, phase string) error {
+	m.mu.Lock()
+	m.phase = phase
+	m.mu.Unlock()
+	c.migLog(migPhaseRec{ID: m.id, Phase: phase}, false)
+	return c.cfg.Faults.Phase(phase)
+}
+
+// migLog appends a migration record to the coordinator's WAL.
+func (c *Cluster) migLog(rec any, force bool) {
+	kind := wal.KindRedo
+	switch rec.(type) {
+	case migCommitRec:
+		kind = wal.KindCommit
+	case migAbortRec:
+		kind = wal.KindAbort
+	}
+	c.coordLog.Append(wal.Record{Kind: kind, Req: rec})
+	if force {
+		c.coordLog.Force()
+	}
+}
+
+// migCall issues one migration delivery (counted in the stats).
+func (c *Cluster) migCall(m *migration, to int, req any) (any, error) {
+	m.mu.Lock()
+	m.stats.Envelopes++
+	m.mu.Unlock()
+	return c.rawCall(to, req)
+}
+
+// runMigration executes the three phases.
+func (c *Cluster) runMigration(m *migration) error {
+	// Phase 1: snapshot copy, object by object, arming taps.
+	for _, tn := range c.cat.Tables() {
+		if err := c.copyTable(m, tn); err != nil {
+			return err
+		}
+	}
+	for _, vn := range c.cat.Views() {
+		if err := c.copyView(m, vn); err != nil {
+			return err
+		}
+	}
+	// Phase 2: replay the delta queue while DML keeps running; the
+	// remainder drains under the cutover claim.
+	if err := c.setPhase(m, "catchup"); err != nil {
+		return err
+	}
+	for i := 0; i < 8; i++ {
+		n, err := c.replayQueue(m)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			break
+		}
+	}
+	// Phase 3: cutover.
+	return c.cutover(m)
+}
+
+// lockCopy acquires the snapshot claim for one object: shared on the
+// object (blocking exactly its writers), global in serial modes.
+func (c *Cluster) lockCopy(names ...string) *lockmgr.Held {
+	return c.lockRead(names...)
+}
+
+// migMoved reports whether a value's slot is migrating and currently
+// homed at node `at`.
+func (m *migration) migMoved(v types.Value, at int) (migMove, bool) {
+	s := m.routing.Slot(v)
+	mv, ok := m.moves[s]
+	if !ok || mv.Src != at {
+		return migMove{}, false
+	}
+	return mv, true
+}
+
+// armTap registers the mirror for one fragment. Must be called while the
+// copy claim is still held, so no mutation lands between snapshot and tap.
+func (m *migration) armTap(frag, hintCol string, partIdx int, gi bool) {
+	t := &migTap{hintCol: hintCol, partIdx: partIdx, staging: map[int]string{}}
+	for _, d := range m.dsts {
+		t.staging[d] = m.stagingName(frag)
+	}
+	m.mu.Lock()
+	if gi {
+		m.giTaps[frag] = t
+	} else {
+		m.taps[frag] = t
+	}
+	m.mu.Unlock()
+}
+
+// copyTable snapshots one base table's migrating rows — plus its
+// auxiliary relations' rows and global-index entries — into staging at
+// the destinations, arming the taps before the claim is released.
+func (c *Cluster) copyTable(m *migration, tn string) error {
+	if err := c.setPhase(m, "copy:"+tn); err != nil {
+		return err
+	}
+	t, err := c.cat.Table(tn)
+	if err != nil {
+		return err
+	}
+	ars := c.cat.AuxRelsFor(tn)
+	gis := c.cat.GlobalIndexesFor(tn)
+	h := c.lockCopy(tn)
+	defer h.Release()
+
+	// Staging fragments exist at every destination regardless of content,
+	// so cleanup and cutover are uniform.
+	for _, d := range m.dsts {
+		if _, err := c.migCall(m, d, node.CreateFragment{
+			Name: m.stagingName(tn), Schema: t.Schema, ClusterCol: t.ClusterCol, PageRows: c.cfg.PageRows,
+		}); err != nil {
+			return err
+		}
+		for _, ar := range ars {
+			if _, err := c.migCall(m, d, node.CreateFragment{
+				Name: m.stagingName(ar.Name), Schema: ar.Schema, ClusterCol: ar.PartitionCol, PageRows: c.cfg.PageRows,
+			}); err != nil {
+				return err
+			}
+		}
+		for _, gi := range gis {
+			if _, err := c.migCall(m, d, node.CreateGlobalIndex{Name: m.stagingName(gi.Name), DistClustered: gi.DistClustered}); err != nil {
+				return err
+			}
+		}
+	}
+	pi := t.Schema.MustColIndex(t.PartitionCol)
+	if err := c.copyFragSlots(m, tn, pi); err != nil {
+		return err
+	}
+	m.armTap(tn, t.PartitionCol, pi, false)
+	for _, ar := range ars {
+		api := ar.Schema.MustColIndex(ar.PartitionCol)
+		if err := c.copyFragSlots(m, ar.Name, api); err != nil {
+			return err
+		}
+		m.armTap(ar.Name, ar.PartitionCol, api, false)
+	}
+	for _, gi := range gis {
+		if err := c.copyGISlots(m, gi.Name); err != nil {
+			return err
+		}
+		m.armTap(gi.Name, "", -1, true)
+	}
+	return nil
+}
+
+// copyView snapshots one view's migrating rows into staging.
+func (c *Cluster) copyView(m *migration, vn string) error {
+	if err := c.setPhase(m, "copy:"+vn); err != nil {
+		return err
+	}
+	v, err := c.cat.View(vn)
+	if err != nil {
+		return err
+	}
+	h := c.lockCopy(vn)
+	defer h.Release()
+	for _, d := range m.dsts {
+		if _, err := c.migCall(m, d, node.CreateFragment{
+			Name: m.stagingName(vn), Schema: v.Schema, ClusterCol: v.PartitionQualified(), PageRows: c.cfg.PageRows,
+		}); err != nil {
+			return err
+		}
+	}
+	pi := v.Schema.MustColIndex(v.PartitionQualified())
+	if err := c.copyFragSlots(m, vn, pi); err != nil {
+		return err
+	}
+	m.armTap(vn, v.PartitionQualified(), pi, false)
+	return nil
+}
+
+// copyFragSlots ships one fragment's migrating rows from each source to
+// the staging fragment at its destination.
+func (c *Cluster) copyFragSlots(m *migration, frag string, partIdx int) error {
+	for _, src := range m.srcNodes() {
+		resp, err := c.migCall(m, src, node.ScanWithRows{Frag: frag})
+		if err != nil {
+			return err
+		}
+		rr := resp.(node.RowsResult)
+		byDst := map[int][]types.Tuple{}
+		for _, tup := range rr.Tuples {
+			if mv, ok := m.migMoved(tup[partIdx], src); ok {
+				byDst[mv.Dst] = append(byDst[mv.Dst], tup)
+			}
+		}
+		for d, tuples := range byDst {
+			if _, err := c.migCall(m, d, node.Insert{Frag: m.stagingName(frag), Tuples: tuples, Unmetered: true}); err != nil {
+				return err
+			}
+			m.mu.Lock()
+			m.stats.RowsCopied += int64(len(tuples))
+			m.stats.PagesCopied += 2 * c.pageCount(len(tuples)) // read at src + write at dst
+			m.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+// copyGISlots ships one global index's migrating-value entries from each
+// source's fragment to the staging index at its destination.
+func (c *Cluster) copyGISlots(m *migration, gi string) error {
+	for _, src := range m.srcNodes() {
+		resp, err := c.migCall(m, src, node.GIScan{GI: gi})
+		if err != nil {
+			return err
+		}
+		sc := resp.(node.GIScanResult)
+		type batch struct {
+			vals []types.Value
+			gs   []storage.GlobalRowID
+		}
+		byDst := map[int]*batch{}
+		for i, v := range sc.Vals {
+			if mv, ok := m.migMoved(v, src); ok {
+				b := byDst[mv.Dst]
+				if b == nil {
+					b = &batch{}
+					byDst[mv.Dst] = b
+				}
+				b.vals = append(b.vals, v)
+				b.gs = append(b.gs, sc.Gs[i])
+			}
+		}
+		for d, b := range byDst {
+			if _, err := c.migCall(m, d, node.GIInsertBatch{GI: m.stagingName(gi), Vals: b.vals, Gs: b.gs}); err != nil {
+				return err
+			}
+			m.mu.Lock()
+			m.stats.RowsCopied += int64(len(b.vals))
+			m.stats.PagesCopied += 2 * c.pageCount(len(b.vals))
+			m.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+// srcNodes lists the distinct source nodes of the migration's moves.
+func (m *migration) srcNodes() []int {
+	set := map[int]bool{}
+	for _, mv := range m.moves {
+		set[mv.Src] = true
+	}
+	out := make([]int, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// enqueue appends one mirrored operation to the catch-up queue.
+func (m *migration) enqueue(dst int, req any) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped {
+		return
+	}
+	m.queue = append(m.queue, migQueued{dst: dst, req: req})
+	if len(m.queue) > m.stats.CatchupPeak {
+		m.stats.CatchupPeak = len(m.queue)
+	}
+}
+
+// replayQueue drains the current queue snapshot against the staging
+// fragments, returning how many operations it replayed. New mutations
+// keep arriving behind the snapshot; the cutover's final drain runs under
+// the exclusive claims, when nothing can arrive anymore.
+func (c *Cluster) replayQueue(m *migration) (int, error) {
+	m.mu.Lock()
+	batch := m.queue
+	m.queue = nil
+	m.mu.Unlock()
+	for _, q := range batch {
+		if _, err := c.migCall(m, q.dst, q.req); err != nil {
+			return 0, err
+		}
+	}
+	m.mu.Lock()
+	m.stats.CatchupReplayed += len(batch)
+	m.mu.Unlock()
+	return len(batch), nil
+}
+
+// tapMutation mirrors one successfully delivered mutation into the
+// catch-up queue if it touches a migrating hash range. It is called from
+// the resilient delivery layer on every applied DML sub-request (normal
+// path, broadcast path and in-doubt resolution), including compensations,
+// so the staging fragments see exactly the physical history the sources
+// see. Recovery traffic (rawCall/rawDeliver) is deliberately not tapped:
+// derived-fragment rebuilds regenerate source state wholesale and would
+// double-apply against staging.
+func (c *Cluster) tapMutation(to int, wreq, resp any) {
+	c.migMu.RLock()
+	m := c.mig
+	c.migMu.RUnlock()
+	if m == nil {
+		return
+	}
+	m.absorb(to, wreq, resp)
+}
+
+// absorb inspects one applied request and enqueues its mirror.
+func (m *migration) absorb(to int, wreq, resp any) {
+	if s, ok := wreq.(node.Seq); ok {
+		wreq = s.Req
+	}
+	switch req := wreq.(type) {
+	case node.Insert:
+		t := m.tapFor(req.Frag)
+		if t == nil {
+			return
+		}
+		m.mirrorTuples(to, t, req.Tuples, func(dst int, tuples []types.Tuple) any {
+			return node.Insert{Frag: t.staging[dst], Tuples: tuples, Unmetered: true}
+		})
+	case node.RestoreRows:
+		t := m.tapFor(req.Frag)
+		if t == nil {
+			return
+		}
+		m.mirrorTuples(to, t, req.Tuples, func(dst int, tuples []types.Tuple) any {
+			return node.Insert{Frag: t.staging[dst], Tuples: tuples, Unmetered: true}
+		})
+	case node.DeleteRows:
+		t := m.tapFor(req.Frag)
+		if t == nil {
+			return
+		}
+		dr, ok := resp.(node.DeleteResult)
+		if !ok {
+			return
+		}
+		m.mirrorTuples(to, t, dr.Tuples, func(dst int, tuples []types.Tuple) any {
+			return node.DeleteMatch{Frag: t.staging[dst], HintCol: t.hintCol, Tuples: tuples}
+		})
+	case node.DeleteMatch:
+		t := m.tapFor(req.Frag)
+		if t == nil {
+			return
+		}
+		dr, ok := resp.(node.DeleteResult)
+		if !ok {
+			return
+		}
+		m.mirrorTuples(to, t, dr.Tuples, func(dst int, tuples []types.Tuple) any {
+			return node.DeleteMatch{Frag: t.staging[dst], HintCol: t.hintCol, Tuples: tuples}
+		})
+	case node.AggApply:
+		t := m.tapFor(req.Frag)
+		if t == nil {
+			return
+		}
+		byDst := map[int][]int{}
+		for i, key := range req.Keys {
+			if mv, ok := m.migMoved(key[t.partIdx], to); ok {
+				byDst[mv.Dst] = append(byDst[mv.Dst], i)
+			}
+		}
+		for dst, idxs := range byDst {
+			mirror := node.AggApply{
+				Frag: t.staging[dst], HintCol: req.HintCol,
+				GroupLen: req.GroupLen, CountPos: req.CountPos,
+			}
+			for _, i := range idxs {
+				mirror.Keys = append(mirror.Keys, req.Keys[i])
+				mirror.Deltas = append(mirror.Deltas, req.Deltas[i])
+			}
+			m.enqueue(dst, mirror)
+		}
+	case node.GIInsert:
+		t := m.giTapFor(req.GI)
+		if t == nil {
+			return
+		}
+		if mv, ok := m.migMoved(req.Val, to); ok {
+			m.enqueue(mv.Dst, node.GIInsert{GI: t.staging[mv.Dst], Val: req.Val, G: req.G})
+		}
+	case node.GIDelete:
+		t := m.giTapFor(req.GI)
+		if t == nil {
+			return
+		}
+		if mv, ok := m.migMoved(req.Val, to); ok {
+			m.enqueue(mv.Dst, node.GIDelete{GI: t.staging[mv.Dst], Val: req.Val, G: req.G})
+		}
+	case node.GIInsertBatch:
+		t := m.giTapFor(req.GI)
+		if t == nil {
+			return
+		}
+		m.mirrorGI(to, req.Vals, req.Gs, func(dst int, vals []types.Value, gs []storage.GlobalRowID) any {
+			return node.GIInsertBatch{GI: t.staging[dst], Vals: vals, Gs: gs}
+		})
+	case node.GIDeleteBatch:
+		t := m.giTapFor(req.GI)
+		if t == nil {
+			return
+		}
+		m.mirrorGI(to, req.Vals, req.Gs, func(dst int, vals []types.Value, gs []storage.GlobalRowID) any {
+			return node.GIDeleteBatch{GI: t.staging[dst], Vals: vals, Gs: gs}
+		})
+	}
+}
+
+func (m *migration) tapFor(frag string) *migTap {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped {
+		return nil
+	}
+	return m.taps[frag]
+}
+
+func (m *migration) giTapFor(gi string) *migTap {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped {
+		return nil
+	}
+	return m.giTaps[gi]
+}
+
+// mirrorTuples filters tuples to the migrating slots homed at `to` and
+// enqueues one mirrored request per destination.
+func (m *migration) mirrorTuples(to int, t *migTap, tuples []types.Tuple, build func(dst int, tuples []types.Tuple) any) {
+	byDst := map[int][]types.Tuple{}
+	for _, tup := range tuples {
+		if mv, ok := m.migMoved(tup[t.partIdx], to); ok {
+			byDst[mv.Dst] = append(byDst[mv.Dst], tup)
+		}
+	}
+	for dst, ts := range byDst {
+		m.enqueue(dst, build(dst, ts))
+	}
+}
+
+// mirrorGI is mirrorTuples for global-index entry batches.
+func (m *migration) mirrorGI(to int, vals []types.Value, gs []storage.GlobalRowID, build func(int, []types.Value, []storage.GlobalRowID) any) {
+	type batch struct {
+		vals []types.Value
+		gs   []storage.GlobalRowID
+	}
+	byDst := map[int]*batch{}
+	for i, v := range vals {
+		if mv, ok := m.migMoved(v, to); ok {
+			b := byDst[mv.Dst]
+			if b == nil {
+				b = &batch{}
+				byDst[mv.Dst] = b
+			}
+			b.vals = append(b.vals, v)
+			b.gs = append(b.gs, gs[i])
+		}
+	}
+	for dst, b := range byDst {
+		m.enqueue(dst, build(dst, b.vals, b.gs))
+	}
+}
+
+// cutover is the migration's commit: under exclusive claims on every
+// moving hash range plus every table and view (so no statement or locked
+// read can observe the move), it drains the queue, merges staging into
+// the real fragments, fixes up global-index entries referencing moved
+// base rows, installs the target map and scrubs the source copies.
+//
+// Crash-safety shape: everything BEFORE the map install is additive —
+// destinations gain redundant copies while the sources stay authoritative
+// and intact, so an abort scrubs destination residue (and rebuilds GIs,
+// whose fixups are the one pre-commit mutation that is not purely
+// additive). Everything AFTER the install only removes the now-stale
+// source copies, is idempotent, and rolls forward: a commit record
+// without a cleanup record makes ResumeMigrations re-run the scrub.
+func (c *Cluster) cutover(m *migration) error {
+	if err := c.setPhase(m, "cutover"); err != nil {
+		return err
+	}
+	var h *lockmgr.Held
+	if c.serialStmts() {
+		h = c.lockGlobal()
+	} else {
+		h = c.lm.AcquireShared()
+		var claims []lockmgr.Claim
+		claims = append(claims, c.migRangeClaims(lockmgr.X)...)
+		for _, tn := range c.cat.Tables() {
+			claims = append(claims, lockmgr.X(tn))
+		}
+		for _, vn := range c.cat.Views() {
+			claims = append(claims, lockmgr.X(vn))
+		}
+		h.Lock(claims...)
+	}
+	defer h.Release()
+	stallStart := time.Now()
+
+	// Final drain, then stop the mirror: nothing else can arrive while
+	// the claims are held.
+	if _, err := c.replayQueue(m); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.stopped = true
+	m.mu.Unlock()
+
+	// Additive apply: staging → real fragments at every destination. For
+	// tables with global indexes, also record the moved rows' old (source)
+	// and new (destination) row ids for the entry fixups.
+	type movedRows struct {
+		at     int
+		rows   []storage.RowID
+		tuples []types.Tuple
+	}
+	fixDel := map[string][]movedRows{} // table → per-src old rows
+	fixIns := map[string][]movedRows{} // table → per-dst new rows
+	for _, tn := range c.cat.Tables() {
+		t, err := c.cat.Table(tn)
+		if err != nil {
+			return err
+		}
+		needRows := len(c.cat.GlobalIndexesFor(tn)) > 0
+		pi := t.Schema.MustColIndex(t.PartitionCol)
+		if needRows {
+			for _, src := range m.srcNodes() {
+				resp, err := c.migCall(m, src, node.ScanWithRows{Frag: tn})
+				if err != nil {
+					return err
+				}
+				rr := resp.(node.RowsResult)
+				mv := movedRows{at: src}
+				for i, tup := range rr.Tuples {
+					if _, ok := m.migMoved(tup[pi], src); ok {
+						mv.rows = append(mv.rows, rr.Rows[i])
+						mv.tuples = append(mv.tuples, tup)
+					}
+				}
+				if len(mv.rows) > 0 {
+					fixDel[tn] = append(fixDel[tn], mv)
+				}
+			}
+		}
+		appendFrag := func(frag string) error {
+			for _, d := range m.dsts {
+				resp, err := c.migCall(m, d, node.ScanWithRows{Frag: m.stagingName(frag)})
+				if err != nil {
+					return err
+				}
+				rr := resp.(node.RowsResult)
+				if len(rr.Tuples) == 0 {
+					continue
+				}
+				iresp, err := c.migCall(m, d, node.Insert{Frag: frag, Tuples: rr.Tuples, Unmetered: true})
+				if err != nil {
+					return err
+				}
+				if needRows && frag == tn {
+					fixIns[tn] = append(fixIns[tn], movedRows{
+						at: d, rows: iresp.(node.InsertResult).Rows, tuples: rr.Tuples,
+					})
+				}
+				m.mu.Lock()
+				m.stats.PagesCopied += 2 * c.pageCount(len(rr.Tuples))
+				m.mu.Unlock()
+			}
+			return nil
+		}
+		if err := appendFrag(tn); err != nil {
+			return err
+		}
+		for _, ar := range c.cat.AuxRelsFor(tn) {
+			if err := appendFrag(ar.Name); err != nil {
+				return err
+			}
+		}
+		for _, gi := range c.cat.GlobalIndexesFor(tn) {
+			for _, d := range m.dsts {
+				resp, err := c.migCall(m, d, node.GIScan{GI: m.stagingName(gi.Name)})
+				if err != nil {
+					return err
+				}
+				sc := resp.(node.GIScanResult)
+				if len(sc.Vals) == 0 {
+					continue
+				}
+				if _, err := c.migCall(m, d, node.GIInsertBatch{GI: gi.Name, Vals: sc.Vals, Gs: sc.Gs}); err != nil {
+					return err
+				}
+				m.mu.Lock()
+				m.stats.PagesCopied += 2 * c.pageCount(len(sc.Vals))
+				m.mu.Unlock()
+			}
+		}
+	}
+	for _, vn := range c.cat.Views() {
+		for _, d := range m.dsts {
+			resp, err := c.migCall(m, d, node.ScanWithRows{Frag: m.stagingName(vn)})
+			if err != nil {
+				return err
+			}
+			rr := resp.(node.RowsResult)
+			if len(rr.Tuples) == 0 {
+				continue
+			}
+			if _, err := c.migCall(m, d, node.Insert{Frag: vn, Tuples: rr.Tuples, Unmetered: true}); err != nil {
+				return err
+			}
+			m.mu.Lock()
+			m.stats.PagesCopied += 2 * c.pageCount(len(rr.Tuples))
+			m.mu.Unlock()
+		}
+	}
+
+	// Global-index fixups: every moved base row got a fresh row id at its
+	// destination, so the (value, global-row-id) entries referencing the
+	// old source rows are replaced at each value's target-map home. (The
+	// merge above already placed migrating-value entries at their new
+	// homes; the stale source-side copies fall to the post-commit scrub.)
+	for _, tn := range c.cat.Tables() {
+		gis := c.cat.GlobalIndexesFor(tn)
+		if len(gis) == 0 {
+			continue
+		}
+		t, err := c.cat.Table(tn)
+		if err != nil {
+			return err
+		}
+		for _, mv := range fixDel[tn] {
+			if err := c.giFixup(m, gis, t, mv.at, mv.rows, mv.tuples, false); err != nil {
+				return err
+			}
+		}
+		for _, mv := range fixIns[tn] {
+			if err := c.giFixup(m, gis, t, mv.at, mv.rows, mv.tuples, true); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Commit point: install the target map. Plan-cache entries recompile
+	// on the epoch bump; new statements route to the new homes.
+	if err := c.part.Install(m.target); err != nil {
+		return err
+	}
+	c.cat.SetPartitionMap(m.target)
+	c.migLog(migCommitRec{ID: m.id}, true)
+	m.mu.Lock()
+	m.stats.Epoch = m.target.Epoch
+	m.stats.Committed = true
+	m.mu.Unlock()
+
+	// Post-commit cleanup (roll-forward on failure): every row or entry
+	// now misplaced under the installed map is a stale source copy.
+	if err := c.setPhase(m, "cleanup"); err != nil {
+		return err
+	}
+	if err := c.scrubMisplaced(m); err != nil {
+		return err
+	}
+	c.dropStaging(m.staging)
+	c.migLog(migCleanupRec{ID: m.id}, true)
+
+	m.mu.Lock()
+	m.stats.CutoverStall = time.Since(stallStart)
+	m.mu.Unlock()
+	return c.cfg.Faults.Phase("done")
+}
+
+// scrubMisplaced deletes every fragment row and global-index entry that
+// does not sit at its home under the currently installed partition map.
+// In a healthy cluster nothing is misplaced; after a cutover's map
+// install, exactly the moved rows' stale source copies are. Idempotent,
+// so ResumeMigrations can roll a half-finished cleanup forward. Callers
+// hold either the cutover claims or the global lock. A nil m scrubs
+// without cost accounting.
+func (c *Cluster) scrubMisplaced(m *migration) error {
+	call := func(to int, req any) (any, error) {
+		if m != nil {
+			return c.migCall(m, to, req)
+		}
+		return c.rawCall(to, req)
+	}
+	scrubFrag := func(frag string, partIdx int) error {
+		for n := 0; n < c.NumNodes(); n++ {
+			resp, err := call(n, node.ScanWithRows{Frag: frag})
+			if err != nil {
+				return err
+			}
+			rr := resp.(node.RowsResult)
+			var rows []storage.RowID
+			for i, tup := range rr.Tuples {
+				if c.part.NodeFor(tup[partIdx]) != n {
+					rows = append(rows, rr.Rows[i])
+				}
+			}
+			if len(rows) == 0 {
+				continue
+			}
+			if _, err := call(n, node.DeleteRows{Frag: frag, Rows: rows}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, tn := range c.cat.Tables() {
+		t, err := c.cat.Table(tn)
+		if err != nil {
+			return err
+		}
+		if err := scrubFrag(tn, t.Schema.MustColIndex(t.PartitionCol)); err != nil {
+			return err
+		}
+		for _, ar := range c.cat.AuxRelsFor(tn) {
+			if err := scrubFrag(ar.Name, ar.Schema.MustColIndex(ar.PartitionCol)); err != nil {
+				return err
+			}
+		}
+		for _, gi := range c.cat.GlobalIndexesFor(tn) {
+			for n := 0; n < c.NumNodes(); n++ {
+				resp, err := call(n, node.GIScan{GI: gi.Name})
+				if err != nil {
+					return err
+				}
+				sc := resp.(node.GIScanResult)
+				var vals []types.Value
+				var gs []storage.GlobalRowID
+				for i, v := range sc.Vals {
+					if c.part.NodeFor(v) != n {
+						vals = append(vals, v)
+						gs = append(gs, sc.Gs[i])
+					}
+				}
+				if len(vals) == 0 {
+					continue
+				}
+				if _, err := call(n, node.GIDeleteBatch{GI: gi.Name, Vals: vals, Gs: gs}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, vn := range c.cat.Views() {
+		v, err := c.cat.View(vn)
+		if err != nil {
+			return err
+		}
+		if err := scrubFrag(vn, v.Schema.MustColIndex(v.PartitionQualified())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// giFixup deletes (insert=false) or inserts (insert=true) the
+// global-index entries for the given base rows at each value's target-map
+// home.
+func (c *Cluster) giFixup(m *migration, gis []*catalog.GlobalIndex, t *catalog.Table, at int, rows []storage.RowID, tuples []types.Tuple, insert bool) error {
+	for _, gi := range gis {
+		ci := t.Schema.MustColIndex(gi.Col)
+		type batch struct {
+			vals []types.Value
+			gs   []storage.GlobalRowID
+		}
+		byHome := map[int]*batch{}
+		for i, tup := range tuples {
+			v := tup[ci]
+			home := m.target.NodeFor(v)
+			b := byHome[home]
+			if b == nil {
+				b = &batch{}
+				byHome[home] = b
+			}
+			b.vals = append(b.vals, v)
+			b.gs = append(b.gs, storage.GlobalRowID{Node: int32(at), Row: rows[i]})
+		}
+		for home, b := range byHome {
+			var req any
+			if insert {
+				req = node.GIInsertBatch{GI: gi.Name, Vals: b.vals, Gs: b.gs}
+			} else {
+				req = node.GIDeleteBatch{GI: gi.Name, Vals: b.vals, Gs: b.gs}
+			}
+			if _, err := c.migCall(m, home, req); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// abortMigration rolls a failed migration back presumed-abort style:
+// before the commit point the sources stay authoritative, so aborting
+// scrubs the destination-side residue (staging fragments, plus — if the
+// cutover's additive apply began — rows merged into real fragments and
+// global indexes, repaired by rebuild). A coordinator failure injected at
+// a phase boundary (fault.ErrPhaseFail) skips the rollback — exactly what
+// a dead coordinator would leave behind — and ResumeMigrations performs
+// it from the WAL manifest instead. The same happens if the rollback
+// itself fails (a node is down): the migration stays undecided in the log
+// until ResumeMigrations succeeds.
+func (c *Cluster) abortMigration(m *migration, cause error) {
+	c.finishMigration(m)
+	if errors.Is(cause, fault.ErrPhaseFail) {
+		return
+	}
+	h := c.lockGlobal()
+	defer h.Release()
+	if err := c.rollbackLocked(m.moves, m.staging, m.reachedCutover()); err != nil {
+		return
+	}
+	c.migLog(migAbortRec{ID: m.id}, true)
+}
+
+// rollbackLocked undoes an uncommitted migration's destination-side work:
+// drop staging, delete any rows the cutover's additive apply merged into
+// real destination fragments (identified by their migrating hash slot —
+// under the still-installed routing map those rows belong at the source,
+// which still has them), and, when the cutover began, rebuild every
+// global-index fragment from the base tables (entry fixups are the one
+// pre-commit mutation with no cheap inverse). Caller holds the global
+// lock.
+func (c *Cluster) rollbackLocked(moves map[int]migMove, staging []migStaging, cutoverBegan bool) error {
+	if cutoverBegan {
+		routing := c.part.Map()
+		dsts := map[int]bool{}
+		for _, mv := range moves {
+			dsts[mv.Dst] = true
+		}
+		scrubFrag := func(frag string, partIdx int) error {
+			for d := range dsts {
+				resp, err := c.rawCall(d, node.ScanWithRows{Frag: frag})
+				if err != nil {
+					return err
+				}
+				rr := resp.(node.RowsResult)
+				var rows []storage.RowID
+				for i, tup := range rr.Tuples {
+					if _, mig := moves[routing.Slot(tup[partIdx])]; mig {
+						rows = append(rows, rr.Rows[i])
+					}
+				}
+				if len(rows) == 0 {
+					continue
+				}
+				if _, err := c.rawCall(d, node.DeleteRows{Frag: frag, Rows: rows}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for _, tn := range c.cat.Tables() {
+			t, err := c.cat.Table(tn)
+			if err != nil {
+				return err
+			}
+			if err := scrubFrag(tn, t.Schema.MustColIndex(t.PartitionCol)); err != nil {
+				return err
+			}
+			for _, ar := range c.cat.AuxRelsFor(tn) {
+				if err := scrubFrag(ar.Name, ar.Schema.MustColIndex(ar.PartitionCol)); err != nil {
+					return err
+				}
+			}
+		}
+		for _, vn := range c.cat.Views() {
+			v, err := c.cat.View(vn)
+			if err != nil {
+				return err
+			}
+			if err := scrubFrag(vn, v.Schema.MustColIndex(v.PartitionQualified())); err != nil {
+				return err
+			}
+		}
+		for _, tn := range c.cat.Tables() {
+			t, err := c.cat.Table(tn)
+			if err != nil {
+				return err
+			}
+			for _, gi := range c.cat.GlobalIndexesFor(tn) {
+				for n := 0; n < c.NumNodes(); n++ {
+					if _, err := c.rebuildGIFrag(gi.Name, gi.Col, gi.DistClustered, t, n); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return c.dropStagingStrict(staging)
+}
+
+// dropStaging removes staging fragments, tolerating unreachable nodes and
+// fragments that were never created (cleanup is idempotent).
+func (c *Cluster) dropStaging(staging []migStaging) {
+	for _, st := range staging {
+		var req any = node.DropFragment{Name: st.Name}
+		if st.GI {
+			req = node.DropGlobalIndexFrag{Name: st.Name}
+		}
+		_, _ = c.rawCall(st.Node, req)
+	}
+}
+
+// dropStagingStrict removes staging fragments, reporting unreachable
+// nodes (so an abort with a dead destination stays undecided for
+// ResumeMigrations) while tolerating never-created fragments.
+func (c *Cluster) dropStagingStrict(staging []migStaging) error {
+	var firstErr error
+	for _, st := range staging {
+		var req any = node.DropFragment{Name: st.Name}
+		if st.GI {
+			req = node.DropGlobalIndexFrag{Name: st.Name}
+		}
+		if _, err := c.rawCall(st.Node, req); err != nil && !isUnknownFrag(err) && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// isUnknownFrag reports whether an error is a drop of a fragment that was
+// never created (an expected case when cleaning up an early abort).
+func isUnknownFrag(err error) bool {
+	s := err.Error()
+	return strings.Contains(s, "unknown fragment") || strings.Contains(s, "unknown global index") ||
+		strings.Contains(s, "no fragment") || strings.Contains(s, "no global index") ||
+		strings.Contains(s, "not found")
+}
+
+// ResumeMigrations recovers the elasticity state after a coordinator
+// failure: every migration in the WAL is driven to a decision.
+//
+//   - commit + cleanup records: finished, nothing to do.
+//   - commit without cleanup: the target map is installed but stale source
+//     copies may remain — roll forward by re-running the (idempotent)
+//     misplaced-row scrub and dropping staging.
+//   - start without commit: presumed abort — roll back destination-side
+//     residue and drop the staging fragments named in the start record's
+//     manifest.
+//
+// Call it after recovering crashed nodes; it needs every node reachable.
+func (c *Cluster) ResumeMigrations() error {
+	h := c.lockGlobal()
+	defer h.Release()
+	return c.resumeMigrationsLocked()
+}
+
+// resumeMigrationsLocked is ResumeMigrations with the global lock already
+// held — recovery calls it before rebuilding derived fragments, which
+// must not run while base tables still hold a dead migration's stale
+// copies.
+func (c *Cluster) resumeMigrationsLocked() error {
+	// Whatever in-memory migration state survived the failure is stale.
+	c.migMu.Lock()
+	if c.mig != nil {
+		c.mig.mu.Lock()
+		c.mig.stopped = true
+		c.mig.mu.Unlock()
+		c.mig = nil
+	}
+	c.migMu.Unlock()
+
+	committed := map[uint64]bool{}
+	cleaned := map[uint64]bool{}
+	aborted := map[uint64]bool{}
+	lastPhase := map[uint64]string{}
+	var starts []migStartRec
+	for _, rec := range c.coordLog.All() {
+		switch r := rec.Req.(type) {
+		case migCommitRec:
+			committed[r.ID] = true
+		case migCleanupRec:
+			cleaned[r.ID] = true
+		case migAbortRec:
+			aborted[r.ID] = true
+		case migPhaseRec:
+			lastPhase[r.ID] = r.Phase
+		case migStartRec:
+			starts = append(starts, r)
+		}
+	}
+	for _, start := range starts {
+		switch {
+		case aborted[start.ID] || (committed[start.ID] && cleaned[start.ID]):
+			continue
+		case committed[start.ID]:
+			if err := c.scrubMisplaced(nil); err != nil {
+				return fmt.Errorf("%w %d: roll-forward cleanup: %w", ErrMigration, start.ID, err)
+			}
+			if err := c.dropStagingStrict(start.Staging); err != nil {
+				return fmt.Errorf("%w %d: roll-forward cleanup: %w", ErrMigration, start.ID, err)
+			}
+			c.migLog(migCleanupRec{ID: start.ID}, true)
+		default:
+			phase := lastPhase[start.ID]
+			cutoverBegan := phase == "cutover" || phase == "cleanup"
+			if err := c.rollbackLocked(start.Moves, start.Staging, cutoverBegan); err != nil {
+				return fmt.Errorf("%w %d: rollback: %w", ErrMigration, start.ID, err)
+			}
+			c.migLog(migAbortRec{ID: start.ID}, true)
+		}
+	}
+	return nil
+}

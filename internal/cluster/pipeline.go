@@ -95,7 +95,7 @@ func (c *Cluster) stageBaseInsert(tx *txn.Txn, t *catalog.Table, tuples []types.
 	// indexes) out of two exactly-sized backing arrays — no append growth
 	// on the hot path.
 	homes := make([]int, len(tuples))
-	counts := make([]int, c.cfg.Nodes)
+	counts := make([]int, c.NumNodes())
 	for i, tup := range tuples {
 		if err := t.Schema.Validate(tup); err != nil {
 			return nil, fmt.Errorf("cluster: insert into %q: %w", t.Name, err)
@@ -106,10 +106,10 @@ func (c *Cluster) stageBaseInsert(tx *txn.Txn, t *catalog.Table, tuples []types.
 	}
 	tupleBacking := make([]types.Tuple, len(tuples))
 	idxBacking := make([]int, len(tuples))
-	bucketTuples := make([][]types.Tuple, c.cfg.Nodes)
-	bucketIdx := make([][]int, c.cfg.Nodes)
+	bucketTuples := make([][]types.Tuple, c.NumNodes())
+	bucketIdx := make([][]int, c.NumNodes())
 	off := 0
-	for n := 0; n < c.cfg.Nodes; n++ {
+	for n := 0; n < c.NumNodes(); n++ {
 		bucketTuples[n] = tupleBacking[off : off : off+counts[n]]
 		bucketIdx[n] = idxBacking[off : off : off+counts[n]]
 		off += counts[n]
@@ -158,7 +158,7 @@ func (c *Cluster) stageBaseInsert(tx *txn.Txn, t *catalog.Table, tuples []types.
 // emits locs node-by-node, so the grouping below is already sorted and the
 // dispatch is deterministic).
 func (c *Cluster) stageBaseDelete(tx *txn.Txn, t *catalog.Table, locs []located) error {
-	byNode := make([][]storage.RowID, c.cfg.Nodes)
+	byNode := make([][]storage.RowID, c.NumNodes())
 	for _, loc := range locs {
 		byNode[loc.node] = append(byNode[loc.node], loc.row)
 	}
@@ -253,7 +253,7 @@ func (c *Cluster) stageGlobalIndex(tx *txn.Txn, t *catalog.Table, gi *catalog.Gl
 	}
 	ci := t.Schema.MustColIndex(gi.Col)
 	giName := gi.Name
-	batches := make([]giBatch, c.cfg.Nodes)
+	batches := make([]giBatch, c.NumNodes())
 	for _, loc := range locs {
 		val := loc.tuple[ci]
 		home := c.part.NodeFor(val)
@@ -336,7 +336,7 @@ func coordinatorSources(n int) []int32 {
 // the compiled stage: the pinned option, or the cost advisor's cheapest
 // option for this statement's actual delta size.
 func (c *Cluster) stageView(tx *txn.Txn, vs *mplan.ViewStage, mp *mplan.Plan, tuples []types.Tuple) error {
-	opt := vs.Choose(c.cfg.Nodes, len(tuples), mp.ARCount, mp.GICount)
+	opt := vs.Choose(c.NumNodes(), len(tuples), mp.ARCount, mp.GICount)
 	delta, _, err := maintain.ComputeViewDelta(c.env, opt.Plan, tuples, c.cfg.Algo)
 	if err != nil {
 		return err

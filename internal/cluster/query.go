@@ -213,12 +213,12 @@ func (c *Cluster) shuffle(frag string, schema *types.Schema, col string, newTemp
 	if err != nil {
 		return "", err
 	}
-	for src := 0; src < c.cfg.Nodes; src++ {
+	for src := 0; src < c.NumNodes(); src++ {
 		resp, err := c.call(src, node.Scan{Frag: frag})
 		if err != nil {
 			return "", err
 		}
-		buckets := make([][]types.Tuple, c.cfg.Nodes)
+		buckets := make([][]types.Tuple, c.NumNodes())
 		for _, t := range resp.(node.RowsResult).Tuples {
 			dst := c.part.NodeFor(t[ci])
 			buckets[dst] = append(buckets[dst], t)

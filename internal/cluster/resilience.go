@@ -23,6 +23,70 @@ var ErrDegraded = errors.New("cluster: degraded (node down)")
 // returned alongside it are valid but incomplete.
 var ErrPartial = errors.New("cluster: partial result (node down)")
 
+// ErrSuspect marks a call refused because the destination's circuit
+// breaker is open: the node failed BreakerThreshold consecutive delivery
+// attempts, so the coordinator fails fast instead of burning the full
+// retry/backoff budget on every statement. Recover/RestartNode close the
+// breaker.
+var ErrSuspect = errors.New("cluster: node suspect (circuit breaker open)")
+
+// breakerOpen reports whether the node's circuit breaker is open.
+func (c *Cluster) breakerOpen(n int) bool {
+	if c.cfg.BreakerThreshold <= 0 {
+		return false
+	}
+	c.brkMu.Lock()
+	defer c.brkMu.Unlock()
+	return c.brkOpen[n]
+}
+
+// breakerOK records a successful delivery: the consecutive-failure count
+// resets (an open breaker stays open until explicit recovery — a stray
+// late success must not half-open it under the statement path).
+func (c *Cluster) breakerOK(n int) {
+	if c.cfg.BreakerThreshold <= 0 {
+		return
+	}
+	c.brkMu.Lock()
+	defer c.brkMu.Unlock()
+	c.brkConsec[n] = 0
+}
+
+// breakerFail records an exhausted delivery (retry budget burned on
+// timeouts/transient faults); at BreakerThreshold consecutive failures the
+// node becomes suspect.
+func (c *Cluster) breakerFail(n int) {
+	if c.cfg.BreakerThreshold <= 0 {
+		return
+	}
+	c.brkMu.Lock()
+	defer c.brkMu.Unlock()
+	c.brkConsec[n]++
+	if c.brkConsec[n] >= c.cfg.BreakerThreshold {
+		c.brkOpen[n] = true
+	}
+}
+
+// breakerReset closes a node's breaker after successful recovery.
+func (c *Cluster) breakerReset(n int) {
+	c.brkMu.Lock()
+	defer c.brkMu.Unlock()
+	delete(c.brkOpen, n)
+	delete(c.brkConsec, n)
+}
+
+// Suspect lists nodes with open circuit breakers (sorted).
+func (c *Cluster) Suspect() []int {
+	c.brkMu.Lock()
+	out := make([]int, 0, len(c.brkOpen))
+	for n := range c.brkOpen {
+		out = append(out, n)
+	}
+	c.brkMu.Unlock()
+	sort.Ints(out)
+	return out
+}
+
 // resilientTransport is the coordinator's delivery layer: every call to the
 // underlying transport (possibly fault-injecting) gets bounded retries with
 // exponential backoff for transient failures, sequence-number wrapping of
@@ -111,6 +175,11 @@ func (t *resilientTransport) Broadcast(from int, req any) ([]any, error) {
 	}
 	out, err := c.inner.Broadcast(from, wreq)
 	if err == nil {
+		if mut {
+			for to, resp := range out {
+				c.tapMutation(to, wreq, resp)
+			}
+		}
 		return out, nil
 	}
 	if out == nil {
@@ -181,6 +250,9 @@ func (c *Cluster) deliver(from, to int, wreq any, id uint64, mut, undo bool) (an
 	if s, ok := wreq.(node.Seq); ok {
 		raw = s.Req
 	}
+	if c.breakerOpen(to) {
+		return nil, fmt.Errorf("%w: node %d", ErrSuspect, to)
+	}
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.RetryAttempts; attempt++ {
 		if attempt > 0 {
@@ -188,6 +260,10 @@ func (c *Cluster) deliver(from, to int, wreq any, id uint64, mut, undo bool) (an
 		}
 		resp, err := c.inner.Call(from, to, wreq)
 		if err == nil {
+			c.breakerOK(to)
+			if mut {
+				c.tapMutation(to, wreq, resp)
+			}
 			return resp, nil
 		}
 		lastErr = err
@@ -208,6 +284,7 @@ func (c *Cluster) deliver(from, to int, wreq any, id uint64, mut, undo bool) (an
 		}
 	}
 	if !mut {
+		c.breakerFail(to)
 		return nil, lastErr
 	}
 	// Retry budget exhausted on a transient failure: the node may or may
@@ -215,11 +292,14 @@ func (c *Cluster) deliver(from, to int, wreq any, id uint64, mut, undo bool) (an
 	// request). Ask it.
 	resp, applied, qerr := c.resolveInDoubt(from, to, id)
 	if qerr == nil {
+		c.breakerOK(to)
 		if applied {
+			c.tapMutation(to, wreq, resp)
 			return resp, nil
 		}
 		return nil, lastErr
 	}
+	c.breakerFail(to)
 	// The node cannot even answer the outcome query: treat it as down and
 	// leave a repair record for Recover.
 	c.noteDown(to)
@@ -400,8 +480,8 @@ func (c *Cluster) failIfDegraded() error {
 // for a delivery to fail against it (an external failure detector, or a
 // test arranging a deterministic degraded state).
 func (c *Cluster) MarkNodeDown(n int) error {
-	if n < 0 || n >= c.cfg.Nodes {
-		return fmt.Errorf("cluster: node %d out of range [0,%d)", n, c.cfg.Nodes)
+	if n < 0 || n >= c.NumNodes() {
+		return fmt.Errorf("cluster: node %d out of range [0,%d)", n, c.NumNodes())
 	}
 	c.noteDown(n)
 	return nil
@@ -438,9 +518,10 @@ func (c *Cluster) Recover(n int) error {
 func (c *Cluster) RecoverWithReport(n int) (RecoveryReport, error) {
 	h := c.lockGlobal()
 	defer h.Release()
-	if n < 0 || n >= c.cfg.Nodes {
-		return RecoveryReport{}, fmt.Errorf("cluster: node %d out of range [0,%d)", n, c.cfg.Nodes)
+	if n < 0 || n >= c.NumNodes() {
+		return RecoveryReport{}, fmt.Errorf("cluster: node %d out of range [0,%d)", n, c.NumNodes())
 	}
+	c.breakerReset(n)
 	if c.cfg.Durability {
 		return c.recoverDurable(n)
 	}
@@ -499,6 +580,16 @@ func (c *Cluster) RecoverWithReport(n int) (RecoveryReport, error) {
 		// when the last node recovers.
 		rep.Messages = c.tr.Stats().Messages - netBefore.Messages
 		return rep, nil
+	}
+	// Resolve any migration the failure interrupted before rebuilding
+	// derived state: until the migration is driven to a decision the base
+	// tables can hold stale copies (source rows after a committed cutover,
+	// destination residue after an aborted one), and a rebuild from them
+	// would bake duplicate join rows into the view fragments at homes the
+	// misplaced-row scrub cannot distinguish from real rows.
+	if err := c.resumeMigrationsLocked(); err != nil {
+		rep.Messages = c.tr.Stats().Messages - netBefore.Messages
+		return rep, err
 	}
 	c.dmu.Lock()
 	pending := make([]int, 0, len(c.needRebuild))
@@ -632,7 +723,7 @@ func (c *Cluster) rebuildGIFrag(name, col string, distClustered bool, base *cata
 		return pages, err
 	}
 	ci := base.Schema.MustColIndex(col)
-	for src := 0; src < c.cfg.Nodes; src++ {
+	for src := 0; src < c.NumNodes(); src++ {
 		resp, err := c.rawDeliver(src, node.ScanWithRows{Frag: base.Name})
 		if err != nil {
 			return pages, err

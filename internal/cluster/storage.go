@@ -144,7 +144,7 @@ func (c *Cluster) CheckAuxRelConsistency(name string) error {
 	// Partitioning invariant: every AR tuple lives at the hash home of
 	// its partition column.
 	pi := ar.Schema.MustColIndex(ar.PartitionCol)
-	for n := 0; n < c.cfg.Nodes; n++ {
+	for n := 0; n < c.NumNodes(); n++ {
 		resp, err := c.call(n, node.AllRows{Frag: name})
 		if err != nil {
 			return err
@@ -178,7 +178,7 @@ func (c *Cluster) CheckGlobalIndexConsistency(name string) error {
 		row  uint64
 	}
 	baseRows := map[loc]types.Value{}
-	for n := 0; n < c.cfg.Nodes; n++ {
+	for n := 0; n < c.NumNodes(); n++ {
 		resp, err := c.call(n, node.ScanWithRows{Frag: gi.Table})
 		if err != nil {
 			return err
@@ -190,7 +190,7 @@ func (c *Cluster) CheckGlobalIndexConsistency(name string) error {
 	}
 	// Index side.
 	entries := 0
-	for n := 0; n < c.cfg.Nodes; n++ {
+	for n := 0; n < c.NumNodes(); n++ {
 		resp, err := c.call(n, node.GIScan{GI: name})
 		if err != nil {
 			return err

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"time"
 
@@ -158,7 +159,23 @@ type Injector struct {
 	// crashNode fires (-1 = no crash scheduled).
 	crashAfter int
 	crashNode  int
+
+	// Migration-phase trigger points. The migration coordinator announces
+	// every phase transition through Phase; chaos tests arm one-shot
+	// triggers on phase names, so a crash lands exactly at "copy",
+	// "catchup" or "cutover" of a live rebalance instead of at a counted
+	// delivery. phaseCrash maps phase → node to crash; phaseFail holds
+	// phases whose announcement itself fails (the coordinator dying at
+	// the boundary); phaseLog records every announcement for diagnostics.
+	phaseCrash map[string]int
+	phaseFail  map[string]bool
+	phaseLog   []string
 }
+
+// ErrPhaseFail marks a migration-phase boundary where an armed trigger
+// killed the coordinator: the migration must abort (presumed abort) or be
+// resumed by ResumeMigrations after the simulated restart.
+var ErrPhaseFail = errors.New("fault: injected coordinator failure at migration phase")
 
 // New builds an injector with the given schedule. It starts disarmed so
 // DDL and loading run clean; Arm it when the storm should begin.
@@ -168,6 +185,8 @@ func New(cfg Config) *Injector {
 		cfg:        cfg,
 		down:       map[int]bool{},
 		crashAfter: -1,
+		phaseCrash: map[string]int{},
+		phaseFail:  map[string]bool{},
 	}
 }
 
@@ -239,6 +258,67 @@ func (i *Injector) CrashAfter(node, calls int) {
 	defer i.mu.Unlock()
 	i.crashNode = node
 	i.crashAfter = calls
+}
+
+// CrashAtPhase arms a one-shot trigger: when the migration coordinator
+// announces the named phase (exactly, or any sub-phase "name:…"), the
+// given node crashes. Use it to land a source- or destination-node crash
+// inside a specific migration phase deterministically.
+func (i *Injector) CrashAtPhase(phase string, node int) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.phaseCrash[phase] = node
+}
+
+// FailAtPhase arms a one-shot trigger that makes the named phase
+// announcement itself return ErrPhaseFail — the simulator's stand-in for
+// the coordinator dying at that boundary, after the preceding phases'
+// work (and WAL records) are in place but before any cleanup ran.
+func (i *Injector) FailAtPhase(phase string) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.phaseFail[phase] = true
+}
+
+// Phase is the migration coordinator's announcement of a phase
+// transition. It fires any armed triggers for the phase: node crashes
+// take effect immediately (subsequent deliveries to the node fail), and a
+// FailAtPhase trigger makes this call return ErrPhaseFail. Announcements
+// are recorded and retrievable with PhaseLog. A nil injector is silent,
+// so the coordinator can announce unconditionally.
+func (i *Injector) Phase(phase string) error {
+	if i == nil {
+		return nil
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.phaseLog = append(i.phaseLog, phase)
+	match := func(m map[string]int) (string, bool) {
+		for name := range m {
+			if name == phase || strings.HasPrefix(phase, name+":") {
+				return name, true
+			}
+		}
+		return "", false
+	}
+	if name, ok := match(i.phaseCrash); ok {
+		i.down[i.phaseCrash[name]] = true
+		delete(i.phaseCrash, name)
+	}
+	for name := range i.phaseFail {
+		if name == phase || strings.HasPrefix(phase, name+":") {
+			delete(i.phaseFail, name)
+			return fmt.Errorf("%w: %s", ErrPhaseFail, phase)
+		}
+	}
+	return nil
+}
+
+// PhaseLog returns every migration-phase announcement seen so far.
+func (i *Injector) PhaseLog() []string {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return append([]string(nil), i.phaseLog...)
 }
 
 // Stats snapshots the per-kind fault counts.

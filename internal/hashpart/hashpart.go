@@ -1,19 +1,107 @@
 // Package hashpart implements deterministic hash partitioning of values
 // across the data-server nodes of the parallel RDBMS, playing the role of
 // Teradata's primary-index hash map: a tuple's home node is a pure function
-// of its partitioning-attribute value and the node count.
+// of its partitioning-attribute value and the current partition map.
+//
+// The map is versioned: an epoch-stamped slot→node table replaces the
+// seed's fixed modulo, so cluster elasticity (AddNode/DecommissionNode)
+// can reassign individual hash slots to new owners and install the new
+// map atomically while statements keep routing through the old one. For a
+// fixed topology the initial map (identity owners, one slot per node) is
+// byte-identical to `hash % L`, which keeps every paper experiment golden.
 package hashpart
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"joinview/internal/types"
 )
 
-// Partitioner maps values to node ids in [0, N).
+// Map is an epoch-stamped assignment of hash slots to node ids. A value v
+// belongs to slot Hash(v) % len(Owner), which lives on node Owner[slot].
+// Maps are immutable once installed; elasticity builds a modified copy and
+// installs it with an epoch bump at cutover.
+type Map struct {
+	// Epoch increases with every installed map; compiled maintenance
+	// plans record it and recompile when it moves.
+	Epoch uint64
+	// Owner maps slot → node id. len(Owner) is the slot count (the hash
+	// modulus).
+	Owner []int
+	// Nodes is the cluster size (bucket count for Spread); owners are in
+	// [0, Nodes).
+	Nodes int
+}
+
+// Identity returns the fixed-topology map over n nodes: n slots, slot i
+// owned by node i — exactly `hash % n`.
+func Identity(n int) Map {
+	owner := make([]int, n)
+	for i := range owner {
+		owner[i] = i
+	}
+	return Map{Epoch: 0, Owner: owner, Nodes: n}
+}
+
+// Clone deep-copies the map (callers mutate the copy, never an installed
+// map).
+func (m Map) Clone() Map {
+	return Map{Epoch: m.Epoch, Owner: append([]int(nil), m.Owner...), Nodes: m.Nodes}
+}
+
+// Slot returns the hash slot of a value under this map.
+func (m Map) Slot(v types.Value) int {
+	return int(v.Hash() % uint64(len(m.Owner)))
+}
+
+// NodeFor returns the home node of a value under this map.
+func (m Map) NodeFor(v types.Value) int {
+	return m.Owner[v.Hash()%uint64(len(m.Owner))]
+}
+
+// SlotsOwnedBy lists the slots a node owns, ascending.
+func (m Map) SlotsOwnedBy(n int) []int {
+	var out []int
+	for s, o := range m.Owner {
+		if o == n {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Doubled returns a copy with twice the slots and an unchanged
+// value→node mapping: slot s and slot s+len(Owner) share s's owner
+// (linear-hashing-style split, so only explicitly reassigned slots ever
+// move data).
+func (m Map) Doubled() Map {
+	d := m.Clone()
+	d.Owner = append(d.Owner, d.Owner...)
+	return d
+}
+
+// Validate checks structural sanity: at least one slot, owners in range.
+func (m Map) Validate() error {
+	if m.Nodes < 1 {
+		return fmt.Errorf("hashpart: invalid node count %d", m.Nodes)
+	}
+	if len(m.Owner) == 0 {
+		return fmt.Errorf("hashpart: map has no slots")
+	}
+	for s, o := range m.Owner {
+		if o < 0 || o >= m.Nodes {
+			return fmt.Errorf("hashpart: slot %d owner %d out of range [0,%d)", s, o, m.Nodes)
+		}
+	}
+	return nil
+}
+
+// Partitioner maps values to node ids through the currently installed Map.
+// Reads are lock-free (atomic pointer load); installs copy-on-write.
 type Partitioner struct {
-	n int
+	cur atomic.Pointer[Map]
 	// scratch pools the per-Spread working slices (home assignments and
 	// per-node counts): bucketing runs on every maintenance phase of every
 	// statement, so reusing the scratch keeps the hot path allocation-flat.
@@ -27,23 +115,52 @@ type spreadScratch struct {
 	counts []int
 }
 
-// New returns a partitioner over n nodes. It panics if n < 1 (a cluster
-// always has at least one node; the catalog validates user input earlier).
+// New returns a partitioner over n nodes with the identity map (slot i →
+// node i), byte-identical to the seed's fixed `hash % n`. It panics if
+// n < 1 (a cluster always has at least one node; the catalog validates
+// user input earlier).
 func New(n int) *Partitioner {
 	if n < 1 {
 		panic(fmt.Sprintf("hashpart: invalid node count %d", n))
 	}
-	p := &Partitioner{n: n}
+	p := &Partitioner{}
+	m := Identity(n)
+	p.cur.Store(&m)
 	p.scratch.New = func() any { return &spreadScratch{counts: make([]int, n)} }
 	return p
 }
 
+// Map returns the currently installed partition map (immutable; Clone
+// before mutating).
+func (p *Partitioner) Map() Map { return *p.cur.Load() }
+
+// Epoch returns the installed map's epoch.
+func (p *Partitioner) Epoch() uint64 { return p.cur.Load().Epoch }
+
+// Install atomically replaces the partition map. The caller is
+// responsible for having moved the data of every reassigned slot first
+// (the migration coordinator's cutover). The map is validated and stored
+// by value, so later caller mutations cannot corrupt the installed state.
+func (p *Partitioner) Install(m Map) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	m = m.Clone()
+	p.cur.Store(&m)
+	return nil
+}
+
 // Nodes returns the node count.
-func (p *Partitioner) Nodes() int { return p.n }
+func (p *Partitioner) Nodes() int { return p.cur.Load().Nodes }
 
 // NodeFor returns the home node of a value.
 func (p *Partitioner) NodeFor(v types.Value) int {
-	return int(v.Hash() % uint64(p.n))
+	return p.cur.Load().NodeFor(v)
+}
+
+// Slot returns the hash slot of a value under the installed map.
+func (p *Partitioner) Slot(v types.Value) int {
+	return p.cur.Load().Slot(v)
 }
 
 // NodeForTuple returns the home node of tuple t partitioned on column col
@@ -68,7 +185,8 @@ func (p *Partitioner) Spread(s *types.Schema, col string, tuples []types.Tuple) 
 	if i < 0 {
 		return nil, fmt.Errorf("hashpart: partition column %q not in schema %v", col, s.Names())
 	}
-	buckets := make([][]types.Tuple, p.n)
+	m := p.cur.Load()
+	buckets := make([][]types.Tuple, m.Nodes)
 	if len(tuples) == 0 {
 		return buckets, nil
 	}
@@ -78,18 +196,22 @@ func (p *Partitioner) Spread(s *types.Schema, col string, tuples []types.Tuple) 
 		sc.homes = make([]int, len(tuples))
 	}
 	homes := sc.homes[:len(tuples)]
-	counts := sc.counts
+	if len(sc.counts) < m.Nodes {
+		// The cluster grew since this scratch was pooled.
+		sc.counts = make([]int, m.Nodes)
+	}
+	counts := sc.counts[:m.Nodes]
 	for n := range counts {
 		counts[n] = 0
 	}
 	for j, t := range tuples {
-		n := p.NodeFor(t[i])
+		n := m.NodeFor(t[i])
 		homes[j] = n
 		counts[n]++
 	}
 	backing := make([]types.Tuple, len(tuples))
 	off := 0
-	for n := 0; n < p.n; n++ {
+	for n := 0; n < m.Nodes; n++ {
 		buckets[n] = backing[off : off : off+counts[n]]
 		off += counts[n]
 	}

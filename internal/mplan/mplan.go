@@ -139,6 +139,11 @@ type Plan struct {
 	ARCount, GICount int
 	// Version is the catalog version the plan was compiled against.
 	Version uint64
+	// PartEpoch is the partition-map epoch the plan was compiled against:
+	// node homes are baked into a plan's routing, so an elastic topology
+	// change (slot reassignment at migration cutover) must force a
+	// recompile even though the schema version is untouched.
+	PartEpoch uint64
 	// Deps are the statistics reads the plan's join orders depend on.
 	Deps []FanoutDep
 }
@@ -151,7 +156,7 @@ func Compile(cat *catalog.Catalog, st *stats.Stats, table string, op maintain.Op
 	if err != nil {
 		return nil, err
 	}
-	mp := &Plan{Table: t, Op: op, Version: version}
+	mp := &Plan{Table: t, Op: op, Version: version, PartEpoch: cat.PartitionEpoch()}
 	mp.Stages = append(mp.Stages, Stage{Kind: StageBase})
 	ars := cat.AuxRelsFor(table)
 	for _, ar := range ars {
@@ -217,6 +222,9 @@ func chainOf(p *plan.Plan) []cost.ChainStep {
 // is unchanged.
 func (p *Plan) Valid(cat *catalog.Catalog, st *stats.Stats) bool {
 	if cat.Version() != p.Version {
+		return false
+	}
+	if cat.PartitionEpoch() != p.PartEpoch {
 		return false
 	}
 	for _, d := range p.Deps {

@@ -81,6 +81,15 @@ type Stats struct {
 	Envelopes int64
 }
 
+// NodeAdder is implemented by transports that support growing the cluster
+// online: AddNode registers one more data-server handler and returns its
+// node id. The elasticity machinery asserts for it on the base transport
+// (wrappers — fault injection, resilience — delegate NumNodes to the inner
+// transport, so the new size propagates without their cooperation).
+type NodeAdder interface {
+	AddNode(h Handler) (int, error)
+}
+
 // Envelope is implemented by batched requests that pack several logical
 // messages into one physical delivery. LogicalCounts returns how many
 // logical SENDs (source != destination) and free self-deliveries the
@@ -173,6 +182,14 @@ func (d *Direct) Broadcast(from int, req any) ([]any, error) {
 
 // NumNodes implements Transport.
 func (d *Direct) NumNodes() int { return len(d.handlers) }
+
+// AddNode implements NodeAdder. Like every Direct method it must not race
+// other use of the transport (the cluster grows topology under its global
+// exclusive lock).
+func (d *Direct) AddNode(h Handler) (int, error) {
+	d.handlers = append(d.handlers, h)
+	return len(d.handlers) - 1, nil
+}
 
 // Stats implements Transport.
 func (d *Direct) Stats() Stats { return d.ctr.stats() }
@@ -304,7 +321,7 @@ func (c *Chan) recv(to int, reply chan result) (any, error) {
 
 // Call implements Transport.
 func (c *Chan) Call(from, to int, req any) (any, error) {
-	if err := checkDest(to, len(c.inboxes)); err != nil {
+	if err := checkDest(to, c.NumNodes()); err != nil {
 		return nil, err
 	}
 	if c.latency > 0 && from != to {
@@ -321,7 +338,7 @@ func (c *Chan) Call(from, to int, req any) (any, error) {
 // response slice is indexed by node. Every delivery is attempted; the
 // returned error joins all per-node failures.
 func (c *Chan) Broadcast(from int, req any) ([]any, error) {
-	n := len(c.inboxes)
+	n := c.NumNodes()
 	// Fan-out wires run in parallel: one latency covers the whole
 	// broadcast.
 	if c.latency > 0 {
@@ -353,7 +370,33 @@ func (c *Chan) Broadcast(from int, req any) ([]any, error) {
 }
 
 // NumNodes implements Transport.
-func (c *Chan) NumNodes() int { return len(c.inboxes) }
+func (c *Chan) NumNodes() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.inboxes)
+}
+
+// AddNode implements NodeAdder: it registers one more inbox and node
+// goroutine under the write lock, so concurrent Calls to existing nodes
+// (which hold the read lock around every inbox access) never race the
+// slice growth.
+func (c *Chan) AddNode(h Handler) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, ErrClosed
+	}
+	inbox := make(chan envelope, 128)
+	c.inboxes = append(c.inboxes, inbox)
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		for env := range inbox {
+			env.reply <- safeHandle(h, env.req)
+		}
+	}()
+	return len(c.inboxes) - 1, nil
+}
 
 // Stats implements Transport.
 func (c *Chan) Stats() Stats { return c.ctr.stats() }

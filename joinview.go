@@ -195,6 +195,11 @@ type Options struct {
 	// cache. Identical results, only slower — a debugging aid for
 	// isolating caching effects (Metrics.Pipeline reports only misses).
 	DisablePlanCache bool
+	// BreakerThreshold enables the per-node circuit breaker: after that
+	// many consecutive exhausted delivery attempts to one node, further
+	// calls to it fail fast with ErrSuspect instead of burning the retry
+	// budget. Recover closes the breaker. Zero disables it.
+	BreakerThreshold int
 }
 
 // Fault-injection surface, re-exported from the internal fault package.
@@ -220,6 +225,12 @@ var (
 	// ErrPartial tags a read that returned only the surviving nodes'
 	// rows while the cluster is degraded.
 	ErrPartial = cluster.ErrPartial
+	// ErrSuspect reports a call refused because the destination's circuit
+	// breaker is open (Options.BreakerThreshold consecutive failures).
+	ErrSuspect = cluster.ErrSuspect
+	// ErrMigration tags every elasticity failure: a migration that
+	// aborted, or DDL refused while a rebalance is in flight.
+	ErrMigration = cluster.ErrMigration
 )
 
 // DB is an open parallel database.
@@ -253,6 +264,7 @@ func Open(opts Options) (*DB, error) {
 		Durability:       opts.Durability,
 		CheckpointEvery:  opts.CheckpointEvery,
 		DisablePlanCache: opts.DisablePlanCache,
+		BreakerThreshold: opts.BreakerThreshold,
 	})
 	if err != nil {
 		return nil, err
@@ -448,6 +460,57 @@ type RestartResult = node.RestartResult
 // RestartNode brings a crashed durable node back from its checkpoint and
 // log tail, leaving in-doubt transactions for Recover to resolve.
 func (db *DB) RestartNode(n int) (RestartResult, error) { return db.c.RestartNode(n) }
+
+// Elasticity surface, re-exported from the internal cluster package.
+type (
+	// Topology is a snapshot of the versioned partition map: epoch, node
+	// count, per-slot owners, retired nodes and any in-flight migration.
+	Topology = cluster.Topology
+	// MigrationStats is the cost accounting of one completed (or aborted)
+	// rebalance: rows and pages copied, envelopes sent, catch-up queue
+	// depth, cutover stall time.
+	MigrationStats = cluster.MigrationStats
+	// MigrationStatus describes an in-flight migration.
+	MigrationStatus = cluster.MigrationStatus
+)
+
+// AddNode grows the cluster by one data-server node while DML continues:
+// the node is provisioned with every fragment, the partition map doubles
+// its slot count for a finer rebalance grain, and a live migration moves
+// a proportional share of each hash range — base fragments, auxiliary
+// relations, global indexes and view fragments — to the new node with a
+// snapshot copy, delta catch-up and a brief exclusive cutover. Returns
+// the new node's id.
+func (db *DB) AddNode() (int, error) { return db.c.AddNode() }
+
+// DecommissionNode migrates every hash slot a node owns to the surviving
+// nodes and retires it from the partition map. The node stays addressable
+// (retired, empty) so historical node ids remain stable.
+func (db *DB) DecommissionNode(n int) error { return db.c.DecommissionNode(n) }
+
+// RebalanceNode moves hash slots to the given node until it owns its fair
+// share — AddNode's migration step, reusable to retry after a failure or
+// to rebalance an existing node. A no-op when the node is already
+// balanced.
+func (db *DB) RebalanceNode(n int) error { return db.c.RebalanceNode(n) }
+
+// Topology snapshots the versioned partition map and migration status.
+func (db *DB) Topology() Topology { return db.c.Topology() }
+
+// MigrationActive reports whether a rebalance is in flight.
+func (db *DB) MigrationActive() bool { return db.c.MigrationActive() }
+
+// LastMigration returns the most recent migration's cost accounting.
+func (db *DB) LastMigration() (MigrationStats, bool) { return db.c.LastMigration() }
+
+// ResumeMigrations drives every undecided migration in the coordinator's
+// write-ahead log to a decision after a failure: committed migrations
+// roll forward (scrub stale source copies), uncommitted ones roll back
+// presumed-abort style. Call it after recovering crashed nodes.
+func (db *DB) ResumeMigrations() error { return db.c.ResumeMigrations() }
+
+// Suspect lists nodes whose circuit breakers are open.
+func (db *DB) Suspect() []int { return db.c.Suspect() }
 
 // Cluster exposes the underlying engine for the in-repo benchmarks and
 // examples that need lower-level access (experiment harnesses).
