@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, fig7..fig14, storage, buffering, skew, network, faults, durability, parallel, adaptive, elastic")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, fig7..fig14, storage, buffering, skew, network, faults, durability, parallel, adaptive, elastic, async")
 	measured := flag.Bool("measured", false, "also run the measured (simulator) variants of figs 7-11")
 	maxL := flag.Int("maxl", 128, "largest node count to sweep")
 	scale := flag.Int("scale", 100, "Table 1 scale divisor for fig14 (100 = 1,500 customers)")
@@ -66,6 +66,11 @@ func main() {
 	exitCode := 0
 	if *exp == "adaptive" {
 		if err := runAdaptive(*maxL, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "jvbench:", err)
+			exitCode = 1
+		}
+	} else if *exp == "async" {
+		if err := runAsync(*maxL, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, "jvbench:", err)
 			exitCode = 1
 		}
@@ -135,6 +140,27 @@ func runAdaptive(maxL int, jsonPath string) error {
 	fmt.Printf("(measured in %v)\n\n", time.Since(start).Round(time.Millisecond))
 	if jsonPath == "" {
 		jsonPath = "BENCH_adaptive.json"
+	}
+	return writeJSON(jsonPath, results)
+}
+
+// runAsync runs the async-maintenance experiment at L=8 (capped by maxL)
+// and writes the results to BENCH_async.json or the -json path.
+func runAsync(maxL int, jsonPath string) error {
+	l := 8
+	if maxL < l {
+		l = maxL
+	}
+	start := time.Now()
+	results, err := experiments.AsyncMaintenance(l, 256)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.AsyncGrid(results).Render())
+	fmt.Printf("(measured in %v; simulated %v/message interconnect)\n\n",
+		time.Since(start).Round(time.Millisecond), experiments.DefaultNetLatency)
+	if jsonPath == "" {
+		jsonPath = "BENCH_async.json"
 	}
 	return writeJSON(jsonPath, results)
 }

@@ -4,6 +4,8 @@
 // INSERT, DELETE, UPDATE, SELECT) plus shell commands:
 //
 //	\metrics           show per-node I/O counters and message totals
+//	\watermark         show the async-maintenance watermark and queue state
+//	\flush             drain the async maintenance queue (one epoch)
 //	\reset             zero the counters
 //	\check <view>      verify view v against a recomputed join
 //	\explain <view> <table> [n]   show the maintenance plan for an
@@ -14,7 +16,7 @@
 //	                   and any in-flight migration
 //	\quit              exit
 //
-// Usage: jvshell [-nodes 4] [-channels] [-f script.sql]
+// Usage: jvshell [-nodes 4] [-channels] [-async] [-epoch N] [-f script.sql]
 package main
 
 import (
@@ -30,10 +32,15 @@ import (
 func main() {
 	nodes := flag.Int("nodes", 4, "number of data-server nodes")
 	channels := flag.Bool("channels", false, "run nodes as goroutines with channel transport")
+	async := flag.Bool("async", false, "defer view maintenance to the epoch-batched queue")
+	epoch := flag.Int("epoch", 0, "with -async, background-flush every N deferred statements")
 	script := flag.String("f", "", "run a SQL script file before the interactive prompt")
 	flag.Parse()
 
-	db, err := joinview.Open(joinview.Options{Nodes: *nodes, UseChannels: *channels})
+	db, err := joinview.Open(joinview.Options{
+		Nodes: *nodes, UseChannels: *channels,
+		AsyncMaintenance: *async, EpochSize: *epoch,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "jvshell:", err)
 		os.Exit(1)
@@ -98,6 +105,20 @@ func handleMeta(db *joinview.DB, cmd string) bool {
 		for i, nc := range m.Node {
 			fmt.Printf("  node %d: %d I/Os\n", i, nc.IOs())
 		}
+	case "\\watermark":
+		w := db.Watermark()
+		fmt.Printf("epoch %d   flushed through seq %d   pending %d   lag %v\n",
+			w.Epoch, w.FlushedSeq, w.Pending, w.Lag)
+		q := db.Metrics().Queue
+		fmt.Printf("enqueued: %d stmts / %d tuples   epochs flushed: %d   cancelled: %d (%.1f%%)   overloads: %d\n",
+			q.DeltasEnqueued, q.TuplesEnqueued, q.EpochsFlushed, q.DeltasCancelled, 100*q.CancelRate(), q.Overloads)
+	case "\\flush":
+		if err := db.Flush(); err != nil {
+			fmt.Println("flush:", err)
+			break
+		}
+		w := db.Watermark()
+		fmt.Printf("queue drained; watermark at epoch %d\n", w.Epoch)
 	case "\\reset":
 		db.ResetMetrics()
 		fmt.Println("counters reset")
@@ -192,7 +213,7 @@ func handleMeta(db *joinview.DB, cmd string) bool {
 		}
 		fmt.Printf("auxiliary-structure overhead: %d rows (%d values)\n", rep.Overhead(), rep.OverheadValues())
 	default:
-		fmt.Println("commands: \\metrics \\reset \\check <view> \\explain <view> <table> [n] \\tables \\storage \\topology \\quit")
+		fmt.Println("commands: \\metrics \\watermark \\flush \\reset \\check <view> \\explain <view> <table> [n] \\tables \\storage \\topology \\quit")
 	}
 	return false
 }

@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"joinview/internal/catalog"
+	"joinview/internal/types"
+)
+
+// TestAsyncCompactionEquivalence is the compaction property test: a
+// random stream of inserts, deletes and updates applied through the
+// epoch-compacted async queue must leave exactly the same base tables and
+// view as the same stream applied with uncompacted per-statement
+// maintenance — insert/delete cancellation and repeated-key collapse are
+// invisible in the final state. Flush points are injected at random, so
+// epochs of many shapes (including fully-cancelled ones) are exercised.
+func TestAsyncCompactionEquivalence(t *testing.T) {
+	for _, seed := range []int64{7, 23, 1229} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			sync := newAsyncPropCluster(t, false)
+			async := newAsyncPropCluster(t, true)
+			rng := newRand(seed)
+
+			nextKey := int64(5000)
+			var live []int64 // keys inserted by the stream, possibly deleted again
+			for step := 0; step < 120; step++ {
+				switch op := rng.Intn(10); {
+				case op < 4: // insert a fresh order
+					nextKey++
+					tup := ord(nextKey, rng.Int63n(8), float64(rng.Intn(500)))
+					for _, c := range []*Cluster{sync, async} {
+						if err := c.Insert("orders", []types.Tuple{tup}); err != nil {
+							t.Fatalf("step %d insert: %v", step, err)
+						}
+					}
+					live = append(live, nextKey)
+				case op < 7: // delete a stream key (often still queued: cancellation)
+					if len(live) == 0 {
+						continue
+					}
+					i := rng.Intn(len(live))
+					k := live[i]
+					live = append(live[:i], live[i+1:]...)
+					var want int
+					for ci, c := range []*Cluster{sync, async} {
+						got, err := c.Delete("orders", eqOrderKey(k))
+						if err != nil {
+							t.Fatalf("step %d delete %d: %v", step, k, err)
+						}
+						if ci == 0 {
+							want = len(got)
+						} else if len(got) != want {
+							t.Fatalf("step %d delete %d: async found %d victims, sync %d", step, k, len(got), want)
+						}
+					}
+				case op < 9: // update a stream key (repeated-key collapse)
+					if len(live) == 0 {
+						continue
+					}
+					k := live[rng.Intn(len(live))]
+					set := map[string]types.Value{"totalprice": types.Float(float64(rng.Intn(1000)))}
+					var want int
+					for ci, c := range []*Cluster{sync, async} {
+						n, err := c.Update("orders", set, eqOrderKey(k))
+						if err != nil {
+							t.Fatalf("step %d update %d: %v", step, k, err)
+						}
+						if ci == 0 {
+							want = n
+						} else if n != want {
+							t.Fatalf("step %d update %d: async matched %d, sync %d", step, k, n, want)
+						}
+					}
+				default: // random epoch boundary
+					if err := async.Flush(); err != nil {
+						t.Fatalf("step %d flush: %v", step, err)
+					}
+				}
+			}
+			if err := async.Flush(); err != nil {
+				t.Fatal(err)
+			}
+
+			for _, frag := range []string{"orders", "jv1"} {
+				want, err := sync.TableRows(frag)
+				if frag == "jv1" {
+					want, err = sync.ViewRows(frag)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := async.TableRows(frag)
+				if frag == "jv1" {
+					got, err = async.ViewRows(frag)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertBagEqual(t, frag+" compacted vs per-statement", got, want)
+			}
+			if err := async.CheckViewConsistency("jv1"); err != nil {
+				t.Fatal(err)
+			}
+			if err := async.CheckAllStructures(); err != nil {
+				t.Fatal(err)
+			}
+			if m := async.Metrics(); m.Queue.DeltasCancelled == 0 {
+				t.Error("stream produced no cancellations; widen the mix")
+			}
+		})
+	}
+}
+
+// newAsyncPropCluster builds the equivalence twins: identical layout and
+// load, differing only in maintenance deferral.
+func newAsyncPropCluster(t *testing.T, async bool) *Cluster {
+	t.Helper()
+	c, err := New(Config{Nodes: 4, AsyncMaintenance: async})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	for _, tab := range []*catalog.Table{customerTable(), ordersTable(), lineitemTable()} {
+		if err := c.CreateTable(tab); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var customers, orders []types.Tuple
+	ok := int64(0)
+	for ck := int64(0); ck < 8; ck++ {
+		customers = append(customers, cust(ck, float64(ck)*1.5))
+		for o := 0; o < 2; o++ {
+			ok++
+			orders = append(orders, ord(ok, ck, float64(ok)*10))
+		}
+	}
+	if err := c.Insert("customer", customers); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert("orders", orders); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"customer", "orders", "lineitem"} {
+		if err := c.RefreshStats(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.CreateView(jv1Def("jv1", catalog.StrategyAuto)); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

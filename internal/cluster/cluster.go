@@ -108,6 +108,29 @@ type Config struct {
 	// as an escape hatch and for cache-effect measurements. Every lookup
 	// then counts as a miss.
 	DisablePlanCache bool
+	// AsyncMaintenance defers DML maintenance into the group-commit queue
+	// (asyncq.go): a statement validates, resolves its victims against the
+	// effective state and enqueues its logical delta; a flush epoch later
+	// compacts the queue and drives one batched pipeline run per table.
+	// Off by default — synchronous mode is byte-identical to the seed.
+	AsyncMaintenance bool
+	// EpochSize triggers a background flush whenever the queue holds at
+	// least this many deferred statements (0 = no depth trigger).
+	EpochSize int
+	// FlushInterval triggers a background flush on this wall-clock period
+	// (0 = no timer). With both EpochSize and FlushInterval zero, only
+	// explicit Flush/ReadFresh/DDL calls drain the queue.
+	FlushInterval time.Duration
+	// MaxQueueDepth bounds the pending-statement count; at the bound
+	// admission control sheds new writers with ErrOverload (or stalls
+	// them, with OverloadBlock). 0 = unbounded.
+	MaxQueueDepth int
+	// MaxStaleness bounds the age of the oldest pending entry the same
+	// way. 0 = unbounded.
+	MaxStaleness time.Duration
+	// OverloadBlock makes overloaded writers wait for the flusher instead
+	// of failing with ErrOverload.
+	OverloadBlock bool
 }
 
 // Cluster is a running parallel RDBMS instance.
@@ -198,6 +221,18 @@ type Cluster struct {
 	// per-stage costs.
 	mcache *mplan.Cache
 	pstats *stats.PipelineCounters
+
+	// Async-maintenance state (asyncq.go): aq is the deferred-delta queue,
+	// qstats its counters, flushMu serializes flush epochs (manual Flush
+	// vs the background flusher), flusherWG tracks the flusher goroutine,
+	// flushCommitTag carries the current flush group's identity into
+	// logDecision (written only in Durability mode, where statements are
+	// serial).
+	aq             *asyncQueue
+	qstats         *stats.QueueCounters
+	flushMu        sync.Mutex
+	flusherWG      sync.WaitGroup
+	flushCommitTag *wal.FlushCommit
 }
 
 // New builds a cluster. It returns an error for a non-positive node count.
@@ -238,6 +273,8 @@ func New(cfg Config) (*Cluster, error) {
 		retired:     map[int]bool{},
 		brkConsec:   map[int]int{},
 		brkOpen:     map[int]bool{},
+		aq:          newAsyncQueue(),
+		qstats:      stats.NewQueueCounters(),
 	}
 	c.nNodes.Store(int32(cfg.Nodes))
 	c.cat.SetPartitionMap(c.part.Map())
@@ -276,11 +313,19 @@ func New(cfg Config) (*Cluster, error) {
 		Parallel: c.parallelDispatch(),
 		Workers:  cfg.ScatterWorkers,
 	}
+	if cfg.AsyncMaintenance && (cfg.EpochSize > 0 || cfg.FlushInterval > 0) {
+		c.startFlusher()
+	}
 	return c, nil
 }
 
-// Close releases transport resources.
-func (c *Cluster) Close() { c.tr.Close() }
+// Close stops the background flusher (pending deltas stay queued; a
+// durable cluster replays them at recovery) and releases transport
+// resources.
+func (c *Cluster) Close() {
+	c.stopFlusher()
+	c.tr.Close()
+}
 
 // Catalog exposes the metadata store (read-mostly; DDL goes through the
 // Create* methods).
@@ -336,6 +381,9 @@ type Metrics struct {
 	// Pipeline is the maintenance pipeline's plan-cache and per-stage
 	// counters (see stats.PipelineSnapshot).
 	Pipeline stats.PipelineSnapshot
+	// Queue is the async maintenance queue's counters and gauges (zeros
+	// when AsyncMaintenance is off).
+	Queue stats.QueueSnapshot
 }
 
 // TotalIOs is the paper's total workload TW: I/Os summed over all nodes.
@@ -421,6 +469,7 @@ func (m Metrics) Sub(o Metrics) Metrics {
 	out.Retries = m.Retries - o.Retries
 	out.Coord = m.Coord.Sub(o.Coord)
 	out.Pipeline = m.Pipeline.Sub(o.Pipeline)
+	out.Queue = m.Queue.Sub(o.Queue)
 	return out
 }
 
@@ -435,7 +484,12 @@ func (c *Cluster) Metrics() Metrics {
 		Retries:  c.retries.Load(),
 		Coord:    c.coordMeter.Snapshot(),
 		Pipeline: c.pstats.Snapshot(),
+		Queue:    c.qstats.Snapshot(),
 	}
+	w := c.Watermark()
+	m.Queue.QueueDepth = w.Pending
+	m.Queue.Watermark = w.Epoch
+	m.Queue.WatermarkLag = w.Lag
 	for i, n := range nodes {
 		m.Node[i] = n.Meter().Snapshot()
 		m.Pool[i] = n.PoolStatsSnapshot()
@@ -456,6 +510,7 @@ func (c *Cluster) ResetMetrics() {
 	c.retries.Store(0)
 	c.coordMeter.Reset()
 	c.pstats.Reset()
+	c.qstats.Reset()
 }
 
 // RefreshStats recomputes exact statistics for the named table from its

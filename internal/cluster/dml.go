@@ -40,6 +40,9 @@ func (c *Cluster) Insert(table string, tuples []types.Tuple) error {
 	if len(tuples) == 0 {
 		return nil
 	}
+	if c.asyncOn() {
+		return c.insertAsync(table, tuples)
+	}
 	h := c.lockStmt(table)
 	defer h.Release()
 	if err := c.failIfDegraded(); err != nil {
@@ -61,6 +64,9 @@ func (c *Cluster) Insert(table string, tuples []types.Tuple) error {
 // Delete removes every tuple of the table matching pred, maintaining all
 // auxiliary structures and views, and returns the deleted tuples.
 func (c *Cluster) Delete(table string, pred expr.Expr) ([]types.Tuple, error) {
+	if c.asyncOn() {
+		return c.deleteAsync(table, pred)
+	}
 	h := c.lockStmt(table)
 	defer h.Release()
 	deleted, err := c.deleteLocked(table, pred)
@@ -130,6 +136,9 @@ func (c *Cluster) findVictims(table string, pred expr.Expr) ([]types.Tuple, []lo
 // insert pipeline for the new ones, all inside one transaction scope. It
 // returns the number of tuples updated.
 func (c *Cluster) Update(table string, set map[string]types.Value, pred expr.Expr) (int, error) {
+	if c.asyncOn() {
+		return c.updateAsync(table, set, pred)
+	}
 	h := c.lockStmt(table)
 	defer h.Release()
 	t, err := c.cat.Table(table)

@@ -73,13 +73,32 @@ func (c *Cluster) takeParticipants() []int {
 }
 
 // logDecision forces a COMMIT record for the transaction to the
-// coordinator's log — the commit point of two-phase commit.
+// coordinator's log — the commit point of two-phase commit. A flush-epoch
+// group's statement carries its FlushCommit tag on the record (Req), so
+// the group's commit point doubles as its durable done marker.
 func (c *Cluster) logDecision(tid uint64) {
-	c.coordLog.Append(wal.Record{Kind: wal.KindCommit, TID: tid})
+	rec := wal.Record{Kind: wal.KindCommit, TID: tid}
+	if c.flushCommitTag != nil {
+		rec.Req = *c.flushCommitTag
+	}
+	c.coordLog.Append(rec)
 	c.coordLog.Force()
 	c.pmu.Lock()
 	c.decided[tid] = true
 	c.pmu.Unlock()
+}
+
+// runStmtTagged runs one statement whose commit record carries the given
+// FlushCommit tag. The tag travels through a plain cluster field: it is
+// only set in Durability mode, where statements execute serially under
+// the global lock, so there is never a concurrent untagged statement to
+// race with.
+func (c *Cluster) runStmtTagged(tag wal.FlushCommit, body func(tx *txn.Txn) error) error {
+	if c.cfg.Durability {
+		c.flushCommitTag = &tag
+		defer func() { c.flushCommitTag = nil }()
+	}
+	return c.runStmt(body)
 }
 
 // committedTID reports whether the coordinator decided commit for the

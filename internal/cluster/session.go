@@ -39,6 +39,15 @@ func (t *Txn) check() error {
 	if t.done {
 		return fmt.Errorf("cluster: transaction already finished")
 	}
+	// Multi-statement transactions stay synchronous: their statement-level
+	// rollback hooks compensate against applied state, which deferred
+	// deltas would invalidate. Drain the queue first so the transaction
+	// sees — and compensates against — fully-applied state.
+	if t.c.asyncOn() {
+		if err := t.c.Flush(); err != nil {
+			return fmt.Errorf("cluster: draining maintenance queue before transaction statement: %w", err)
+		}
+	}
 	return nil
 }
 

@@ -172,10 +172,12 @@ type Injector struct {
 	phaseLog   []string
 }
 
-// ErrPhaseFail marks a migration-phase boundary where an armed trigger
-// killed the coordinator: the migration must abort (presumed abort) or be
-// resumed by ResumeMigrations after the simulated restart.
-var ErrPhaseFail = errors.New("fault: injected coordinator failure at migration phase")
+// ErrPhaseFail marks a coordinator phase boundary where an armed trigger
+// killed the coordinator: the interrupted work must abort (presumed
+// abort) or be resumed — ResumeMigrations for a migration phase,
+// ResumeMaintenance for an async-flush phase — after the simulated
+// restart.
+var ErrPhaseFail = errors.New("fault: injected coordinator failure at phase")
 
 // New builds an injector with the given schedule. It starts disarmed so
 // DDL and loading run clean; Arm it when the storm should begin.
@@ -260,10 +262,10 @@ func (i *Injector) CrashAfter(node, calls int) {
 	i.crashAfter = calls
 }
 
-// CrashAtPhase arms a one-shot trigger: when the migration coordinator
-// announces the named phase (exactly, or any sub-phase "name:…"), the
-// given node crashes. Use it to land a source- or destination-node crash
-// inside a specific migration phase deterministically.
+// CrashAtPhase arms a one-shot trigger: when the coordinator announces
+// the named phase (exactly, or any sub-phase "name:…") — a migration
+// phase or an async-flush phase — the given node crashes. Use it to land
+// a node crash inside a specific coordinator phase deterministically.
 func (i *Injector) CrashAtPhase(phase string, node int) {
 	i.mu.Lock()
 	defer i.mu.Unlock()
@@ -280,8 +282,9 @@ func (i *Injector) FailAtPhase(phase string) {
 	i.phaseFail[phase] = true
 }
 
-// Phase is the migration coordinator's announcement of a phase
-// transition. It fires any armed triggers for the phase: node crashes
+// Phase is the coordinator's announcement of a phase transition (a
+// migration phase, or an async-maintenance flush phase: "enqueue",
+// "compact", "flush", "ack"). It fires any armed triggers: node crashes
 // take effect immediately (subsequent deliveries to the node fail), and a
 // FailAtPhase trigger makes this call return ErrPhaseFail. Announcements
 // are recorded and retrievable with PhaseLog. A nil injector is silent,
@@ -314,7 +317,7 @@ func (i *Injector) Phase(phase string) error {
 	return nil
 }
 
-// PhaseLog returns every migration-phase announcement seen so far.
+// PhaseLog returns every coordinator phase announcement seen so far.
 func (i *Injector) PhaseLog() []string {
 	i.mu.Lock()
 	defer i.mu.Unlock()

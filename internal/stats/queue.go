@@ -1,0 +1,126 @@
+// Queue counters: how the async maintenance queue is doing. The enqueue
+// path records deferred statements and admission-control rejections; the
+// epoch flusher records, per epoch, how many raw deltas compaction netted
+// away and what the batched apply flushed.
+package stats
+
+import (
+	"sync"
+	"time"
+)
+
+// QueueCounters accumulates async-maintenance-queue metrics. Safe for
+// concurrent use. Gauges (depth, watermark, lag) live on the queue itself
+// and are merged into QueueSnapshot by the cluster's Metrics reader.
+type QueueCounters struct {
+	mu            sync.Mutex
+	enqueued      int64
+	tuplesIn      int64
+	overloads     int64
+	epochs        int64
+	cancelled     int64
+	tuplesFlushed int64
+}
+
+// NewQueueCounters returns zeroed counters.
+func NewQueueCounters() *QueueCounters { return &QueueCounters{} }
+
+// RecordEnqueue counts one deferred statement of n delta tuples.
+func (q *QueueCounters) RecordEnqueue(n int) {
+	q.mu.Lock()
+	q.enqueued++
+	q.tuplesIn += int64(n)
+	q.mu.Unlock()
+}
+
+// RecordOverload counts one statement shed (or blocked) by admission
+// control.
+func (q *QueueCounters) RecordOverload() {
+	q.mu.Lock()
+	q.overloads++
+	q.mu.Unlock()
+}
+
+// RecordEpoch counts one flushed epoch: rawTuples entered compaction,
+// flushedTuples survived it; the difference is the cancelled work
+// (insert/delete pairs netted out, repeated keys collapsed).
+func (q *QueueCounters) RecordEpoch(rawTuples, flushedTuples int) {
+	q.mu.Lock()
+	q.epochs++
+	q.cancelled += int64(rawTuples - flushedTuples)
+	q.tuplesFlushed += int64(flushedTuples)
+	q.mu.Unlock()
+}
+
+// Reset zeroes all counters.
+func (q *QueueCounters) Reset() {
+	q.mu.Lock()
+	q.enqueued, q.tuplesIn, q.overloads = 0, 0, 0
+	q.epochs, q.cancelled, q.tuplesFlushed = 0, 0, 0
+	q.mu.Unlock()
+}
+
+// Snapshot returns a copy of the counters (gauges zero; the cluster's
+// Metrics reader fills them from the live queue).
+func (q *QueueCounters) Snapshot() QueueSnapshot {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return QueueSnapshot{
+		DeltasEnqueued:  q.enqueued,
+		TuplesEnqueued:  q.tuplesIn,
+		Overloads:       q.overloads,
+		EpochsFlushed:   q.epochs,
+		DeltasCancelled: q.cancelled,
+		TuplesFlushed:   q.tuplesFlushed,
+	}
+}
+
+// QueueSnapshot is a point-in-time copy of the queue counters plus the
+// queue's gauges.
+type QueueSnapshot struct {
+	// DeltasEnqueued counts deferred statements; TuplesEnqueued their
+	// delta tuples.
+	DeltasEnqueued int64
+	TuplesEnqueued int64
+	// Overloads counts statements refused (ErrOverload) or stalled by
+	// admission control.
+	Overloads int64
+	// EpochsFlushed counts completed flush epochs; DeltasCancelled the
+	// tuples compaction netted away before they cost any maintenance
+	// work; TuplesFlushed the tuples that reached the pipeline.
+	EpochsFlushed   int64
+	DeltasCancelled int64
+	TuplesFlushed   int64
+	// QueueDepth is the current number of pending deferred statements
+	// (gauge). Watermark is the last completed epoch number (gauge);
+	// WatermarkLag the age of the oldest pending entry (gauge, zero when
+	// the queue is empty).
+	QueueDepth   int
+	Watermark    uint64
+	WatermarkLag time.Duration
+}
+
+// CancelRate returns DeltasCancelled / TuplesEnqueued, or 0 with no
+// enqueued tuples — the fraction of deferred work compaction eliminated.
+func (s QueueSnapshot) CancelRate() float64 {
+	if s.TuplesEnqueued == 0 {
+		return 0
+	}
+	return float64(s.DeltasCancelled) / float64(s.TuplesEnqueued)
+}
+
+// Sub returns the delta s - o for counters; gauges keep s's current
+// values (a gauge has no meaningful difference across a window).
+func (s QueueSnapshot) Sub(o QueueSnapshot) QueueSnapshot {
+	return QueueSnapshot{
+		DeltasEnqueued:  s.DeltasEnqueued - o.DeltasEnqueued,
+		TuplesEnqueued:  s.TuplesEnqueued - o.TuplesEnqueued,
+		Overloads:       s.Overloads - o.Overloads,
+		EpochsFlushed:   s.EpochsFlushed - o.EpochsFlushed,
+		DeltasCancelled: s.DeltasCancelled - o.DeltasCancelled,
+		TuplesFlushed:   s.TuplesFlushed - o.TuplesFlushed,
+		QueueDepth:      s.QueueDepth,
+		Watermark:       s.Watermark,
+		WatermarkLag:    s.WatermarkLag,
+	}
+}

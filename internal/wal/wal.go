@@ -24,6 +24,7 @@ import (
 
 	"joinview/internal/gindex"
 	"joinview/internal/storage"
+	"joinview/internal/types"
 )
 
 // RecordKind tags a log record.
@@ -47,6 +48,21 @@ const (
 	// transaction locally so a later replay does not resurrect it as
 	// in-doubt.
 	KindAbort
+	// KindEnqueue is a coordinator-log record of one deferred-maintenance
+	// delta entering the async queue (Req holds an EnqueueDelta). Its Force
+	// is the durability point of the deferring DML statement: the base
+	// write and all derived maintenance are promised, not yet applied.
+	KindEnqueue
+	// KindEpochPlan is the coordinator's forced record of a compacted
+	// flush epoch (Req holds an EpochPlan), written before any group of
+	// the epoch executes. Once it is durable the epoch rolls forward:
+	// recovery re-applies exactly the groups that lack a tagged commit
+	// record and never re-plans.
+	KindEpochPlan
+	// KindEpochDone marks a flush epoch fully applied (Req holds an
+	// EpochDone): every entry with Seq <= ThroughSeq is discharged and may
+	// be discarded from the queue.
+	KindEpochDone
 )
 
 func (k RecordKind) String() string {
@@ -59,9 +75,59 @@ func (k RecordKind) String() string {
 		return "commit"
 	case KindAbort:
 		return "abort"
+	case KindEnqueue:
+		return "enqueue"
+	case KindEpochPlan:
+		return "epoch-plan"
+	case KindEpochDone:
+		return "epoch-done"
 	default:
 		return "unknown"
 	}
+}
+
+// EnqueueDelta is the payload of a KindEnqueue record: one logical DML
+// delta deferred into the async maintenance queue. Seq orders entries
+// across the queue's life; Op is a maintain.Op value (kept as a uint8 so
+// wal does not import maintain).
+type EnqueueDelta struct {
+	Seq    uint64
+	Table  string
+	Op     uint8
+	Tuples []types.Tuple
+}
+
+// EpochGroup is one table's compacted net delta in a flush epoch. The
+// group applies as a single atomic statement — deletes then inserts — so
+// a crash never leaves a table reflecting half an epoch's net change.
+type EpochGroup struct {
+	Table   string
+	Deletes []types.Tuple
+	Inserts []types.Tuple
+}
+
+// EpochPlan is the payload of a KindEpochPlan record: the compacted
+// groups a flush epoch will apply and the queue prefix it covers.
+type EpochPlan struct {
+	Epoch      uint64
+	ThroughSeq uint64
+	Groups     []EpochGroup
+}
+
+// EpochDone is the payload of a KindEpochDone record.
+type EpochDone struct {
+	Epoch      uint64
+	ThroughSeq uint64
+}
+
+// FlushCommit tags a coordinator KindCommit record (via Record.Req) as
+// the commit of one flush-epoch group. The tag rides the commit record
+// itself so "group committed" and "group done" are a single forced write:
+// there is no crash window between a group's 2PC commit point and its
+// done marker.
+type FlushCommit struct {
+	Epoch uint64
+	Group int
 }
 
 // Record is one log entry. LSN is assigned by Append and strictly

@@ -200,6 +200,31 @@ type Options struct {
 	// calls to it fail fast with ErrSuspect instead of burning the retry
 	// budget. Recover closes the breaker. Zero disables it.
 	BreakerThreshold int
+	// AsyncMaintenance defers each DML statement's maintenance into a
+	// group-commit queue: the statement validates, resolves its victims
+	// and enqueues its logical delta (durably, under Durability); a flush
+	// epoch later compacts the queue — insert/delete pairs cancel,
+	// repeated keys collapse — and applies one batched pipeline run per
+	// table. Reads pick their staleness with ReadView; Flush drains on
+	// demand. Off by default: synchronous mode is unchanged.
+	AsyncMaintenance bool
+	// EpochSize flushes automatically whenever at least this many deferred
+	// statements are queued (0 disables the depth trigger).
+	EpochSize int
+	// FlushInterval flushes automatically on this wall-clock period (0
+	// disables the timer). With both triggers zero, only Flush, ReadFresh
+	// reads, transactions and DDL drain the queue.
+	FlushInterval time.Duration
+	// MaxQueueDepth bounds the deferred-statement count: at the bound new
+	// writers fail with ErrOverload (or wait, with OverloadBlock). 0 means
+	// unbounded.
+	MaxQueueDepth int
+	// MaxStaleness bounds the age of the oldest deferred statement the
+	// same way. 0 means unbounded.
+	MaxStaleness time.Duration
+	// OverloadBlock makes overloaded writers wait for the flusher to catch
+	// up instead of failing with ErrOverload.
+	OverloadBlock bool
 }
 
 // Fault-injection surface, re-exported from the internal fault package.
@@ -231,6 +256,28 @@ var (
 	// ErrMigration tags every elasticity failure: a migration that
 	// aborted, or DDL refused while a rebalance is in flight.
 	ErrMigration = cluster.ErrMigration
+	// ErrOverload reports a DML statement shed by the async queue's
+	// admission control (Options.MaxQueueDepth / MaxStaleness); the
+	// statement left no effects. Retry after the flusher drains.
+	ErrOverload = cluster.ErrOverload
+)
+
+// Bounded-staleness read surface (AsyncMaintenance mode).
+type (
+	// ReadMode selects the staleness contract of a view read: ReadFresh
+	// drains the queue first, ReadAtWatermark returns the state as of the
+	// last flush epoch immediately.
+	ReadMode = cluster.ReadMode
+	// Watermark locates the apply frontier a bounded-stale read reflects:
+	// last completed epoch, highest flushed sequence, pending count and
+	// the oldest pending entry's age.
+	Watermark = cluster.Watermark
+)
+
+// Read modes for ReadView.
+const (
+	ReadAtWatermark = cluster.ReadAtWatermark
+	ReadFresh       = cluster.ReadFresh
 )
 
 // DB is an open parallel database.
@@ -265,6 +312,12 @@ func Open(opts Options) (*DB, error) {
 		CheckpointEvery:  opts.CheckpointEvery,
 		DisablePlanCache: opts.DisablePlanCache,
 		BreakerThreshold: opts.BreakerThreshold,
+		AsyncMaintenance: opts.AsyncMaintenance,
+		EpochSize:        opts.EpochSize,
+		FlushInterval:    opts.FlushInterval,
+		MaxQueueDepth:    opts.MaxQueueDepth,
+		MaxStaleness:     opts.MaxStaleness,
+		OverloadBlock:    opts.OverloadBlock,
 	})
 	if err != nil {
 		return nil, err
@@ -336,6 +389,29 @@ func (db *DB) TableRows(name string) ([]Tuple, error) { return db.c.TableRows(na
 
 // ViewRows returns the materialized content of a view.
 func (db *DB) ViewRows(name string) ([]Tuple, error) { return db.c.ViewRows(name) }
+
+// ReadView reads a view under the chosen staleness mode (AsyncMaintenance
+// mode; with async off both modes are the plain fresh read). ReadFresh
+// drains the queue first; ReadAtWatermark returns immediately with the
+// watermark the rows reflect.
+func (db *DB) ReadView(name string, mode ReadMode) ([]Tuple, Watermark, error) {
+	return db.c.ReadViewRows(name, mode)
+}
+
+// Flush drains the async maintenance queue: completes any interrupted
+// flush epoch, then compacts and applies every pending delta. A no-op
+// with AsyncMaintenance off.
+func (db *DB) Flush() error { return db.c.Flush() }
+
+// Watermark reports the queue's apply frontier (zero with async off).
+func (db *DB) Watermark() Watermark { return db.c.Watermark() }
+
+// ResumeMaintenance settles the async queue after a failure: in
+// Durability mode it rebuilds the queue from the coordinator's log, then
+// rolls any interrupted flush epoch forward — re-applying exactly the
+// groups whose commit record is missing. Call it after recovering
+// crashed nodes, alongside ResumeMigrations.
+func (db *DB) ResumeMaintenance() error { return db.c.ResumeMaintenance() }
 
 // CheckViewConsistency verifies a view equals a from-scratch recomputation
 // of its definition.
