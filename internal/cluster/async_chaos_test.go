@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"testing"
+	"time"
 
 	"joinview/internal/catalog"
 	"joinview/internal/fault"
@@ -192,6 +194,172 @@ func runAsyncChaos(t *testing.T, strat catalog.Strategy, useChan bool, phase, vi
 	}
 	if err := c.CheckViewConsistency("jv1"); err != nil {
 		t.Fatalf("view after post-chaos DML: %v", err)
+	}
+}
+
+// TestAsyncOverlayInflightNoDoubleCount: the entries of an in-flight
+// epoch stay in the pending queue until the epoch's done record, so a
+// victim scan during that window sees them twice if the overlay is
+// naive — once through the run's entry snapshot (or the applied base
+// state, if the table's groups committed) and once through the raw
+// pending list. A delete resolving phantom duplicate victims enqueues
+// more removals than instances exist, and every later flush dies in
+// locateTuples, wedging the queue. A flush interrupted at "flush"
+// (groups unapplied) and at "ack" (groups applied, done record missing)
+// covers both arms.
+func TestAsyncOverlayInflightNoDoubleCount(t *testing.T) {
+	for _, phase := range []string{"flush", "ack"} {
+		phase := phase
+		t.Run(phase, func(t *testing.T) {
+			inj := fault.New(fault.Config{Seed: 17})
+			c := newAsyncChaosCluster(t, inj, catalog.StrategyAuto, false)
+			if err := c.Insert("orders", []types.Tuple{ord(700, 3, 1)}); err != nil {
+				t.Fatal(err)
+			}
+			inj.FailAtPhase(phase)
+			if err := c.Flush(); err == nil {
+				t.Fatalf("flush was not interrupted at %q", phase)
+			}
+			deleted, err := c.Delete("orders", eqOrderKey(700))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(deleted) != 1 {
+				t.Fatalf("delete during in-flight epoch found %d victims, want 1", len(deleted))
+			}
+			if err := c.Flush(); err != nil {
+				t.Fatalf("flush after in-flight delete: %v", err)
+			}
+			if w := c.Watermark(); w.Pending != 0 {
+				t.Fatalf("queue wedged: %+v", w)
+			}
+			if err := c.CheckViewConsistency("jv1"); err != nil {
+				t.Fatal(err)
+			}
+			rows, err := c.TableRows("orders")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range rows {
+				if r[0].I == 700 {
+					t.Fatal("deleted order 700 still stored")
+				}
+			}
+		})
+	}
+}
+
+// TestAsyncOverloadBlockFlushFailure: with OverloadBlock and a
+// background flusher, a persistently failing flush (a crashed node)
+// must not trap blocked writers in a hot retry cycle with the flusher.
+// The writer gets the flush failure back, wrapped in ErrOverload; after
+// the node recovers and the queue drains, writes go through again.
+func TestAsyncOverloadBlockFlushFailure(t *testing.T) {
+	inj := fault.New(fault.Config{Seed: 23})
+	c, err := New(Config{Nodes: 4, Faults: inj, AsyncMaintenance: true,
+		EpochSize: 2, MaxQueueDepth: 2, OverloadBlock: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	for _, tab := range []*catalog.Table{customerTable(), ordersTable(), lineitemTable()} {
+		if err := c.CreateTable(tab); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var customers []types.Tuple
+	for ck := int64(0); ck < 8; ck++ {
+		customers = append(customers, cust(ck, float64(ck)))
+	}
+	if err := c.Insert("customer", customers); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"customer", "orders"} {
+		if err := c.RefreshStats(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.CreateView(jv1Def("jv1", catalog.StrategyAuto)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fail the next flush attempt at its phase boundary: the background
+	// flusher (woken at EpochSize=2) errors and parks the failure in
+	// lastErr, leaving the queue at its depth bound.
+	inj.FailAtPhase("flush")
+	for i := int64(0); i < 2; i++ {
+		if err := c.Insert("orders", []types.Tuple{ord(750+i, i, 1)}); err != nil {
+			t.Fatalf("writer %d under failing flush: %v", i, err)
+		}
+	}
+	// The queue is full and not draining: the next writer must return
+	// the wrapped failure in bounded time, not block forever re-waking
+	// the flusher into a hot retry cycle.
+	errc := make(chan error, 1)
+	go func() { errc <- c.Insert("orders", []types.Tuple{ord(760, 3, 1)}) }()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrOverload) {
+			t.Fatalf("blocked writer got %v, want ErrOverload-wrapped flush failure", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("blocked writer hung under a persistently failing flush")
+	}
+
+	// Heal: the trigger is spent, so a flush drains the interrupted
+	// epoch and the shed write retries cleanly.
+	if err := c.ResumeMaintenance(); err != nil {
+		t.Fatalf("ResumeMaintenance: %v", err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("post-heal flush: %v", err)
+	}
+	if err := c.Insert("orders", []types.Tuple{ord(760, 3, 1)}); err != nil {
+		t.Fatalf("retry after heal: %v", err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckViewConsistency("jv1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAsyncDurableRecoveryKeepsEnqueueAge: rebuilding the queue from the
+// coordinator log must restore each entry's original enqueue time, so
+// Watermark.Lag (and MaxStaleness admission) measure from the enqueue,
+// not from the restart.
+func TestAsyncDurableRecoveryKeepsEnqueueAge(t *testing.T) {
+	c, err := New(Config{Nodes: 4, Durability: true, AsyncMaintenance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if err := c.CreateTable(ordersTable()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert("orders", []types.Tuple{ord(1, 1, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	const age = 30 * time.Millisecond
+	time.Sleep(age)
+	// ResumeMaintenance rebuilds the pending queue purely from the log —
+	// the coordinator-restart path.
+	if err := c.ResumeMaintenance(); err != nil {
+		t.Fatal(err)
+	}
+	w := c.Watermark()
+	if w.Pending != 1 {
+		t.Fatalf("rebuild lost entries: %+v", w)
+	}
+	if w.Lag < age {
+		t.Fatalf("Lag = %v after rebuild, want >= %v (enqueue age reset)", w.Lag, age)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -3,6 +3,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -435,6 +436,61 @@ func TestAsyncDDLDrainsQueue(t *testing.T) {
 		if err := c.CheckViewConsistency(v); err != nil {
 			t.Fatalf("%s: %v", v, err)
 		}
+	}
+}
+
+// TestAsyncDDLDrainRace: DDL must never drop an object that still has
+// queued deltas. Concurrent writers hammer deferred inserts into a
+// view-free table while the main goroutine churns DropTable/CreateTable
+// on it; a delta slipping past the drain into a dropped table would
+// wedge every later flush on a failed catalog lookup. The drain
+// re-checks under the global lock (and gates new writers), so whatever
+// the interleaving, the queue stays drainable.
+func TestAsyncDDLDrainRace(t *testing.T) {
+	c := newAsyncCluster(t, catalog.StrategyAuto, func(cfg *Config) { cfg.UseChannels = true })
+	li := func(ok, ln int64) types.Tuple {
+		return types.Tuple{types.Int(ok), types.Int(ln), types.Float(float64(ok))}
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		w := int64(w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(0); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// The table comes and goes under the churn: an insert
+				// hitting the dropped window errors on the catalog
+				// lookup and leaves no trace, which is the contract.
+				_ = c.Insert("lineitem", []types.Tuple{li(w*100000+i, i%7)})
+			}
+		}()
+	}
+	for round := 0; round < 20; round++ {
+		if err := c.DropTable("lineitem"); err != nil {
+			t.Fatalf("round %d: drop: %v", round, err)
+		}
+		if err := c.CreateTable(lineitemTable()); err != nil {
+			t.Fatalf("round %d: recreate: %v", round, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// The queue must still drain: a delta referencing a dropped table
+	// would fail every flush from here on.
+	if err := c.Flush(); err != nil {
+		t.Fatalf("final flush: %v", err)
+	}
+	if w := c.Watermark(); w.Pending != 0 {
+		t.Fatalf("queue wedged: %+v", w)
+	}
+	if err := c.CheckViewConsistency("jv1"); err != nil {
+		t.Fatal(err)
 	}
 }
 

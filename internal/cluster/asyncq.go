@@ -9,6 +9,7 @@ import (
 
 	"joinview/internal/catalog"
 	"joinview/internal/expr"
+	"joinview/internal/lockmgr"
 	"joinview/internal/maintain"
 	"joinview/internal/mplan"
 	"joinview/internal/node"
@@ -58,9 +59,15 @@ var ErrOverload = errors.New("cluster: maintenance queue overloaded")
 type ReadMode uint8
 
 const (
-	// ReadAtWatermark returns the materialized state as of the last
-	// completed flush epoch, with the watermark alongside — the
-	// bounded-staleness read.
+	// ReadAtWatermark returns the materialized state immediately, with
+	// the watermark alongside — the bounded-staleness read. The contract
+	// is per-table prefix consistency: each table (and the views over
+	// it) reflects a prefix of the statement stream no older than
+	// Watermark.Epoch. While a flush epoch is in flight, its committed
+	// table groups are already visible, so the state may lie anywhere
+	// between the returned watermark and the in-flight epoch; a
+	// cross-table snapshot at exactly Watermark.Epoch is guaranteed only
+	// when no flush is running.
 	ReadAtWatermark ReadMode = iota
 	// ReadFresh flushes every pending delta first, so the read reflects
 	// all previously committed statements.
@@ -138,6 +145,12 @@ type asyncQueue struct {
 	inflight   *epochRun
 	lastErr    error // most recent background-flush failure
 
+	// ddlHold counts DDL drains in progress: while positive, new
+	// deferring DML statements stall at ddlGate so the drain-then-lock
+	// loop in lockGlobalDrained terminates (only statements already past
+	// the gate can still enqueue, and there are finitely many).
+	ddlHold int
+
 	wake     chan struct{} // nudges the background flusher
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -213,6 +226,15 @@ func (c *Cluster) admitDelta() error {
 			return fmt.Errorf("%w: %s", ErrOverload, over)
 		}
 		if background {
+			// A persistently failing flush must not hot-loop: if the last
+			// flush attempt errored, the queue is not draining, so return
+			// the failure to the writer instead of re-waking the flusher
+			// (it retries on its own next wake). lastErr clears on the
+			// next successful epoch and writers can retry then.
+			if err := aq.lastErr; err != nil {
+				aq.mu.Unlock()
+				return fmt.Errorf("%w: %s; queue not draining: %v", ErrOverload, over, err)
+			}
 			// Wake the flusher and wait for the next epoch to complete.
 			select {
 			case aq.wake <- struct{}{}:
@@ -246,6 +268,7 @@ func (c *Cluster) enqueueEntries(entries []queuedDelta) {
 				Seq:    entries[i].seq,
 				Table:  entries[i].table,
 				Op:     uint8(entries[i].op),
+				At:     entries[i].at.UnixNano(),
 				Tuples: entries[i].tuples,
 			}})
 		}
@@ -269,6 +292,9 @@ func (c *Cluster) enqueueEntries(entries []queuedDelta) {
 
 // insertAsync defers one insert statement: validate now, maintain later.
 func (c *Cluster) insertAsync(table string, tuples []types.Tuple) error {
+	if err := c.ddlGate(); err != nil {
+		return err
+	}
 	if err := c.admitDelta(); err != nil {
 		return err
 	}
@@ -301,6 +327,9 @@ func (c *Cluster) insertAsync(table string, tuples []types.Tuple) error {
 // pending queue — so the returned tuples and the deferred delta match
 // what a synchronous delete would have removed.
 func (c *Cluster) deleteAsync(table string, pred expr.Expr) ([]types.Tuple, error) {
+	if err := c.ddlGate(); err != nil {
+		return nil, err
+	}
 	if err := c.admitDelta(); err != nil {
 		return nil, err
 	}
@@ -331,6 +360,9 @@ func (c *Cluster) deleteAsync(table string, pred expr.Expr) ([]types.Tuple, erro
 // updateAsync defers one update statement: the delete of the current
 // victims and the insert of their replacements enqueue atomically.
 func (c *Cluster) updateAsync(table string, set map[string]types.Value, pred expr.Expr) (int, error) {
+	if err := c.ddlGate(); err != nil {
+		return 0, err
+	}
 	if err := c.admitDelta(); err != nil {
 		return 0, err
 	}
@@ -385,10 +417,16 @@ func (c *Cluster) overlayVictims(t *catalog.Table, pred expr.Expr) ([]types.Tupl
 	}
 	// Gather the unapplied entries for this table: the in-flight epoch's
 	// (unless its table groups already committed, in which case the base
-	// scan saw their effect) followed by the pending queue.
+	// scan saw their effect) followed by the pending queue. Entries with
+	// seq <= the in-flight run's throughSeq still sit in aq.pending (they
+	// are discharged only at epoch end), so the pending loop must skip
+	// them — they are already represented either by run.entries (table
+	// not done) or by the applied base state (table done); counting them
+	// again would resolve phantom duplicate victims.
 	c.aq.mu.Lock()
+	run := c.aq.inflight
 	var overlay []queuedDelta
-	if run := c.aq.inflight; run != nil && !run.tableDone(t.Name) {
+	if run != nil && !run.tableDone(t.Name) {
 		for _, e := range run.entries {
 			if e.table == t.Name {
 				overlay = append(overlay, e)
@@ -396,6 +434,9 @@ func (c *Cluster) overlayVictims(t *catalog.Table, pred expr.Expr) ([]types.Tupl
 		}
 	}
 	for _, e := range c.aq.pending {
+		if run != nil && e.seq <= run.throughSeq {
+			continue
+		}
 		if e.table == t.Name {
 			overlay = append(overlay, e)
 		}
@@ -864,7 +905,14 @@ func (c *Cluster) rebuildQueueFromLog() {
 		if e.Seq <= lastDoneThrough {
 			continue
 		}
-		qd := queuedDelta{seq: e.Seq, table: e.Table, op: maintain.Op(e.Op), tuples: e.Tuples, at: now}
+		// Restore the original enqueue time from the log so staleness
+		// bounds survive a coordinator restart; records written before
+		// the At field carry zero and fall back to the rebuild time.
+		at := now
+		if e.At > 0 {
+			at = time.Unix(0, e.At)
+		}
+		qd := queuedDelta{seq: e.Seq, table: e.Table, op: maintain.Op(e.Op), tuples: e.Tuples, at: at}
 		if inflight != nil && e.Seq <= inflight.throughSeq {
 			inflightEntries = append(inflightEntries, qd)
 			continue
@@ -897,8 +945,9 @@ func (c *Cluster) rebuildQueueFromLog() {
 
 // ReadViewRows reads a view under the chosen staleness mode. ReadFresh
 // drains the queue first; ReadAtWatermark reads the materialized state
-// immediately. Both return the watermark the rows reflect. Degraded
-// clusters return partial rows with ErrPartial, as ever.
+// immediately — prefix-consistent per table, at least as fresh as the
+// returned watermark (see the ReadMode docs for the mid-flush caveat).
+// Degraded clusters return partial rows with ErrPartial, as ever.
 func (c *Cluster) ReadViewRows(name string, mode ReadMode) ([]types.Tuple, Watermark, error) {
 	if mode == ReadFresh && c.asyncOn() {
 		if err := c.Flush(); err != nil {
@@ -958,15 +1007,68 @@ func (c *Cluster) stopFlusher() {
 	c.aq.mu.Unlock()
 }
 
-// flushBeforeDDL drains the queue so DDL (which may drop or backfill the
-// very objects pending deltas reference) sees the fully-applied state.
-// Called before the DDL's global lock is taken.
-func (c *Cluster) flushBeforeDDL() error {
-	if !c.asyncOn() {
-		return nil
-	}
-	if err := c.Flush(); err != nil {
-		return fmt.Errorf("cluster: draining maintenance queue before DDL: %w", err)
+// ddlGate stalls a deferring DML statement while a DDL drain is in
+// progress. Called before the statement takes any lock, so a gated
+// writer holds nothing the drain needs; it resumes once the DDL has its
+// global lock (and then queues behind it on the ordinary lock protocol,
+// re-reading the post-DDL catalog under its own statement lock).
+func (c *Cluster) ddlGate() error {
+	aq := c.aq
+	aq.mu.Lock()
+	defer aq.mu.Unlock()
+	for aq.ddlHold > 0 {
+		select {
+		case <-aq.stop:
+			return fmt.Errorf("cluster: maintenance queue closed")
+		default:
+		}
+		aq.cond.Wait()
 	}
 	return nil
+}
+
+// setDDLHold raises or lowers the DDL drain gate.
+func (c *Cluster) setDDLHold(hold bool) {
+	aq := c.aq
+	aq.mu.Lock()
+	if hold {
+		aq.ddlHold++
+	} else {
+		aq.ddlHold--
+		if aq.ddlHold == 0 {
+			aq.cond.Broadcast()
+		}
+	}
+	aq.mu.Unlock()
+}
+
+// lockGlobalDrained drains the maintenance queue and acquires the DDL's
+// global exclusive lock, guaranteeing the queue is empty while the lock
+// is held — DDL may drop or backfill the very objects pending deltas
+// reference. The drain cannot run under the lock (a flush takes
+// statement claims, which the global lock excludes), so it loops
+// flush-then-lock and re-checks the queue under the lock: a writer that
+// slips an enqueue into the window between the drain and the
+// acquisition makes the check fail, and the loop releases and
+// re-drains. The gate makes the loop terminate — once raised, only the
+// finitely many statements already past it can still enqueue.
+func (c *Cluster) lockGlobalDrained() (*lockmgr.Held, error) {
+	if !c.asyncOn() {
+		return c.lockGlobal(), nil
+	}
+	c.setDDLHold(true)
+	defer c.setDDLHold(false)
+	for {
+		if err := c.Flush(); err != nil {
+			return nil, fmt.Errorf("cluster: draining maintenance queue before DDL: %w", err)
+		}
+		h := c.lockGlobal()
+		c.aq.mu.Lock()
+		empty := len(c.aq.pending) == 0 && c.aq.inflight == nil
+		c.aq.mu.Unlock()
+		if empty {
+			return h, nil
+		}
+		h.Release()
+	}
 }

@@ -20,10 +20,10 @@ import (
 // index on the join attribute" variant, which Teradata itself could not
 // run.
 func (c *Cluster) CreateTable(t *catalog.Table) error {
-	if err := c.flushBeforeDDL(); err != nil {
+	h, err := c.lockGlobalDrained()
+	if err != nil {
 		return err
 	}
-	h := c.lockGlobal()
 	defer h.Release()
 	if err := c.failIfMigrating(); err != nil {
 		return err
@@ -52,10 +52,10 @@ func (c *Cluster) CreateTable(t *catalog.Table) error {
 
 // CreateIndex adds a non-clustered secondary index to a base table.
 func (c *Cluster) CreateIndex(table, name, col string) error {
-	if err := c.flushBeforeDDL(); err != nil {
+	h, err := c.lockGlobalDrained()
+	if err != nil {
 		return err
 	}
-	h := c.lockGlobal()
 	defer h.Release()
 	if err := c.failIfMigrating(); err != nil {
 		return err
@@ -70,10 +70,10 @@ func (c *Cluster) CreateIndex(table, name, col string) error {
 // (clustered on the partition/join attribute, as §2.1.2 requires) and
 // backfills it from the base table. Backfill is unmetered DDL.
 func (c *Cluster) CreateAuxRel(spec *catalog.AuxRel) error {
-	if err := c.flushBeforeDDL(); err != nil {
+	h, err := c.lockGlobalDrained()
+	if err != nil {
 		return err
 	}
-	h := c.lockGlobal()
 	defer h.Release()
 	if err := c.failIfMigrating(); err != nil {
 		return err
@@ -151,10 +151,10 @@ func (c *Cluster) spreadInsert(frag string, schema *types.Schema, col string, tu
 // backfills it from the base table. The distributed-clustered property is
 // derived from the base table's local layout.
 func (c *Cluster) CreateGlobalIndex(spec *catalog.GlobalIndex) error {
-	if err := c.flushBeforeDDL(); err != nil {
+	h, err := c.lockGlobalDrained()
+	if err != nil {
 		return err
 	}
-	h := c.lockGlobal()
 	defer h.Release()
 	if err := c.failIfMigrating(); err != nil {
 		return err
@@ -206,10 +206,10 @@ func (c *Cluster) createGlobalIndexLocked(spec *catalog.GlobalIndex) error {
 // the view's strategy requires, skipping any that already exist. Auto
 // creates both kinds so the cost-based chooser can pick per update.
 func (c *Cluster) EnsureStructures(v *catalog.View) error {
-	if err := c.flushBeforeDDL(); err != nil {
+	h, err := c.lockGlobalDrained()
+	if err != nil {
 		return err
 	}
-	h := c.lockGlobal()
 	defer h.Release()
 	if err := c.failIfMigrating(); err != nil {
 		return err
@@ -273,10 +273,10 @@ func (c *Cluster) ensureStructuresLocked(v *catalog.View) error {
 // on the view's partitioning attribute) and materializes the initial
 // contents with a coordinator-side join. DDL work is unmetered.
 func (c *Cluster) CreateView(v *catalog.View) error {
-	if err := c.flushBeforeDDL(); err != nil {
+	h, err := c.lockGlobalDrained()
+	if err != nil {
 		return err
 	}
-	h := c.lockGlobal()
 	defer h.Release()
 	if err := c.failIfMigrating(); err != nil {
 		return err
@@ -306,10 +306,10 @@ func (c *Cluster) CreateView(v *catalog.View) error {
 // for it stay (other views may share them; drop them explicitly with
 // DropAuxRel/DropGlobalIndex).
 func (c *Cluster) DropView(name string) error {
-	if err := c.flushBeforeDDL(); err != nil {
+	h, err := c.lockGlobalDrained()
+	if err != nil {
 		return err
 	}
-	h := c.lockGlobal()
 	defer h.Release()
 	if err := c.failIfMigrating(); err != nil {
 		return err
@@ -323,10 +323,10 @@ func (c *Cluster) DropView(name string) error {
 // DropAuxRel removes an auxiliary relation and its fragments. It refuses
 // if a view's maintenance still depends on it.
 func (c *Cluster) DropAuxRel(name string) error {
-	if err := c.flushBeforeDDL(); err != nil {
+	h, err := c.lockGlobalDrained()
+	if err != nil {
 		return err
 	}
-	h := c.lockGlobal()
 	defer h.Release()
 	if err := c.failIfMigrating(); err != nil {
 		return err
@@ -381,10 +381,10 @@ func (c *Cluster) viewNeedingAuxRel(ar *catalog.AuxRel) string {
 
 // DropGlobalIndex removes a global index and its fragments.
 func (c *Cluster) DropGlobalIndex(name string) error {
-	if err := c.flushBeforeDDL(); err != nil {
+	h, err := c.lockGlobalDrained()
+	if err != nil {
 		return err
 	}
-	h := c.lockGlobal()
 	defer h.Release()
 	if err := c.failIfMigrating(); err != nil {
 		return err
@@ -398,10 +398,10 @@ func (c *Cluster) DropGlobalIndex(name string) error {
 // DropTable removes a base table, cascading over its auxiliary relations
 // and global indexes; it refuses while any view references the table.
 func (c *Cluster) DropTable(name string) error {
-	if err := c.flushBeforeDDL(); err != nil {
+	h, err := c.lockGlobalDrained()
+	if err != nil {
 		return err
 	}
-	h := c.lockGlobal()
 	defer h.Release()
 	if err := c.failIfMigrating(); err != nil {
 		return err

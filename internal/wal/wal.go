@@ -89,11 +89,15 @@ func (k RecordKind) String() string {
 // EnqueueDelta is the payload of a KindEnqueue record: one logical DML
 // delta deferred into the async maintenance queue. Seq orders entries
 // across the queue's life; Op is a maintain.Op value (kept as a uint8 so
-// wal does not import maintain).
+// wal does not import maintain). At is the enqueue wall-clock time in
+// Unix nanoseconds: recovery restores it so MaxStaleness admission and
+// Watermark.Lag keep measuring from the original enqueue, not from the
+// restart.
 type EnqueueDelta struct {
 	Seq    uint64
 	Table  string
 	Op     uint8
+	At     int64
 	Tuples []types.Tuple
 }
 

@@ -265,8 +265,10 @@ var (
 // Bounded-staleness read surface (AsyncMaintenance mode).
 type (
 	// ReadMode selects the staleness contract of a view read: ReadFresh
-	// drains the queue first, ReadAtWatermark returns the state as of the
-	// last flush epoch immediately.
+	// drains the queue first, ReadAtWatermark returns immediately with
+	// state that is prefix-consistent per table and at least as fresh as
+	// the watermark it returns (mid-flush, committed table groups of the
+	// in-flight epoch are already visible).
 	ReadMode = cluster.ReadMode
 	// Watermark locates the apply frontier a bounded-stale read reflects:
 	// last completed epoch, highest flushed sequence, pending count and
@@ -392,8 +394,9 @@ func (db *DB) ViewRows(name string) ([]Tuple, error) { return db.c.ViewRows(name
 
 // ReadView reads a view under the chosen staleness mode (AsyncMaintenance
 // mode; with async off both modes are the plain fresh read). ReadFresh
-// drains the queue first; ReadAtWatermark returns immediately with the
-// watermark the rows reflect.
+// drains the queue first; ReadAtWatermark returns immediately, the rows
+// at least as fresh as the returned watermark (per-table prefix
+// consistency — see cluster.ReadAtWatermark for the mid-flush caveat).
 func (db *DB) ReadView(name string, mode ReadMode) ([]Tuple, Watermark, error) {
 	return db.c.ReadViewRows(name, mode)
 }
