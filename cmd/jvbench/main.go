@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, fig7..fig14, storage, buffering, skew, network, faults, durability, parallel, adaptive, elastic, async")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, fig7..fig14, storage, buffering, skew, network, faults, durability, parallel, adaptive, elastic, async, replica")
 	measured := flag.Bool("measured", false, "also run the measured (simulator) variants of figs 7-11")
 	maxL := flag.Int("maxl", 128, "largest node count to sweep")
 	scale := flag.Int("scale", 100, "Table 1 scale divisor for fig14 (100 = 1,500 customers)")
@@ -71,6 +71,11 @@ func main() {
 		}
 	} else if *exp == "async" {
 		if err := runAsync(*maxL, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "jvbench:", err)
+			exitCode = 1
+		}
+	} else if *exp == "replica" {
+		if err := runReplica(*maxL, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, "jvbench:", err)
 			exitCode = 1
 		}
@@ -179,6 +184,28 @@ func runElastic(sessions int, jsonPath string) error {
 		time.Since(start).Round(time.Millisecond), sessions, experiments.DefaultNetLatency)
 	if jsonPath == "" {
 		jsonPath = "BENCH_elastic.json"
+	}
+	return writeJSON(jsonPath, results)
+}
+
+// runReplica measures write amplification vs crash transparency at
+// replication factors 1, 2, 3 on L=8 (capped by maxL) and writes the
+// results to BENCH_replica.json or the -json path.
+func runReplica(maxL int, jsonPath string) error {
+	l := 8
+	if maxL < l {
+		l = maxL
+	}
+	start := time.Now()
+	results, err := experiments.Replication(l, 64)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.ReplicationGrid(results).Render())
+	fmt.Printf("(measured in %v; simulated %v/message interconnect)\n\n",
+		time.Since(start).Round(time.Millisecond), experiments.DefaultNetLatency)
+	if jsonPath == "" {
+		jsonPath = "BENCH_replica.json"
 	}
 	return writeJSON(jsonPath, results)
 }

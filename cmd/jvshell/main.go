@@ -12,11 +12,12 @@
 //	                   n-tuple update of the table (default 1)
 //	\tables            list tables, auxiliary structures and views
 //	\storage           show the space footprint of every stored object
-//	\topology          show the partition-map epoch, per-node hash slots
-//	                   and any in-flight migration
+//	\topology          show the partition-map epoch, per-node hash slots,
+//	                   node liveness, per-slot replica sets, and any
+//	                   in-flight migration or re-replication round
 //	\quit              exit
 //
-// Usage: jvshell [-nodes 4] [-channels] [-async] [-epoch N] [-f script.sql]
+// Usage: jvshell [-nodes 4] [-replicas K] [-channels] [-async] [-epoch N] [-f script.sql]
 package main
 
 import (
@@ -31,6 +32,7 @@ import (
 
 func main() {
 	nodes := flag.Int("nodes", 4, "number of data-server nodes")
+	replicas := flag.Int("replicas", 1, "replication factor K (copies per fragment, 1 = none)")
 	channels := flag.Bool("channels", false, "run nodes as goroutines with channel transport")
 	async := flag.Bool("async", false, "defer view maintenance to the epoch-batched queue")
 	epoch := flag.Int("epoch", 0, "with -async, background-flush every N deferred statements")
@@ -38,7 +40,7 @@ func main() {
 	flag.Parse()
 
 	db, err := joinview.Open(joinview.Options{
-		Nodes: *nodes, UseChannels: *channels,
+		Nodes: *nodes, ReplicationFactor: *replicas, UseChannels: *channels,
 		AsyncMaintenance: *async, EpochSize: *epoch,
 	})
 	if err != nil {
@@ -173,10 +175,20 @@ func handleMeta(db *joinview.DB, cmd string) bool {
 		}
 	case "\\topology":
 		top := db.Topology()
-		fmt.Printf("partition map epoch %d, %d nodes, %d hash slots\n", top.Epoch, top.Nodes, len(top.SlotOwner))
+		fmt.Printf("partition map epoch %d, %d nodes, %d hash slots", top.Epoch, top.Nodes, len(top.SlotOwner))
+		if top.ReplicationFactor > 1 {
+			fmt.Printf(", replication factor %d", top.ReplicationFactor)
+		}
+		fmt.Println()
 		owned := map[int][]int{}
 		for slot, n := range top.SlotOwner {
 			owned[n] = append(owned[n], slot)
+		}
+		follows := map[int][]int{}
+		for slot, fs := range top.Replicas {
+			for _, f := range fs {
+				follows[f] = append(follows[f], slot)
+			}
 		}
 		for n := 0; n < top.Nodes; n++ {
 			slots := owned[n]
@@ -186,7 +198,18 @@ func handleMeta(db *joinview.DB, cmd string) bool {
 					label = " (retired)"
 				}
 			}
-			fmt.Printf("  node %d%s: %d slots %v\n", n, label, len(slots), slots)
+			if len(top.NodeStatus) > n && top.NodeStatus[n] != "up" {
+				label += " [" + top.NodeStatus[n] + "]"
+			}
+			fmt.Printf("  node %d%s: %d slots %v", n, label, len(slots), slots)
+			if fs := follows[n]; len(fs) > 0 {
+				fmt.Printf(", follower for %d slots %v", len(fs), fs)
+			}
+			fmt.Println()
+		}
+		if r := top.Repair; r != nil {
+			fmt.Printf("re-replication in flight: phase %s, %d/%d objects copied, %d slot-replicas restoring\n",
+				r.Phase, r.ObjectsDone, r.ObjectsTotal, r.Slots)
 		}
 		if m := top.InFlight; m != nil {
 			fmt.Printf("migration %d in flight: phase %s, slots %v -> nodes %v, catch-up queue depth %d\n",

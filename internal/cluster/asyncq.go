@@ -499,7 +499,7 @@ func (c *Cluster) Flush() error {
 	}
 	c.flushMu.Lock()
 	defer c.flushMu.Unlock()
-	err := c.flushLocked()
+	err := c.withFailover(c.flushLocked)
 	c.aq.mu.Lock()
 	c.aq.lastErr = err
 	if err != nil {

@@ -131,6 +131,15 @@ type Config struct {
 	// OverloadBlock makes overloaded writers wait for the flusher instead
 	// of failing with ErrOverload.
 	OverloadBlock bool
+	// ReplicationFactor keeps K synchronous copies of every hash slot's
+	// rows: the primary copy in the owner's fragments plus K-1 follower
+	// copies in same-node shadow fragments at the slot's replica nodes.
+	// Every base/AR/GI/view write fans out to the followers inside the
+	// statement's atomicity scope; a node failure promotes its slots to a
+	// surviving follower, so DML keeps committing and reads stay complete
+	// with up to K-1 nodes down. 0 or 1 disables replication (the seed's
+	// behavior, byte-identical). Requires 2 <= K <= Nodes otherwise.
+	ReplicationFactor int
 }
 
 // Cluster is a running parallel RDBMS instance.
@@ -233,6 +242,19 @@ type Cluster struct {
 	flushMu        sync.Mutex
 	flusherWG      sync.WaitGroup
 	flushCommitTag *wal.FlushCommit
+
+	// Replication state (Config.ReplicationFactor > 1): failedOver marks
+	// down nodes whose slots were already promoted to surviving followers
+	// (the cluster serves complete reads and commits DML around them),
+	// staleRepl marks followers evicted from the write fan-out after a
+	// failed mirror delivery (skipped until re-replicated), repairSess is
+	// the in-flight ReplicateRepair round (nil when idle), rstats counts
+	// mirror/failover/repair activity. All guarded by rmu.
+	rmu        sync.Mutex
+	failedOver map[int]bool
+	staleRepl  map[int]bool
+	repairSess *replRepair
+	rstats     *stats.ReplCounters
 }
 
 // New builds a cluster. It returns an error for a non-positive node count.
@@ -255,6 +277,12 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.RetrySeed == 0 {
 		cfg.RetrySeed = 1
 	}
+	if cfg.ReplicationFactor > 1 && cfg.ReplicationFactor > cfg.Nodes {
+		return nil, fmt.Errorf("cluster: ReplicationFactor %d exceeds node count %d", cfg.ReplicationFactor, cfg.Nodes)
+	}
+	if cfg.ReplicationFactor < 0 {
+		return nil, fmt.Errorf("cluster: negative ReplicationFactor %d", cfg.ReplicationFactor)
+	}
 	c := &Cluster{
 		cfg:         cfg,
 		cat:         catalog.New(),
@@ -275,8 +303,21 @@ func New(cfg Config) (*Cluster, error) {
 		brkOpen:     map[int]bool{},
 		aq:          newAsyncQueue(),
 		qstats:      stats.NewQueueCounters(),
+		failedOver:  map[int]bool{},
+		staleRepl:   map[int]bool{},
+		rstats:      stats.NewReplCounters(),
 	}
 	c.nNodes.Store(int32(cfg.Nodes))
+	if cfg.ReplicationFactor > 1 {
+		m, err := c.part.Map().WithReplicas(cfg.ReplicationFactor)
+		if err != nil {
+			return nil, err
+		}
+		m.Epoch++
+		if err := c.part.Install(m); err != nil {
+			return nil, err
+		}
+	}
 	c.cat.SetPartitionMap(c.part.Map())
 	c.coordLog = wal.NewLog(c.coordMeter, cfg.PageRows)
 	handlers := make([]netsim.Handler, cfg.Nodes)
@@ -384,6 +425,10 @@ type Metrics struct {
 	// Queue is the async maintenance queue's counters and gauges (zeros
 	// when AsyncMaintenance is off).
 	Queue stats.QueueSnapshot
+	// Repl is the replication layer's counters: mirrored writes, follower
+	// evictions, failovers and repair rounds (zeros when
+	// ReplicationFactor <= 1).
+	Repl stats.ReplSnapshot
 }
 
 // TotalIOs is the paper's total workload TW: I/Os summed over all nodes.
@@ -470,6 +515,7 @@ func (m Metrics) Sub(o Metrics) Metrics {
 	out.Coord = m.Coord.Sub(o.Coord)
 	out.Pipeline = m.Pipeline.Sub(o.Pipeline)
 	out.Queue = m.Queue.Sub(o.Queue)
+	out.Repl = m.Repl.Sub(o.Repl)
 	return out
 }
 
@@ -485,6 +531,7 @@ func (c *Cluster) Metrics() Metrics {
 		Coord:    c.coordMeter.Snapshot(),
 		Pipeline: c.pstats.Snapshot(),
 		Queue:    c.qstats.Snapshot(),
+		Repl:     c.rstats.Snapshot(),
 	}
 	w := c.Watermark()
 	m.Queue.QueueDepth = w.Pending
@@ -511,6 +558,7 @@ func (c *Cluster) ResetMetrics() {
 	c.coordMeter.Reset()
 	c.pstats.Reset()
 	c.qstats.Reset()
+	c.rstats.Reset()
 }
 
 // RefreshStats recomputes exact statistics for the named table from its
@@ -549,33 +597,70 @@ func (c *Cluster) gather(frag string) ([]types.Tuple, error) {
 	return out, nil
 }
 
+// PartialError wraps ErrPartial with which nodes were skipped and how many
+// hash slots their absence makes unreachable. errors.Is(err, ErrPartial)
+// keeps matching it.
+type PartialError struct {
+	// Frag is the fragment the partial read was answered for.
+	Frag string
+	// Down lists the node ids skipped as unreachable (sorted).
+	Down []int
+	// Slots counts the hash slots owned by the down nodes: the share of
+	// the key space the result is missing.
+	Slots int
+}
+
+func (e *PartialError) Error() string {
+	return fmt.Sprintf("%v: fragment %q: nodes %v down (%d slots unreachable)",
+		ErrPartial, e.Frag, e.Down, e.Slots)
+}
+
+// Unwrap makes errors.Is(err, ErrPartial) hold.
+func (e *PartialError) Unwrap() error { return ErrPartial }
+
 // gatherPartial collects a fragment's tuples from the surviving nodes,
-// returning ErrPartial alongside the rows when any node was skipped or
-// unreachable. The rows are valid but incomplete.
+// returning a *PartialError (wrapping ErrPartial) alongside the rows when
+// any node was skipped or unreachable. The rows are valid but incomplete.
 func (c *Cluster) gatherPartial(frag string, req func() any) ([]types.Tuple, error) {
 	var out []types.Tuple
-	partial := false
+	var skipped []int
 	for n := 0; n < c.NumNodes(); n++ {
 		resp, err := c.tr.Call(netsim.Coordinator, n, req())
 		if err != nil {
 			if _, down := fault.IsNodeDown(err); down {
-				partial = true
+				skipped = append(skipped, n)
 				continue
 			}
 			return nil, err
 		}
 		out = append(out, resp.(node.RowsResult).Tuples...)
 	}
-	if partial {
-		return out, fmt.Errorf("%w: fragment %q", ErrPartial, frag)
+	if len(skipped) > 0 {
+		m := c.part.Map()
+		slots := 0
+		for _, n := range skipped {
+			slots += len(m.SlotsOwnedBy(n))
+		}
+		return out, &PartialError{Frag: frag, Down: skipped, Slots: slots}
 	}
 	return out, nil
 }
 
 // readRows answers TableRows/ViewRows: a full broadcast when healthy, the
-// explicit partial path when degraded.
+// explicit partial path when degraded. Under replication a degraded read
+// first heals (promotes the down nodes' slots to surviving followers);
+// once every down node is failed over the read is complete, not partial —
+// the broadcast layer answers for the dead nodes with empty results, since
+// their data now lives at the promoted followers.
 func (c *Cluster) readRows(frag string) ([]types.Tuple, error) {
 	if len(c.Degraded()) > 0 {
+		if c.replOn() {
+			_ = c.heal()
+		}
+		if c.replServesComplete() {
+			c.rstats.RecordFailoverRead()
+			return c.gather(frag)
+		}
 		return c.gatherPartial(frag, func() any { return node.AllRows{Frag: frag} })
 	}
 	return c.gather(frag)

@@ -40,6 +40,10 @@ func (c *Cluster) Insert(table string, tuples []types.Tuple) error {
 	if len(tuples) == 0 {
 		return nil
 	}
+	return c.withFailover(func() error { return c.insertOnce(table, tuples) })
+}
+
+func (c *Cluster) insertOnce(table string, tuples []types.Tuple) error {
 	if c.asyncOn() {
 		return c.insertAsync(table, tuples)
 	}
@@ -64,6 +68,16 @@ func (c *Cluster) Insert(table string, tuples []types.Tuple) error {
 // Delete removes every tuple of the table matching pred, maintaining all
 // auxiliary structures and views, and returns the deleted tuples.
 func (c *Cluster) Delete(table string, pred expr.Expr) ([]types.Tuple, error) {
+	var out []types.Tuple
+	err := c.withFailover(func() error {
+		var err error
+		out, err = c.deleteOnce(table, pred)
+		return err
+	})
+	return out, err
+}
+
+func (c *Cluster) deleteOnce(table string, pred expr.Expr) ([]types.Tuple, error) {
 	if c.asyncOn() {
 		return c.deleteAsync(table, pred)
 	}
@@ -136,6 +150,16 @@ func (c *Cluster) findVictims(table string, pred expr.Expr) ([]types.Tuple, []lo
 // insert pipeline for the new ones, all inside one transaction scope. It
 // returns the number of tuples updated.
 func (c *Cluster) Update(table string, set map[string]types.Value, pred expr.Expr) (int, error) {
+	var n int
+	err := c.withFailover(func() error {
+		var err error
+		n, err = c.updateOnce(table, set, pred)
+		return err
+	})
+	return n, err
+}
+
+func (c *Cluster) updateOnce(table string, set map[string]types.Value, pred expr.Expr) (int, error) {
 	if c.asyncOn() {
 		return c.updateAsync(table, set, pred)
 	}

@@ -114,6 +114,17 @@ type Topology struct {
 	Retired []int
 	// InFlight is the active migration, nil when idle.
 	InFlight *MigrationStatus
+	// ReplicationFactor is the configured replica count K (1 = no
+	// replication); Replicas maps hash slot → follower nodes (nil at K=1).
+	ReplicationFactor int
+	Replicas          [][]int
+	// NodeStatus maps node → liveness: "up", "suspect" (circuit breaker
+	// open), "down" (unreachable, slots not yet promoted), "failed-over"
+	// (down with slots promoted to followers) or "stale" (live but evicted
+	// from its replica sets until the next repair).
+	NodeStatus []string
+	// Repair is the in-flight re-replication round, nil when idle.
+	Repair *ReplRepairStatus
 }
 
 // migTap mirrors mutations against one migrating fragment into the
@@ -203,9 +214,48 @@ func (c *Cluster) LastMigration() (MigrationStats, bool) {
 func (c *Cluster) Topology() Topology {
 	m := c.part.Map()
 	t := Topology{
-		Epoch:     m.Epoch,
-		Nodes:     c.NumNodes(),
-		SlotOwner: append([]int(nil), m.Owner...),
+		Epoch:             m.Epoch,
+		Nodes:             c.NumNodes(),
+		SlotOwner:         append([]int(nil), m.Owner...),
+		ReplicationFactor: c.cfg.ReplicationFactor,
+	}
+	if t.ReplicationFactor < 1 {
+		t.ReplicationFactor = 1
+	}
+	if m.Replicated() {
+		t.Replicas = make([][]int, len(m.Repl))
+		for s, fs := range m.Repl {
+			t.Replicas[s] = append([]int(nil), fs...)
+		}
+	}
+	failedOver, stale, repairing := c.replStatus()
+	t.Repair = repairing
+	suspect := map[int]bool{}
+	for _, n := range c.Suspect() {
+		suspect[n] = true
+	}
+	fo := map[int]bool{}
+	for _, n := range failedOver {
+		fo[n] = true
+	}
+	st := map[int]bool{}
+	for _, n := range stale {
+		st[n] = true
+	}
+	t.NodeStatus = make([]string, t.Nodes)
+	for n := 0; n < t.Nodes; n++ {
+		switch {
+		case fo[n]:
+			t.NodeStatus[n] = "failed-over"
+		case c.isDown(n):
+			t.NodeStatus[n] = "down"
+		case st[n]:
+			t.NodeStatus[n] = "stale"
+		case suspect[n]:
+			t.NodeStatus[n] = "suspect"
+		default:
+			t.NodeStatus[n] = "up"
+		}
 	}
 	c.migMu.RLock()
 	for n := range c.retired {
@@ -273,6 +323,9 @@ func sortedSlots(moves map[int]migMove) []int {
 // node exists but owns no slots — RebalanceNode(id) retries the data
 // movement.
 func (c *Cluster) AddNode() (int, error) {
+	if err := c.failIfReplicated("AddNode"); err != nil {
+		return -1, err
+	}
 	dst, err := c.provisionNode()
 	if err != nil {
 		return -1, err
@@ -373,6 +426,9 @@ func (c *Cluster) provisionNode() (int, error) {
 // given (typically just-added, slot-less) node. Shares are stolen from
 // the most-loaded owners.
 func (c *Cluster) RebalanceNode(dst int) error {
+	if err := c.failIfReplicated("RebalanceNode"); err != nil {
+		return err
+	}
 	cur := c.part.Map()
 	if dst < 0 || dst >= c.NumNodes() {
 		return fmt.Errorf("cluster: node %d out of range [0,%d)", dst, c.NumNodes())
@@ -414,6 +470,9 @@ func (c *Cluster) RebalanceNode(dst int) error {
 // broadcasts uniform) but owning no data. The node can then be taken
 // down without degrading the cluster.
 func (c *Cluster) DecommissionNode(n int) error {
+	if err := c.failIfReplicated("DecommissionNode"); err != nil {
+		return err
+	}
 	cur := c.part.Map()
 	if n < 0 || n >= c.NumNodes() {
 		return fmt.Errorf("cluster: node %d out of range [0,%d)", n, c.NumNodes())
@@ -872,6 +931,7 @@ func (c *Cluster) replayQueue(m *migration) (int, error) {
 // derived-fragment rebuilds regenerate source state wholesale and would
 // double-apply against staging.
 func (c *Cluster) tapMutation(to int, wreq, resp any) {
+	c.mirrorMutation(to, wreq, resp)
 	c.migMu.RLock()
 	m := c.mig
 	c.migMu.RUnlock()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"joinview/internal/catalog"
+	"joinview/internal/fault"
 	"joinview/internal/maintain"
 	"joinview/internal/mplan"
 	"joinview/internal/netsim"
@@ -140,8 +141,9 @@ func (c *Cluster) stageBaseInsert(tx *txn.Txn, t *catalog.Table, tuples []types.
 		n := dests[ci]
 		rows := resp.(node.InsertResult).Rows
 		rowsCopy := append([]storage.RowID(nil), rows...)
+		tuplesCopy := append([]types.Tuple(nil), bucketTuples[n]...)
 		tx.OnRollback(func() error {
-			return c.undoCall(n, node.DeleteRows{Frag: t.Name, Rows: rowsCopy})
+			return c.undoCallRows(n, node.DeleteRows{Frag: t.Name, Rows: rowsCopy}, tuplesCopy)
 		})
 		for bi, row := range rows {
 			locs[bucketIdx[n][bi]] = located{node: n, row: row, tuple: bucketTuples[n][bi]}
@@ -224,8 +226,9 @@ func (c *Cluster) stageAuxRel(tx *txn.Txn, t *catalog.Table, ar *catalog.AuxRel,
 		n := dests[ci]
 		if op == maintain.OpInsert {
 			rows := append([]storage.RowID(nil), resp.(node.InsertResult).Rows...)
+			projCopy := append([]types.Tuple(nil), buckets[n]...)
 			tx.OnRollback(func() error {
-				return c.undoCall(n, node.DeleteRows{Frag: arName, Rows: rows})
+				return c.undoCallRows(n, node.DeleteRows{Frag: arName, Rows: rows}, projCopy)
 			})
 		} else {
 			dr := resp.(node.DeleteResult)
@@ -352,8 +355,16 @@ func (c *Cluster) stageView(tx *txn.Txn, vs *mplan.ViewStage, mp *mplan.Plan, tu
 	tx.OnRollback(func() error {
 		// Node-down failures are absorbed: a crashed node's view fragments
 		// are rebuilt from base relations during Recover, which subsumes
-		// the unapplied part of this undo.
-		return absorbNodeDown(maintain.ApplyToView(c.env, v, delta, undoOp))
+		// the unapplied part of this undo. Under replication the down
+		// owners' followers still hold the forward delta's mirrored rows,
+		// so the unapplied portion is mirrored to them before absorbing.
+		err := maintain.ApplyToView(c.env, v, delta, undoOp)
+		if err != nil {
+			if _, down := fault.IsNodeDown(err); down {
+				c.mirrorViewUndoForDown(v, delta, undoOp)
+			}
+		}
+		return absorbNodeDown(err)
 	})
 	return nil
 }

@@ -30,6 +30,17 @@ type QuerySpec struct {
 // (qualified column names). All data movement and join work charges the
 // node meters, so query cost is comparable against view-scan cost.
 func (c *Cluster) QueryJoin(spec QuerySpec) ([]types.Tuple, *types.Schema, error) {
+	var rows []types.Tuple
+	var schema *types.Schema
+	err := c.withFailover(func() error {
+		var err error
+		rows, schema, err = c.queryJoinOnce(spec)
+		return err
+	})
+	return rows, schema, err
+}
+
+func (c *Cluster) queryJoinOnce(spec QuerySpec) ([]types.Tuple, *types.Schema, error) {
 	h := c.lockRead(spec.Tables...)
 	defer h.Release()
 	// Distributed joins shuffle data across every node, so a partial
@@ -214,6 +225,10 @@ func (c *Cluster) shuffle(frag string, schema *types.Schema, col string, newTemp
 		return "", err
 	}
 	for src := 0; src < c.NumNodes(); src++ {
+		if c.isDown(src) && c.replServesComplete() {
+			// Failed-over node: its slots live elsewhere, it has no share.
+			continue
+		}
 		resp, err := c.call(src, node.Scan{Frag: frag})
 		if err != nil {
 			return "", err
@@ -242,7 +257,16 @@ func (c *Cluster) shuffle(frag string, schema *types.Schema, col string, newTemp
 // surviving nodes' rows are returned together with ErrPartial.
 func (c *Cluster) ScanFragmentMetered(name string) ([]types.Tuple, error) {
 	if len(c.Degraded()) > 0 {
-		return c.gatherPartial(name, func() any { return node.Scan{Frag: name} })
+		if c.replOn() {
+			_ = c.heal()
+		}
+		if c.replServesComplete() {
+			// The broadcast below answers for the dead nodes with typed
+			// empty responses — the read is complete, not partial.
+			c.rstats.RecordFailoverRead()
+		} else {
+			return c.gatherPartial(name, func() any { return node.Scan{Frag: name} })
+		}
 	}
 	resps, err := c.tr.Broadcast(netsim.Coordinator, node.Scan{Frag: name})
 	if err != nil {

@@ -1,0 +1,1355 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"joinview/internal/catalog"
+	"joinview/internal/fault"
+	"joinview/internal/hashpart"
+	"joinview/internal/lockmgr"
+	"joinview/internal/maintain"
+	"joinview/internal/netsim"
+	"joinview/internal/node"
+	"joinview/internal/storage"
+	"joinview/internal/types"
+	"joinview/internal/wal"
+)
+
+// This file implements K-way synchronous fragment replication
+// (Config.ReplicationFactor): follower copies, write mirroring, fast
+// failover by slot promotion, and online re-replication.
+//
+// Data model. Every cataloged fragment F (base table, auxiliary relation,
+// view) and global index g gets a same-node shadow F~r / g~r on every
+// node. Node f's shadow holds exactly the rows/entries of the hash slots f
+// follows (slots s with f ∈ Repl[s]). Main fragments keep holding only
+// primary copies, so every healthy read path — broadcasts, gathers,
+// probes, global-index lookups — is unchanged and duplicate-free; the
+// RF=1 and RF>=2 healthy paths are byte-identical.
+//
+// Write path. The resilient delivery layer mirrors every applied mutating
+// sub-request (mirrorMutation, called next to the migration tap): tuples
+// and index entries are bucketed by slot and re-delivered to each
+// follower's shadow, inside the same statement scope — under Durability
+// the mirrors carry the statement's TID, so followers participate in the
+// presumed-abort two-phase commit. A mirror failure never fails the
+// statement: a dead follower is already in the degraded set (the next
+// statement fails over around it), any other mirror failure evicts the
+// follower (staleRepl) until re-replication copies it fresh.
+//
+// Failover. When a node is down (crash, MarkNodeDown, or an opened
+// circuit breaker, which under replication marks the node down), heal()
+// promotes each of its slots to the first live in-sync follower:
+// PromoteSlots moves the slot's rows from the follower's shadow into its
+// main fragments, global indexes re-home (GIPromoteSlots) and swap
+// dangling row references to the promoted copies (GIScrubNode +
+// reinsert), and a new map without the victim installs. From then on the
+// victim is "failed over": DML commits on the survivors and broadcasts
+// answer for the dead node with typed empty responses.
+//
+// Repair. ReplicateRepair brings the cluster back to full strength
+// online: down nodes restart and are wiped back to empty cataloged
+// fragments, stale followers' shadows are wiped, a deficit plan picks new
+// followers for under-replicated slots, and each object is copied
+// primary→shadow under that object's exclusive claim while DML on every
+// other object proceeds; copied objects are "armed" so concurrent writers
+// mirror to the new followers too, and a final map install makes them
+// real.
+
+// replOn reports whether K-way replication is configured.
+func (c *Cluster) replOn() bool { return c.cfg.ReplicationFactor > 1 }
+
+// failIfReplicated refuses elasticity operations under replication: slot
+// migration and the replica chains are not yet integrated (a migrated
+// slot's followers would keep the old placement).
+func (c *Cluster) failIfReplicated(op string) error {
+	if c.replOn() {
+		return fmt.Errorf("cluster: %s is not supported with ReplicationFactor > 1", op)
+	}
+	return nil
+}
+
+// replShadowSuffix marks follower shadow fragments. Migration staging
+// fragments use "~mig", so skipping every name containing '~' covers both.
+const replShadowSuffix = "~r"
+
+// shadowName returns the follower-shadow fragment name of a cataloged
+// fragment or global index.
+func shadowName(name string) string { return name + replShadowSuffix }
+
+// replSkip reports whether a fragment name is outside replication: shadow
+// and staging fragments (mirroring them would recurse) and temporary query
+// fragments (partition-local scratch, gone at statement end).
+func replSkip(name string) bool {
+	return strings.Contains(name, "~") || strings.HasPrefix(name, "__q")
+}
+
+// replFragInfo resolves a cataloged fragment to its partition-column index
+// and name (the DeleteMatch hint column for shadow deletes). ok is false
+// for fragments replication does not track (temps, unknown names).
+func (c *Cluster) replFragInfo(frag string) (partIdx int, hintCol string, ok bool) {
+	if t, err := c.cat.Table(frag); err == nil {
+		return t.Schema.MustColIndex(t.PartitionCol), t.PartitionCol, true
+	}
+	if ar, err := c.cat.AuxRel(frag); err == nil {
+		return ar.Schema.MustColIndex(ar.PartitionCol), ar.PartitionCol, true
+	}
+	if v, err := c.cat.View(frag); err == nil {
+		q := v.PartitionQualified()
+		return v.Schema.MustColIndex(q), q, true
+	}
+	return 0, "", false
+}
+
+// replGIKnown reports whether a global index is cataloged (mirrors skip
+// unknown index names).
+func (c *Cluster) replGIKnown(gi string) bool {
+	_, err := c.cat.GlobalIndex(gi)
+	return err == nil
+}
+
+// mirrorTargets returns the follower nodes that must receive the slot's
+// write for the named fragment: the installed replica set minus down and
+// evicted followers, plus the in-flight repair round's targets once the
+// fragment's copy is armed.
+func (c *Cluster) mirrorTargets(m *replMirrorCtx, frag string, slot int) []int {
+	var out []int
+	for _, f := range m.pm.Followers(slot) {
+		if m.skip[f] {
+			continue
+		}
+		out = append(out, f)
+	}
+	if m.sess != nil && m.sess.isArmed(frag) {
+		for _, f := range m.sess.targets[slot] {
+			if m.down[f] || containsInt(out, f) {
+				continue
+			}
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// replMirrorCtx snapshots the routing state one mirror fan-out uses.
+type replMirrorCtx struct {
+	pm   hashpart.Map
+	skip map[int]bool // down or evicted: no Repl-based mirrors
+	down map[int]bool
+	sess *replRepair
+}
+
+func (c *Cluster) mirrorCtx() *replMirrorCtx {
+	m := &replMirrorCtx{pm: c.part.Map(), skip: map[int]bool{}, down: map[int]bool{}}
+	c.dmu.Lock()
+	for n := range c.downNodes {
+		m.skip[n] = true
+		m.down[n] = true
+	}
+	c.dmu.Unlock()
+	c.rmu.Lock()
+	for n := range c.staleRepl {
+		m.skip[n] = true
+	}
+	m.sess = c.repairSess
+	c.rmu.Unlock()
+	return m
+}
+
+// mirrorMutation fans one successfully applied mutating request out to the
+// follower shadows of the slots it touched. Called from the resilient
+// delivery layer next to the migration tap, on the normal path, the
+// broadcast path and in-doubt resolution — so shadows see exactly the
+// physical history the primaries see, compensations included. Recovery
+// and repair traffic (rawCall/rawDeliver) is not mirrored.
+func (c *Cluster) mirrorMutation(to int, wreq, resp any) {
+	if !c.replOn() {
+		return
+	}
+	if s, ok := wreq.(node.Seq); ok {
+		wreq = s.Req
+	}
+	switch req := wreq.(type) {
+	case node.Insert:
+		if replSkip(req.Frag) {
+			return
+		}
+		pi, _, ok := c.replFragInfo(req.Frag)
+		if !ok {
+			return
+		}
+		c.mirrorTuples(req.Frag, pi, req.Tuples, func(frag string, tuples []types.Tuple) any {
+			return node.Insert{Frag: frag, Tuples: tuples, Unmetered: req.Unmetered}
+		})
+	case node.RestoreRows:
+		if replSkip(req.Frag) {
+			return
+		}
+		pi, _, ok := c.replFragInfo(req.Frag)
+		if !ok {
+			return
+		}
+		c.mirrorTuples(req.Frag, pi, req.Tuples, func(frag string, tuples []types.Tuple) any {
+			return node.Insert{Frag: frag, Tuples: tuples, Unmetered: true}
+		})
+	case node.DeleteRows:
+		if replSkip(req.Frag) {
+			return
+		}
+		pi, hint, ok := c.replFragInfo(req.Frag)
+		if !ok {
+			return
+		}
+		dr, ok := resp.(node.DeleteResult)
+		if !ok {
+			return
+		}
+		c.mirrorTuples(req.Frag, pi, dr.Tuples, func(frag string, tuples []types.Tuple) any {
+			return node.DeleteMatch{Frag: frag, HintCol: hint, Tuples: tuples}
+		})
+	case node.DeleteMatch:
+		if replSkip(req.Frag) {
+			return
+		}
+		pi, hint, ok := c.replFragInfo(req.Frag)
+		if !ok {
+			return
+		}
+		dr, ok := resp.(node.DeleteResult)
+		if !ok {
+			return
+		}
+		c.mirrorTuples(req.Frag, pi, dr.Tuples, func(frag string, tuples []types.Tuple) any {
+			return node.DeleteMatch{Frag: frag, HintCol: hint, Tuples: tuples}
+		})
+	case node.AggApply:
+		if replSkip(req.Frag) {
+			return
+		}
+		pi, _, ok := c.replFragInfo(req.Frag)
+		if !ok {
+			return
+		}
+		m := c.mirrorCtx()
+		byDst := map[int][]int{}
+		for i, key := range req.Keys {
+			if pi >= len(key) {
+				continue
+			}
+			slot := m.pm.Slot(key[pi])
+			for _, f := range c.mirrorTargets(m, req.Frag, slot) {
+				byDst[f] = append(byDst[f], i)
+			}
+		}
+		for _, f := range sortedKeys(byDst) {
+			mirror := node.AggApply{
+				Frag: shadowName(req.Frag), HintCol: req.HintCol,
+				GroupLen: req.GroupLen, CountPos: req.CountPos,
+			}
+			for _, i := range byDst[f] {
+				mirror.Keys = append(mirror.Keys, req.Keys[i])
+				mirror.Deltas = append(mirror.Deltas, req.Deltas[i])
+			}
+			c.deliverMirror(f, mirror, len(mirror.Keys))
+		}
+	case node.GIInsert:
+		if replSkip(req.GI) || !c.replGIKnown(req.GI) {
+			return
+		}
+		c.mirrorGI(req.GI, []types.Value{req.Val}, []storage.GlobalRowID{req.G}, true,
+			func(gi string, vals []types.Value, gs []storage.GlobalRowID) any {
+				return node.GIInsertBatch{GI: gi, Vals: vals, Gs: gs, Metered: true}
+			})
+	case node.GIDelete:
+		if replSkip(req.GI) || !c.replGIKnown(req.GI) {
+			return
+		}
+		c.mirrorGI(req.GI, []types.Value{req.Val}, []storage.GlobalRowID{req.G}, true,
+			func(gi string, vals []types.Value, gs []storage.GlobalRowID) any {
+				return node.GIDeleteBatch{GI: gi, Vals: vals, Gs: gs}
+			})
+	case node.GIInsertBatch:
+		if replSkip(req.GI) || !c.replGIKnown(req.GI) {
+			return
+		}
+		c.mirrorGI(req.GI, req.Vals, req.Gs, req.Metered,
+			func(gi string, vals []types.Value, gs []storage.GlobalRowID) any {
+				return node.GIInsertBatch{GI: gi, Vals: vals, Gs: gs, Metered: req.Metered}
+			})
+	case node.GIDeleteBatch:
+		if replSkip(req.GI) || !c.replGIKnown(req.GI) {
+			return
+		}
+		c.mirrorGI(req.GI, req.Vals, req.Gs, true,
+			func(gi string, vals []types.Value, gs []storage.GlobalRowID) any {
+				return node.GIDeleteBatch{GI: gi, Vals: vals, Gs: gs}
+			})
+	case node.CreateFragment:
+		if replSkip(req.Name) {
+			return
+		}
+		c.deliverMirror(to, node.CreateFragment{
+			Name: shadowName(req.Name), Schema: req.Schema,
+			ClusterCol: req.ClusterCol, PageRows: req.PageRows,
+		}, 0)
+	case node.CreateGlobalIndex:
+		if replSkip(req.Name) {
+			return
+		}
+		c.deliverMirror(to, node.CreateGlobalIndex{
+			Name: shadowName(req.Name), DistClustered: req.DistClustered,
+		}, 0)
+	case node.DropFragment:
+		if replSkip(req.Name) {
+			return
+		}
+		// The catalog entry is already gone when the drop broadcast runs,
+		// so the mirror drops by name unconditionally: at RF >= 2 every
+		// cataloged fragment has a shadow on every node.
+		c.deliverMirror(to, node.DropFragment{Name: shadowName(req.Name)}, 0)
+	case node.DropGlobalIndexFrag:
+		if replSkip(req.Name) {
+			return
+		}
+		c.deliverMirror(to, node.DropGlobalIndexFrag{Name: shadowName(req.Name)}, 0)
+	}
+}
+
+// mirrorTuples buckets tuples by follower of their slot and delivers one
+// shadow write per follower.
+func (c *Cluster) mirrorTuples(frag string, partIdx int, tuples []types.Tuple, build func(frag string, tuples []types.Tuple) any) {
+	if len(tuples) == 0 {
+		return
+	}
+	m := c.mirrorCtx()
+	byDst := map[int][]types.Tuple{}
+	for _, t := range tuples {
+		if partIdx >= len(t) {
+			continue
+		}
+		slot := m.pm.Slot(t[partIdx])
+		for _, f := range c.mirrorTargets(m, frag, slot) {
+			byDst[f] = append(byDst[f], t)
+		}
+	}
+	for _, f := range sortedKeys(byDst) {
+		c.deliverMirror(f, build(shadowName(frag), byDst[f]), len(byDst[f]))
+	}
+}
+
+// mirrorGI buckets global-index entries by follower of their value's slot
+// and delivers one shadow write per follower.
+func (c *Cluster) mirrorGI(gi string, vals []types.Value, gs []storage.GlobalRowID, _ bool, build func(gi string, vals []types.Value, gs []storage.GlobalRowID) any) {
+	if len(vals) == 0 || len(vals) != len(gs) {
+		return
+	}
+	m := c.mirrorCtx()
+	type pair struct {
+		vals []types.Value
+		gs   []storage.GlobalRowID
+	}
+	byDst := map[int]*pair{}
+	for i, v := range vals {
+		slot := m.pm.Slot(v)
+		for _, f := range c.mirrorTargets(m, gi, slot) {
+			p := byDst[f]
+			if p == nil {
+				p = &pair{}
+				byDst[f] = p
+			}
+			p.vals = append(p.vals, v)
+			p.gs = append(p.gs, gs[i])
+		}
+	}
+	dsts := make([]int, 0, len(byDst))
+	for f := range byDst {
+		dsts = append(dsts, f)
+	}
+	sort.Ints(dsts)
+	for _, f := range dsts {
+		p := byDst[f]
+		c.deliverMirror(f, build(shadowName(gi), p.vals, p.gs), len(p.vals))
+	}
+}
+
+func sortedKeys[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// mirrorAsIfApplied mirrors a compensation that could not be delivered to
+// its (down) destination. The node itself is recovered by wipe or local
+// log replay, but its followers already hold the aborted statement's
+// forward writes in their shadows: without the mirrored undo a later
+// failover would promote rows of a rolled-back statement. The request is
+// treated as if the destination had applied it in full — exactly what the
+// destination's recovery converges to.
+func (c *Cluster) mirrorAsIfApplied(to int, req any) {
+	if !c.replOn() {
+		return
+	}
+	switch r := req.(type) {
+	case node.DeleteMatch:
+		// Synthesize the response the mirror transform reads: the tuples
+		// were written by this statement, so every one of them matches.
+		c.mirrorMutation(to, req, node.DeleteResult{Tuples: r.Tuples})
+	case node.DeleteRows:
+		// Row ids alone cannot locate the shadow copies; callers with the
+		// rows' contents use undoCallRows instead.
+	default:
+		c.mirrorMutation(to, req, nil)
+	}
+}
+
+// mirrorViewUndoForDown mirrors the portion of a view-delta undo that was
+// addressed to down nodes. ApplyToView's scatter applies (and mirrors) the
+// undo at every live owner but fails against crashed ones; this re-derives
+// those buckets and sends the as-if-applied compensation to the down
+// owners' followers, keeping their view shadows at the aborted-statement
+// state the failover promotes from.
+func (c *Cluster) mirrorViewUndoForDown(v *catalog.View, delta []types.Tuple, op maintain.Op) {
+	if !c.replOn() || len(delta) == 0 {
+		return
+	}
+	m := c.part.Map()
+	partCol := v.PartitionQualified()
+	idx := v.Schema.ColIndex(partCol)
+	if idx < 0 {
+		return
+	}
+	if v.IsAggregate() {
+		groups, err := maintain.FoldAggDeltas(v, delta, op)
+		if err != nil {
+			return
+		}
+		byDst := map[int][]maintain.AggGroup{}
+		for _, g := range groups {
+			n := m.Owner[m.Slot(g.Key[idx])]
+			if c.isDown(n) {
+				byDst[n] = append(byDst[n], g)
+			}
+		}
+		for _, n := range sortedKeys(byDst) {
+			req := node.AggApply{
+				Frag: v.Name, HintCol: partCol,
+				GroupLen: len(v.Out), CountPos: v.CountIndex() - len(v.Out),
+			}
+			for _, g := range byDst[n] {
+				req.Keys = append(req.Keys, g.Key)
+				req.Deltas = append(req.Deltas, g.Deltas)
+			}
+			c.mirrorAsIfApplied(n, req)
+		}
+		return
+	}
+	byDst := map[int][]types.Tuple{}
+	for _, t := range delta {
+		n := m.Owner[m.Slot(t[idx])]
+		if c.isDown(n) {
+			byDst[n] = append(byDst[n], t)
+		}
+	}
+	for _, n := range sortedKeys(byDst) {
+		var req any
+		if op == maintain.OpInsert {
+			req = node.Insert{Frag: v.Name, Tuples: byDst[n]}
+		} else {
+			req = node.DeleteMatch{Frag: v.Name, HintCol: partCol, Tuples: byDst[n]}
+		}
+		c.mirrorAsIfApplied(n, req)
+	}
+}
+
+// deliverMirror sends one shadow write to a follower through the full
+// resilient path (sequence envelope, TID stamping, retries), absorbing
+// every failure: the statement's outcome never depends on a mirror. A
+// dead follower is already noted down (failover covers it); any other
+// failure evicts the follower until re-replication.
+func (c *Cluster) deliverMirror(dst int, req any, tuples int) {
+	if c.isDown(dst) {
+		return
+	}
+	if _, err := c.resilientCall(netsim.Coordinator, dst, req, false); err != nil {
+		if _, down := fault.IsNodeDown(err); down || errors.Is(err, ErrDegraded) {
+			// noteDown already happened inside deliver; the next statement
+			// (or read) fails over around the node.
+			return
+		}
+		c.evictFollower(dst)
+		return
+	}
+	c.rstats.RecordMirror(tuples)
+}
+
+// evictFollower marks a follower stale: it stops receiving mirrors and is
+// never promoted to, until ReplicateRepair wipes and recopies its shadows.
+func (c *Cluster) evictFollower(n int) {
+	c.rmu.Lock()
+	already := c.staleRepl[n]
+	c.staleRepl[n] = true
+	c.rmu.Unlock()
+	if !already {
+		c.rstats.RecordEviction()
+	}
+}
+
+// unhealedDown lists down nodes whose slots have not been failed over yet
+// (sorted).
+func (c *Cluster) unhealedDown() []int {
+	c.dmu.Lock()
+	down := make([]int, 0, len(c.downNodes))
+	for n := range c.downNodes {
+		down = append(down, n)
+	}
+	c.dmu.Unlock()
+	c.rmu.Lock()
+	out := down[:0]
+	for _, n := range down {
+		if !c.failedOver[n] {
+			out = append(out, n)
+		}
+	}
+	c.rmu.Unlock()
+	sort.Ints(out)
+	return out
+}
+
+// replServesComplete reports whether the cluster, though degraded, serves
+// complete reads and commits DML: replication is on and every down node's
+// slots were promoted to surviving followers.
+func (c *Cluster) replServesComplete() bool {
+	if !c.replOn() {
+		return false
+	}
+	c.dmu.Lock()
+	anyDown := len(c.downNodes) > 0
+	c.dmu.Unlock()
+	if !anyDown {
+		return false
+	}
+	return len(c.unhealedDown()) == 0
+}
+
+// heal promotes the slots of every unhealed down node to surviving
+// followers. Cheap when there is nothing to do; otherwise it runs the
+// failover under the global exclusive lock. Callers must not hold cluster
+// locks.
+func (c *Cluster) heal() error {
+	if !c.replOn() || len(c.unhealedDown()) == 0 {
+		return nil
+	}
+	h := c.lockGlobal()
+	defer h.Release()
+	return c.failoverLocked()
+}
+
+// shouldFailover reports whether a statement error is the kind a failover
+// plus retry can cure: a node found dead or suspect mid-statement.
+func (c *Cluster) shouldFailover(err error) bool {
+	if !c.replOn() || err == nil {
+		return false
+	}
+	if errors.Is(err, ErrDegraded) || errors.Is(err, ErrSuspect) {
+		return true
+	}
+	_, down := fault.IsNodeDown(err)
+	return down
+}
+
+// withFailover runs one statement, and on a node-failure error heals
+// (promotes the dead node's slots) and retries. Two retries cover a
+// second node failing during the first retry.
+func (c *Cluster) withFailover(do func() error) error {
+	err := do()
+	for tries := 0; tries < 2 && c.shouldFailover(err); tries++ {
+		if herr := c.heal(); herr != nil {
+			return fmt.Errorf("%w (failover also failed: %v)", err, herr)
+		}
+		err = do()
+	}
+	return err
+}
+
+// failoverLocked promotes every unhealed down node's slots to their first
+// live in-sync follower and installs the resulting map. Caller holds the
+// global exclusive lock.
+func (c *Cluster) failoverLocked() error {
+	victims := c.unhealedDown()
+	if len(victims) == 0 {
+		return nil
+	}
+	m := c.part.Map()
+	if !m.Replicated() {
+		return fmt.Errorf("%w: nodes %v unavailable", ErrDegraded, victims)
+	}
+	vic := map[int]bool{}
+	for _, v := range victims {
+		vic[v] = true
+	}
+	c.rmu.Lock()
+	stale := map[int]bool{}
+	for n := range c.staleRepl {
+		stale[n] = true
+	}
+	c.rmu.Unlock()
+
+	nm := m.Clone()
+	promoted := map[int][]int{}  // new owner -> slots it takes over
+	victimSlots := map[int]int{} // victim -> slot count (stats)
+	for s, o := range nm.Owner {
+		if vic[o] {
+			next := -1
+			for _, f := range m.Repl[s] {
+				if !vic[f] && !stale[f] && !c.isDown(f) {
+					next = f
+					break
+				}
+			}
+			if next < 0 {
+				return fmt.Errorf("%w: slot %d lost node %d and has no live in-sync replica", ErrDegraded, s, o)
+			}
+			nm.Owner[s] = next
+			promoted[next] = append(promoted[next], s)
+			victimSlots[o]++
+		}
+		var keep []int
+		for _, f := range nm.Repl[s] {
+			if !vic[f] && f != nm.Owner[s] {
+				keep = append(keep, f)
+			}
+		}
+		nm.Repl[s] = keep
+	}
+	nm.Epoch++
+
+	// Move the promoted slots' data shadow→main on each new owner, fixing
+	// global indexes as the base rows change identity.
+	mod := len(m.Owner)
+	owners := sortedKeys(promoted)
+	for _, tn := range c.cat.Tables() {
+		t, err := c.cat.Table(tn)
+		if err != nil {
+			return err
+		}
+		pi := t.Schema.MustColIndex(t.PartitionCol)
+		type promo struct {
+			node   int
+			tuples []types.Tuple
+			rows   []storage.RowID
+		}
+		var promos []promo
+		for _, f := range owners {
+			resp, err := c.rawCall(f, node.PromoteSlots{
+				Src: shadowName(tn), Dst: tn, PartIdx: pi, Mod: mod, Slots: promoted[f],
+			})
+			if err != nil {
+				return fmt.Errorf("cluster: promoting %q slots at node %d: %w", tn, f, err)
+			}
+			pr := resp.(node.PromoteResult)
+			promos = append(promos, promo{node: f, tuples: pr.Tuples, rows: pr.Rows})
+		}
+		for _, ar := range c.cat.AuxRelsFor(tn) {
+			api := ar.Schema.MustColIndex(ar.PartitionCol)
+			for _, f := range owners {
+				if _, err := c.rawCall(f, node.PromoteSlots{
+					Src: shadowName(ar.Name), Dst: ar.Name, PartIdx: api, Mod: mod, Slots: promoted[f],
+				}); err != nil {
+					return fmt.Errorf("cluster: promoting %q slots at node %d: %w", ar.Name, f, err)
+				}
+			}
+		}
+		for _, gi := range c.cat.GlobalIndexesFor(tn) {
+			// Re-home the victim-owned index slots from follower shadows.
+			for _, f := range owners {
+				if _, err := c.rawCall(f, node.GIPromoteSlots{
+					Src: shadowName(gi.Name), Dst: gi.Name, Mod: mod, Slots: promoted[f],
+				}); err != nil {
+					return fmt.Errorf("cluster: promoting %q slots at node %d: %w", gi.Name, f, err)
+				}
+			}
+			// Drop every entry still pointing at a victim's rows, then
+			// re-register the promoted copies. Index entries only ever
+			// reference primary copies, so scrub + reinsert is complete.
+			for n := 0; n < c.NumNodes(); n++ {
+				if c.isDown(n) {
+					continue
+				}
+				for _, v := range victims {
+					if _, err := c.rawCall(n, node.GIScrubNode{GI: gi.Name, Node: v}); err != nil {
+						return fmt.Errorf("cluster: scrubbing %q at node %d: %w", gi.Name, n, err)
+					}
+					if _, err := c.rawCall(n, node.GIScrubNode{GI: shadowName(gi.Name), Node: v}); err != nil {
+						return fmt.Errorf("cluster: scrubbing %q at node %d: %w", shadowName(gi.Name), n, err)
+					}
+				}
+			}
+			ci := t.Schema.MustColIndex(gi.Col)
+			type ent struct {
+				vals []types.Value
+				gs   []storage.GlobalRowID
+			}
+			main := map[int]*ent{}
+			shadow := map[int]*ent{}
+			add := func(set map[int]*ent, n int, v types.Value, g storage.GlobalRowID) {
+				e := set[n]
+				if e == nil {
+					e = &ent{}
+					set[n] = e
+				}
+				e.vals = append(e.vals, v)
+				e.gs = append(e.gs, g)
+			}
+			for _, p := range promos {
+				for i, tup := range p.tuples {
+					v := tup[ci]
+					g := storage.GlobalRowID{Node: int32(p.node), Row: p.rows[i]}
+					slot := nm.Slot(v)
+					add(main, nm.Owner[slot], v, g)
+					for _, fol := range nm.Repl[slot] {
+						add(shadow, fol, v, g)
+					}
+				}
+			}
+			for _, n := range sortedKeys(main) {
+				if _, err := c.rawCall(n, node.GIInsertBatch{GI: gi.Name, Vals: main[n].vals, Gs: main[n].gs}); err != nil {
+					return fmt.Errorf("cluster: re-registering %q at node %d: %w", gi.Name, n, err)
+				}
+			}
+			for _, n := range sortedKeys(shadow) {
+				if _, err := c.rawCall(n, node.GIInsertBatch{GI: shadowName(gi.Name), Vals: shadow[n].vals, Gs: shadow[n].gs}); err != nil {
+					return fmt.Errorf("cluster: re-registering %q at node %d: %w", shadowName(gi.Name), n, err)
+				}
+			}
+		}
+	}
+	for _, vn := range c.cat.Views() {
+		v, err := c.cat.View(vn)
+		if err != nil {
+			return err
+		}
+		vpi := v.Schema.MustColIndex(v.PartitionQualified())
+		for _, f := range owners {
+			if _, err := c.rawCall(f, node.PromoteSlots{
+				Src: shadowName(vn), Dst: vn, PartIdx: vpi, Mod: mod, Slots: promoted[f],
+			}); err != nil {
+				return fmt.Errorf("cluster: promoting %q slots at node %d: %w", vn, f, err)
+			}
+		}
+	}
+
+	if err := c.part.Install(nm); err != nil {
+		return err
+	}
+	c.cat.SetPartitionMap(nm)
+	c.rmu.Lock()
+	for _, v := range victims {
+		c.failedOver[v] = true
+	}
+	c.rmu.Unlock()
+	for _, v := range victims {
+		c.rstats.RecordFailover(victimSlots[v])
+		if c.cfg.Durability {
+			c.coordLog.Append(wal.Record{Kind: wal.KindReplFailover, Req: wal.ReplFailover{
+				Node: v, Epoch: nm.Epoch, PromotedSlots: victimSlots[v],
+			}})
+		}
+	}
+	if c.cfg.Durability {
+		c.coordLog.Force()
+	}
+	return nil
+}
+
+// replRepair is the coordinator-side state of one in-flight
+// re-replication round.
+type replRepair struct {
+	targets map[int][]int // slot -> followers being (re)copied
+	phase   string
+	total   int // objects to copy
+	done    int
+	armedMu chan struct{} // 1-token mutex usable from mirror hot path
+	armed   map[string]bool
+}
+
+func newReplRepair(targets map[int][]int, total int) *replRepair {
+	r := &replRepair{targets: targets, phase: "copy", total: total,
+		armedMu: make(chan struct{}, 1), armed: map[string]bool{}}
+	r.armedMu <- struct{}{}
+	return r
+}
+
+func (r *replRepair) arm(names ...string) {
+	<-r.armedMu
+	for _, n := range names {
+		r.armed[n] = true
+	}
+	r.done++
+	r.armedMu <- struct{}{}
+}
+
+func (r *replRepair) isArmed(name string) bool {
+	<-r.armedMu
+	ok := r.armed[name]
+	r.armedMu <- struct{}{}
+	return ok
+}
+
+// ReplRepairStatus describes an in-flight ReplicateRepair round.
+type ReplRepairStatus struct {
+	Phase string
+	// ObjectsDone / ObjectsTotal track the per-object copy progress.
+	ObjectsDone, ObjectsTotal int
+	// Slots counts slot-replicas the round is restoring.
+	Slots int
+}
+
+// ReplicateRepair restores the cluster to full replication strength:
+// every down node is restarted and wiped back to empty cataloged
+// fragments, evicted (stale) followers' shadows are wiped, a deficit plan
+// assigns new followers to under-replicated slots, and each cataloged
+// object's rows are copied primary→shadow under that object's exclusive
+// claim — DML on other objects keeps running, and writers to a copied
+// object mirror to the new followers from the moment its copy completes.
+// The new replica map installs at the end.
+func (c *Cluster) ReplicateRepair() error {
+	if !c.replOn() {
+		return fmt.Errorf("cluster: ReplicateRepair requires ReplicationFactor > 1")
+	}
+	// Promote away any not-yet-healed failure first, so the copy sources
+	// (the primaries) are all live.
+	if err := c.heal(); err != nil {
+		return err
+	}
+
+	// Phase A (exclusive): revive down nodes, wipe dirty shadows, plan the
+	// deficit, and install the repair session.
+	h, err := c.lockGlobalDrained()
+	if err != nil {
+		return err
+	}
+	if err := c.failIfMigrating(); err != nil {
+		h.Release()
+		return err
+	}
+	down := c.Degraded()
+	revived := map[int]bool{}
+	for _, n := range down {
+		if err := c.reviveNodeLocked(n); err != nil {
+			h.Release()
+			return err
+		}
+		revived[n] = true
+	}
+	c.rmu.Lock()
+	stale := map[int]bool{}
+	for n := range c.staleRepl {
+		stale[n] = true
+	}
+	for n := range revived {
+		delete(c.failedOver, n)
+	}
+	c.rmu.Unlock()
+
+	m := c.part.Map()
+	nm := m.Clone()
+	k := c.cfg.ReplicationFactor
+	if nm.Repl == nil {
+		nm.Repl = make([][]int, len(nm.Owner))
+	}
+	dirty := map[int]bool{}
+	for n := range revived {
+		dirty[n] = true
+	}
+	for n := range stale {
+		dirty[n] = true
+	}
+	targets := map[int][]int{}
+	restored := 0
+	for s, o := range nm.Owner {
+		have := map[int]bool{o: true}
+		var keep []int
+		for _, f := range nm.Repl[s] {
+			if !have[f] {
+				keep = append(keep, f)
+				have[f] = true
+			}
+		}
+		for j := 1; len(keep) < k-1 && j < nm.Nodes; j++ {
+			cand := (o + j) % nm.Nodes
+			if have[cand] {
+				continue
+			}
+			keep = append(keep, cand)
+			have[cand] = true
+			dirty[cand] = true
+		}
+		nm.Repl[s] = keep
+		for _, f := range keep {
+			if dirty[f] {
+				targets[s] = append(targets[s], f)
+				restored++
+			}
+		}
+	}
+	// Wipe the shadows of every dirty node that was not already wiped by
+	// the revive, so the copy lands on empty fragments.
+	for _, n := range sortedKeys(dirty) {
+		if revived[n] {
+			continue
+		}
+		if err := c.wipeShadowsLocked(n); err != nil {
+			h.Release()
+			return err
+		}
+	}
+	tables := c.cat.Tables()
+	views := c.cat.Views()
+	sess := newReplRepair(targets, len(tables)+len(views))
+	c.rmu.Lock()
+	c.repairSess = sess
+	c.rmu.Unlock()
+	h.Release()
+
+	fail := func(err error) error {
+		c.rmu.Lock()
+		c.repairSess = nil
+		c.rmu.Unlock()
+		return err
+	}
+
+	// Phase B (online): copy each object's rows to its dirty followers
+	// under the object's exclusive claim, arming it before release so
+	// subsequent writers mirror to the new followers too.
+	for _, tn := range tables {
+		if err := c.repairCopyTable(sess, tn); err != nil {
+			return fail(err)
+		}
+	}
+	for _, vn := range views {
+		if err := c.repairCopyView(sess, vn); err != nil {
+			return fail(err)
+		}
+	}
+
+	// Phase C (exclusive): make the new followers official.
+	h2 := c.lockGlobal()
+	defer h2.Release()
+	if d := c.Degraded(); len(d) > 0 {
+		return fail(fmt.Errorf("%w: nodes %v failed during re-replication; run ReplicateRepair again", ErrDegraded, d))
+	}
+	nm.Epoch = c.part.Map().Epoch + 1
+	if err := c.part.Install(nm); err != nil {
+		return fail(err)
+	}
+	c.cat.SetPartitionMap(nm)
+	c.rmu.Lock()
+	c.repairSess = nil
+	for n := range dirty {
+		delete(c.staleRepl, n)
+	}
+	c.rmu.Unlock()
+	c.rstats.RecordRepair(restored)
+	if c.cfg.Durability {
+		c.coordLog.Append(wal.Record{Kind: wal.KindReplRepair, Req: wal.ReplRepair{
+			Epoch: nm.Epoch, RepairedSlots: restored,
+		}})
+		c.coordLog.Force()
+		// Re-image revived nodes: their pre-crash checkpoint + log no
+		// longer describe the recopied state.
+		for _, n := range sortedKeys(revived) {
+			if _, err := c.rawDeliver(n, node.CheckpointReq{}); err != nil {
+				return fmt.Errorf("cluster: checkpointing revived node %d: %w", n, err)
+			}
+		}
+	}
+	return nil
+}
+
+// reviveNodeLocked restarts one down node and wipes it back to empty
+// cataloged fragments (main and shadow): its slots were promoted away at
+// failover, so it owns nothing until re-replication re-adds it as a
+// follower. Caller holds the global exclusive lock.
+func (c *Cluster) reviveNodeLocked(n int) error {
+	if c.cfg.Durability {
+		// Restart from the node's own durable state and settle its
+		// in-doubt transactions, so the wipe starts from a decided log.
+		if _, err := c.recoverDurable(n); err != nil {
+			return fmt.Errorf("cluster: reviving node %d: %w", n, err)
+		}
+	} else {
+		if c.cfg.Faults != nil {
+			c.cfg.Faults.Restart(n)
+		}
+		if _, err := c.rawDeliver(n, node.Ping{}); err != nil {
+			return fmt.Errorf("cluster: node %d not answering, restart it first: %w", n, err)
+		}
+		c.takeRepairs(n)
+		c.dmu.Lock()
+		delete(c.downNodes, n)
+		delete(c.needRebuild, n)
+		c.dmu.Unlock()
+	}
+	c.breakerReset(n)
+	return c.wipeNodeLocked(n)
+}
+
+// wipeNodeLocked drops and recreates every cataloged fragment, index and
+// global index (main and shadow) on one node, leaving it empty.
+func (c *Cluster) wipeNodeLocked(n int) error {
+	drop := func(name string, gi bool) {
+		// Tolerant: the node may have crashed before some shadow existed.
+		if gi {
+			_, _ = c.rawCall(n, node.DropGlobalIndexFrag{Name: name})
+		} else {
+			_, _ = c.rawCall(n, node.DropFragment{Name: name})
+		}
+	}
+	mk := func(name string, schema *types.Schema, clusterCol string) error {
+		_, err := c.rawCall(n, node.CreateFragment{
+			Name: name, Schema: schema, ClusterCol: clusterCol, PageRows: c.cfg.PageRows,
+		})
+		return err
+	}
+	for _, tn := range c.cat.Tables() {
+		t, err := c.cat.Table(tn)
+		if err != nil {
+			return err
+		}
+		for _, name := range []string{tn, shadowName(tn)} {
+			drop(name, false)
+			if err := mk(name, t.Schema, t.ClusterCol); err != nil {
+				return err
+			}
+		}
+		for _, ix := range t.Indexes {
+			if _, err := c.rawCall(n, node.CreateIndex{Frag: tn, Name: ix.Name, Col: ix.Col}); err != nil {
+				return err
+			}
+		}
+		for _, ar := range c.cat.AuxRelsFor(tn) {
+			for _, name := range []string{ar.Name, shadowName(ar.Name)} {
+				drop(name, false)
+				if err := mk(name, ar.Schema, ar.PartitionCol); err != nil {
+					return err
+				}
+			}
+		}
+		for _, gi := range c.cat.GlobalIndexesFor(tn) {
+			for _, name := range []string{gi.Name, shadowName(gi.Name)} {
+				drop(name, true)
+				if _, err := c.rawCall(n, node.CreateGlobalIndex{Name: name, DistClustered: gi.DistClustered}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, vn := range c.cat.Views() {
+		v, err := c.cat.View(vn)
+		if err != nil {
+			return err
+		}
+		for _, name := range []string{vn, shadowName(vn)} {
+			drop(name, false)
+			if err := mk(name, v.Schema, v.PartitionQualified()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// wipeShadowsLocked drops and recreates only the shadow fragments of one
+// (live) node: its main fragments hold current primary copies and are
+// untouched. Used for evicted-stale followers before recopy.
+func (c *Cluster) wipeShadowsLocked(n int) error {
+	for _, tn := range c.cat.Tables() {
+		t, err := c.cat.Table(tn)
+		if err != nil {
+			return err
+		}
+		_, _ = c.rawCall(n, node.DropFragment{Name: shadowName(tn)})
+		if _, err := c.rawCall(n, node.CreateFragment{
+			Name: shadowName(tn), Schema: t.Schema, ClusterCol: t.ClusterCol, PageRows: c.cfg.PageRows,
+		}); err != nil {
+			return err
+		}
+		for _, ar := range c.cat.AuxRelsFor(tn) {
+			_, _ = c.rawCall(n, node.DropFragment{Name: shadowName(ar.Name)})
+			if _, err := c.rawCall(n, node.CreateFragment{
+				Name: shadowName(ar.Name), Schema: ar.Schema, ClusterCol: ar.PartitionCol, PageRows: c.cfg.PageRows,
+			}); err != nil {
+				return err
+			}
+		}
+		for _, gi := range c.cat.GlobalIndexesFor(tn) {
+			_, _ = c.rawCall(n, node.DropGlobalIndexFrag{Name: shadowName(gi.Name)})
+			if _, err := c.rawCall(n, node.CreateGlobalIndex{Name: shadowName(gi.Name), DistClustered: gi.DistClustered}); err != nil {
+				return err
+			}
+		}
+	}
+	for _, vn := range c.cat.Views() {
+		v, err := c.cat.View(vn)
+		if err != nil {
+			return err
+		}
+		_, _ = c.rawCall(n, node.DropFragment{Name: shadowName(vn)})
+		if _, err := c.rawCall(n, node.CreateFragment{
+			Name: shadowName(vn), Schema: v.Schema, ClusterCol: v.PartitionQualified(), PageRows: c.cfg.PageRows,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// repairSlotSets inverts the session's slot→targets table into per-node
+// slot membership sets.
+func repairSlotSets(targets map[int][]int) map[int]map[int]bool {
+	out := map[int]map[int]bool{}
+	for s, fs := range targets {
+		for _, f := range fs {
+			if out[f] == nil {
+				out[f] = map[int]bool{}
+			}
+			out[f][s] = true
+		}
+	}
+	return out
+}
+
+// repairCopyFrag copies the slot shares of one fragment from the
+// primaries into the dirty followers' shadows. Caller holds the object's
+// exclusive claim.
+func (c *Cluster) repairCopyFrag(sess *replRepair, frag string, partIdx int) error {
+	slotsOf := repairSlotSets(sess.targets)
+	if len(slotsOf) == 0 {
+		return nil
+	}
+	m := c.part.Map()
+	byDst := map[int][]types.Tuple{}
+	for src := 0; src < c.NumNodes(); src++ {
+		resp, err := c.rawDeliver(src, node.AllRows{Frag: frag})
+		if err != nil {
+			return fmt.Errorf("cluster: repair copy of %q from node %d: %w", frag, src, err)
+		}
+		for _, t := range resp.(node.RowsResult).Tuples {
+			if partIdx >= len(t) {
+				continue
+			}
+			s := m.Slot(t[partIdx])
+			for f, set := range slotsOf {
+				if set[s] {
+					byDst[f] = append(byDst[f], t)
+				}
+			}
+		}
+	}
+	for _, f := range sortedKeys(byDst) {
+		if _, err := c.rawCall(f, node.Insert{Frag: shadowName(frag), Tuples: byDst[f], Unmetered: true}); err != nil {
+			return fmt.Errorf("cluster: repair copy into %q at node %d: %w", shadowName(frag), f, err)
+		}
+	}
+	return nil
+}
+
+// repairCopyGI copies the slot shares of one global index from the
+// primaries into the dirty followers' shadow index fragments.
+func (c *Cluster) repairCopyGI(sess *replRepair, gi string) error {
+	slotsOf := repairSlotSets(sess.targets)
+	if len(slotsOf) == 0 {
+		return nil
+	}
+	m := c.part.Map()
+	type ent struct {
+		vals []types.Value
+		gs   []storage.GlobalRowID
+	}
+	byDst := map[int]*ent{}
+	for src := 0; src < c.NumNodes(); src++ {
+		resp, err := c.rawDeliver(src, node.GIScan{GI: gi})
+		if err != nil {
+			return fmt.Errorf("cluster: repair copy of %q from node %d: %w", gi, src, err)
+		}
+		gr := resp.(node.GIScanResult)
+		for i, v := range gr.Vals {
+			s := m.Slot(v)
+			for f, set := range slotsOf {
+				if set[s] {
+					e := byDst[f]
+					if e == nil {
+						e = &ent{}
+						byDst[f] = e
+					}
+					e.vals = append(e.vals, v)
+					e.gs = append(e.gs, gr.Gs[i])
+				}
+			}
+		}
+	}
+	for _, f := range sortedKeys(byDst) {
+		e := byDst[f]
+		if _, err := c.rawCall(f, node.GIInsertBatch{GI: shadowName(gi), Vals: e.vals, Gs: e.gs}); err != nil {
+			return fmt.Errorf("cluster: repair copy into %q at node %d: %w", shadowName(gi), f, err)
+		}
+	}
+	return nil
+}
+
+// repairCopyTable copies one base table plus its auxiliary relations and
+// global indexes under an exclusive claim on the table (every writer of
+// those structures holds it too).
+func (c *Cluster) repairCopyTable(sess *replRepair, tn string) error {
+	h := c.lm.AcquireShared()
+	h.Lock(lockmgr.X(tn))
+	defer h.Release()
+	t, err := c.cat.Table(tn)
+	if err != nil {
+		return err
+	}
+	if err := c.repairCopyFrag(sess, tn, t.Schema.MustColIndex(t.PartitionCol)); err != nil {
+		return err
+	}
+	armed := []string{tn}
+	for _, ar := range c.cat.AuxRelsFor(tn) {
+		if err := c.repairCopyFrag(sess, ar.Name, ar.Schema.MustColIndex(ar.PartitionCol)); err != nil {
+			return err
+		}
+		armed = append(armed, ar.Name)
+	}
+	for _, gi := range c.cat.GlobalIndexesFor(tn) {
+		if err := c.repairCopyGI(sess, gi.Name); err != nil {
+			return err
+		}
+		armed = append(armed, gi.Name)
+	}
+	sess.arm(armed...)
+	return nil
+}
+
+// repairCopyView copies one view fragment under an exclusive claim on the
+// view (every writer of any of its base tables holds it too).
+func (c *Cluster) repairCopyView(sess *replRepair, vn string) error {
+	h := c.lm.AcquireShared()
+	h.Lock(lockmgr.X(vn))
+	defer h.Release()
+	v, err := c.cat.View(vn)
+	if err != nil {
+		return err
+	}
+	if err := c.repairCopyFrag(sess, vn, v.Schema.MustColIndex(v.PartitionQualified())); err != nil {
+		return err
+	}
+	sess.arm(vn)
+	return nil
+}
+
+// ReplStatus summarizes replication for Topology: whether each node is
+// failed over or evicted, and repair progress.
+func (c *Cluster) replStatus() (failedOver, stale []int, repair *ReplRepairStatus) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	for n := range c.failedOver {
+		failedOver = append(failedOver, n)
+	}
+	for n := range c.staleRepl {
+		stale = append(stale, n)
+	}
+	sort.Ints(failedOver)
+	sort.Ints(stale)
+	if s := c.repairSess; s != nil {
+		slots := 0
+		for _, fs := range s.targets {
+			slots += len(fs)
+		}
+		<-s.armedMu
+		st := &ReplRepairStatus{Phase: s.phase, ObjectsDone: s.done, ObjectsTotal: s.total, Slots: slots}
+		s.armedMu <- struct{}{}
+		repair = st
+	}
+	return failedOver, stale, repair
+}
+
+// emptyRespFor synthesizes the typed empty response a failed-over node
+// would give: its slots were promoted away, so it holds no rows, no index
+// entries and no matches. Mutating requests acknowledge vacuously — there
+// is nothing on the node for them to touch.
+func emptyRespFor(req any) any {
+	switch req.(type) {
+	case node.AllRows, node.Scan, node.ScanWithRows, node.FindMatching, node.LocateMatch:
+		return node.RowsResult{}
+	case node.Probe, node.FetchJoin:
+		return node.Probed{}
+	case node.Insert:
+		return node.InsertResult{}
+	case node.DeleteRows, node.DeleteMatch:
+		return node.DeleteResult{}
+	case node.GIScan:
+		return node.GIScanResult{}
+	case node.GILookup:
+		return node.GIRows{}
+	case node.GILen:
+		return node.GILenResult{}
+	case node.GIDeleteBatch:
+		return node.GIDeletedBatch{}
+	case node.LocalJoin:
+		return node.LocalJoinResult{}
+	case node.FragInfo:
+		return node.FragInfoResult{}
+	case node.PromoteSlots:
+		return node.PromoteResult{}
+	case node.GIScrubNode:
+		return node.GIScrubbed{}
+	default:
+		return node.Ack{}
+	}
+}
+
+// broadcastSkipDown fans a request out to the live nodes only,
+// synthesizing typed empty responses for failed-over nodes. Only valid
+// once every down node's slots are promoted (replServesComplete).
+func (c *Cluster) broadcastSkipDown(from int, req any) ([]any, error) {
+	mut := isMutating(req)
+	var wreq any = req
+	var id uint64
+	tid := uint64(0)
+	if mut {
+		id = c.seq.Add(1)
+		tid = c.curTID.Load()
+		wreq = node.Seq{ID: id, TID: tid, Req: req}
+	}
+	out := make([]any, c.NumNodes())
+	var errs []error
+	for to := 0; to < c.NumNodes(); to++ {
+		if c.isDown(to) {
+			out[to] = emptyRespFor(req)
+			continue
+		}
+		if mut && tid != 0 {
+			c.addParticipant(to)
+		}
+		resp, err := c.deliver(from, to, wreq, id, mut, false)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("netsim: broadcast to node %d: %w", to, err))
+			continue
+		}
+		out[to] = resp
+	}
+	return out, errors.Join(errs...)
+}

@@ -60,10 +60,20 @@ func (c *Cluster) breakerFail(n int) {
 		return
 	}
 	c.brkMu.Lock()
-	defer c.brkMu.Unlock()
+	opened := false
 	c.brkConsec[n]++
 	if c.brkConsec[n] >= c.cfg.BreakerThreshold {
+		if !c.brkOpen[n] {
+			opened = true
+		}
 		c.brkOpen[n] = true
+	}
+	c.brkMu.Unlock()
+	// Under replication a suspect node is treated as down outright: its
+	// slots fail over to followers instead of the cluster limping along
+	// refusing calls to it.
+	if opened && c.replOn() {
+		c.noteDown(n)
 	}
 }
 
@@ -160,6 +170,12 @@ func (t *resilientTransport) Call(from, to int, req any) (any, error) {
 func (t *resilientTransport) Broadcast(from int, req any) ([]any, error) {
 	c := t.c
 	if n, degraded := c.firstDown(); degraded {
+		// Once every down node's slots are promoted to followers, the
+		// broadcast proceeds on the survivors: the dead nodes hold no data,
+		// so typed empty responses stand in for them.
+		if c.replServesComplete() {
+			return c.broadcastSkipDown(from, req)
+		}
 		return nil, fault.NodeDownError{Node: n}
 	}
 	wreq, id, mut := req, uint64(0), isMutating(req)
@@ -367,9 +383,26 @@ func (c *Cluster) rawDeliver(to int, wreq any) (any, error) {
 
 // undoCall delivers a compensating action. Unreachable destinations are
 // absorbed: the request is queued and replayed during Recover against the
-// node's preserved (durable) state.
+// node's preserved (durable) state. Under replication an absorbed undo is
+// additionally mirrored to the destination's followers, whose shadows
+// already hold the statement's forward writes (an absorbed call returns
+// resp == nil with a nil error).
 func (c *Cluster) undoCall(to int, req any) error {
-	_, err := c.resilientCall(netsim.Coordinator, to, req, true)
+	resp, err := c.resilientCall(netsim.Coordinator, to, req, true)
+	if err == nil && resp == nil {
+		c.mirrorAsIfApplied(to, req)
+	}
+	return err
+}
+
+// undoCallRows is undoCall for delete-by-rowid compensations, whose
+// request alone cannot drive the shadow mirror: tuples carries the doomed
+// rows' contents so an absorbed undo still deletes the mirrored copies.
+func (c *Cluster) undoCallRows(to int, req node.DeleteRows, tuples []types.Tuple) error {
+	resp, err := c.resilientCall(netsim.Coordinator, to, req, true)
+	if err == nil && resp == nil && len(tuples) > 0 {
+		c.mirrorMutation(to, req, node.DeleteResult{Tuples: tuples})
+	}
 	return err
 }
 
@@ -471,6 +504,11 @@ func (c *Cluster) Degraded() []int {
 // that is guaranteed to roll back.
 func (c *Cluster) failIfDegraded() error {
 	if down := c.Degraded(); len(down) > 0 {
+		// With every down node failed over, the survivors hold a complete
+		// copy of every structure: DML proceeds at full strength.
+		if c.replServesComplete() {
+			return nil
+		}
 		return fmt.Errorf("%w: nodes %v unavailable", ErrDegraded, down)
 	}
 	return nil
@@ -508,6 +546,11 @@ func (c *Cluster) MarkNodeDown(n int) error {
 //     from the base relations, using the same gather/backfill machinery
 //     DDL uses.
 func (c *Cluster) Recover(n int) error {
+	if c.replOn() {
+		// Under replication the node's slots were (or will be) promoted
+		// away; bringing it back is a re-replication round, not a replay.
+		return c.ReplicateRepair()
+	}
 	_, err := c.RecoverWithReport(n)
 	return err
 }

@@ -46,6 +46,12 @@ func TestInverseCoversAllMutatingRequests(t *testing.T) {
 		reflect.TypeOf(node.DropFragment{}):        true,
 		reflect.TypeOf(node.DropGlobalIndexFrag{}): true,
 		reflect.TypeOf(node.LocalJoin{}):           true,
+		// Replication failover/repair requests travel only via rawCall under
+		// the global exclusive lock (no statement scope, nothing to roll
+		// back); a failed failover or repair round is rerun idempotently.
+		reflect.TypeOf(node.PromoteSlots{}):   true,
+		reflect.TypeOf(node.GIPromoteSlots{}): true,
+		reflect.TypeOf(node.GIScrubNode{}):    true,
 	}
 	for _, req := range node.AllRequests() {
 		rt := reflect.TypeOf(req)

@@ -57,6 +57,12 @@ func (f *Fragment) Delete(v types.Value, g storage.GlobalRowID) bool {
 	return ok
 }
 
+// DeleteUnmetered removes the entry (v, g) without charging I/O
+// (replication failover and repair).
+func (f *Fragment) DeleteUnmetered(v types.Value, g storage.GlobalRowID) bool {
+	return f.tree.Delete(types.EncodeKey(v), storage.EncodeGlobalRowID(g))
+}
+
 // Lookup returns the global row ids recorded for value v, charging one
 // SEARCH. Per §3.1(6), fetching the located entry list is free (the entry
 // fits on the page the search lands on).

@@ -33,6 +33,13 @@ type Map struct {
 	// Nodes is the cluster size (bucket count for Spread); owners are in
 	// [0, Nodes).
 	Nodes int
+	// Repl optionally maps slot → ordered follower nodes: the replicas of
+	// the slot beyond its primary Owner[slot], in promotion order. nil (or
+	// an empty per-slot list) means the slot is unreplicated — replication
+	// factor 1, the paper's model and the default. When non-nil, Repl must
+	// have one entry per slot, no follower may repeat within a slot, and no
+	// follower may equal the slot's owner.
+	Repl [][]int
 }
 
 // Identity returns the fixed-topology map over n nodes: n slots, slot i
@@ -45,10 +52,60 @@ func Identity(n int) Map {
 	return Map{Epoch: 0, Owner: owner, Nodes: n}
 }
 
+// WithReplicas returns a copy of the map carrying k-way replication:
+// every slot keeps its owner and gains k-1 followers placed ring-style
+// (follower j of slot s is node (Owner[s]+j) mod Nodes), so no two
+// replicas of a slot share a node. k <= 1 strips replication.
+func (m Map) WithReplicas(k int) (Map, error) {
+	d := m.Clone()
+	if k <= 1 {
+		d.Repl = nil
+		return d, nil
+	}
+	if k > m.Nodes {
+		return Map{}, fmt.Errorf("hashpart: replication factor %d exceeds node count %d", k, m.Nodes)
+	}
+	d.Repl = make([][]int, len(d.Owner))
+	for s, o := range d.Owner {
+		fs := make([]int, 0, k-1)
+		for j := 1; j < k; j++ {
+			fs = append(fs, (o+j)%m.Nodes)
+		}
+		d.Repl[s] = fs
+	}
+	return d, nil
+}
+
+// Followers returns the follower nodes of a slot (nil when unreplicated).
+// The returned slice aliases the map; callers must not mutate it.
+func (m Map) Followers(slot int) []int {
+	if m.Repl == nil {
+		return nil
+	}
+	return m.Repl[slot]
+}
+
+// Replicated reports whether any slot carries followers.
+func (m Map) Replicated() bool {
+	for _, fs := range m.Repl {
+		if len(fs) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Clone deep-copies the map (callers mutate the copy, never an installed
 // map).
 func (m Map) Clone() Map {
-	return Map{Epoch: m.Epoch, Owner: append([]int(nil), m.Owner...), Nodes: m.Nodes}
+	c := Map{Epoch: m.Epoch, Owner: append([]int(nil), m.Owner...), Nodes: m.Nodes}
+	if m.Repl != nil {
+		c.Repl = make([][]int, len(m.Repl))
+		for s, fs := range m.Repl {
+			c.Repl[s] = append([]int(nil), fs...)
+		}
+	}
+	return c
 }
 
 // Slot returns the hash slot of a value under this map.
@@ -93,6 +150,23 @@ func (m Map) Validate() error {
 	for s, o := range m.Owner {
 		if o < 0 || o >= m.Nodes {
 			return fmt.Errorf("hashpart: slot %d owner %d out of range [0,%d)", s, o, m.Nodes)
+		}
+	}
+	if m.Repl != nil {
+		if len(m.Repl) != len(m.Owner) {
+			return fmt.Errorf("hashpart: replica table has %d slots, owner table %d", len(m.Repl), len(m.Owner))
+		}
+		for s, fs := range m.Repl {
+			seen := map[int]bool{m.Owner[s]: true}
+			for _, f := range fs {
+				if f < 0 || f >= m.Nodes {
+					return fmt.Errorf("hashpart: slot %d follower %d out of range [0,%d)", s, f, m.Nodes)
+				}
+				if seen[f] {
+					return fmt.Errorf("hashpart: slot %d places two replicas on node %d", s, f)
+				}
+				seen[f] = true
+			}
 		}
 	}
 	return nil

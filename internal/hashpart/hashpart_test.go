@@ -117,3 +117,112 @@ func BenchmarkSpread(b *testing.B) {
 		}
 	}
 }
+
+func TestWithReplicasRingPlacement(t *testing.T) {
+	m, err := Identity(5).WithReplicas(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Replicated() {
+		t.Fatal("RF=3 map reports unreplicated")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for s, o := range m.Owner {
+		fs := m.Followers(s)
+		if len(fs) != 2 {
+			t.Fatalf("slot %d has %d followers, want 2", s, len(fs))
+		}
+		for j, f := range fs {
+			if want := (o + j + 1) % m.Nodes; f != want {
+				t.Fatalf("slot %d follower %d = node %d, want ring node %d", s, j, f, want)
+			}
+		}
+		// No two replicas of a slot on one node.
+		seen := map[int]bool{o: true}
+		for _, f := range fs {
+			if seen[f] {
+				t.Fatalf("slot %d places two replicas on node %d", s, f)
+			}
+			seen[f] = true
+		}
+	}
+}
+
+func TestWithReplicasStripsAndRefuses(t *testing.T) {
+	base, err := Identity(4).WithReplicas(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripped, err := base.WithReplicas(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stripped.Repl != nil || stripped.Replicated() {
+		t.Fatal("k<=1 should strip replication")
+	}
+	if _, err := Identity(4).WithReplicas(5); err == nil {
+		t.Fatal("k > Nodes should be refused")
+	}
+}
+
+func TestWithReplicasCloneIsDeep(t *testing.T) {
+	m, err := Identity(4).WithReplicas(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := m.Clone()
+	cp.Repl[0][0] = (cp.Repl[0][0] + 1) % cp.Nodes
+	if m.Repl[0][0] == cp.Repl[0][0] {
+		t.Fatal("Clone shares follower storage with the original")
+	}
+}
+
+func TestValidateRejectsBadReplicaTables(t *testing.T) {
+	m, err := Identity(4).WithReplicas(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := m.Clone()
+	short.Repl = short.Repl[:len(short.Repl)-1]
+	if err := short.Validate(); err == nil {
+		t.Fatal("short replica table should fail validation")
+	}
+	collide := m.Clone()
+	collide.Repl[1] = []int{collide.Owner[1]}
+	if err := collide.Validate(); err == nil {
+		t.Fatal("follower equal to owner should fail validation")
+	}
+	dup := m.Clone()
+	dup.Repl[2] = []int{(dup.Owner[2] + 1) % 4, (dup.Owner[2] + 1) % 4}
+	if err := dup.Validate(); err == nil {
+		t.Fatal("duplicate follower should fail validation")
+	}
+	oob := m.Clone()
+	oob.Repl[3] = []int{7}
+	if err := oob.Validate(); err == nil {
+		t.Fatal("out-of-range follower should fail validation")
+	}
+}
+
+func TestWithReplicasSurvivesDoubling(t *testing.T) {
+	m, err := Identity(4).WithReplicas(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Doubled copies the owner table; replica tables are rebuilt by the
+	// caller, so doubling a replicated map then revalidating must flag the
+	// stale (short) replica table rather than silently accept it.
+	d := m.Doubled()
+	if err := d.Validate(); err == nil {
+		t.Fatal("doubled map with stale replica table should fail validation")
+	}
+	fixed, err := d.WithReplicas(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fixed.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -448,6 +448,53 @@ func (n *DataNode) Handle(req any) (any, error) {
 		delete(n.gidx, r.Name)
 		return Ack{}, nil
 
+	case PromoteSlots:
+		return n.promoteSlots(r)
+
+	case GIPromoteSlots:
+		src, err := n.gi(r.Src)
+		if err != nil {
+			return nil, err
+		}
+		dst, err := n.gi(r.Dst)
+		if err != nil {
+			return nil, err
+		}
+		want := slotSet(r.Slots)
+		var vals []types.Value
+		var gs []storage.GlobalRowID
+		src.Scan(func(v types.Value, g storage.GlobalRowID) bool {
+			if want[int(v.Hash()%uint64(r.Mod))] {
+				vals = append(vals, v)
+				gs = append(gs, g)
+			}
+			return true
+		})
+		for i, v := range vals {
+			src.DeleteUnmetered(v, gs[i])
+			dst.InsertUnmetered(v, gs[i])
+		}
+		return Ack{}, nil
+
+	case GIScrubNode:
+		g, err := n.gi(r.GI)
+		if err != nil {
+			return nil, err
+		}
+		var vals []types.Value
+		var gs []storage.GlobalRowID
+		g.Scan(func(v types.Value, grid storage.GlobalRowID) bool {
+			if int(grid.Node) == r.Node {
+				vals = append(vals, v)
+				gs = append(gs, grid)
+			}
+			return true
+		})
+		for i, v := range vals {
+			g.DeleteUnmetered(v, gs[i])
+		}
+		return GIScrubbed{Removed: len(vals)}, nil
+
 	case LocalJoin:
 		return n.localJoin(r)
 
@@ -613,6 +660,52 @@ func (n *DataNode) aggApply(r AggApply) (any, error) {
 		}
 	}
 	return Ack{}, nil
+}
+
+// slotSet builds a membership set from a slot list.
+func slotSet(slots []int) map[int]bool {
+	m := make(map[int]bool, len(slots))
+	for _, s := range slots {
+		m[s] = true
+	}
+	return m
+}
+
+// promoteSlots moves the rows of the given hash slots from the shadow
+// fragment into the primary fragment — local data movement only, no I/O
+// charged (failover repair).
+func (n *DataNode) promoteSlots(r PromoteSlots) (any, error) {
+	src, err := n.frag(r.Src)
+	if err != nil {
+		return nil, err
+	}
+	dst, err := n.frag(r.Dst)
+	if err != nil {
+		return nil, err
+	}
+	want := slotSet(r.Slots)
+	var rows []storage.RowID
+	var tuples []types.Tuple
+	src.ScanUnmetered(func(row storage.RowID, t types.Tuple) bool {
+		if r.PartIdx < 0 || r.PartIdx >= len(t) {
+			return true
+		}
+		if want[int(t[r.PartIdx].Hash()%uint64(r.Mod))] {
+			rows = append(rows, row)
+			tuples = append(tuples, t)
+		}
+		return true
+	})
+	res := PromoteResult{Rows: make([]storage.RowID, 0, len(rows)), Tuples: tuples}
+	for i, row := range rows {
+		src.DeleteUnmetered(row)
+		newRow, err := dst.InsertUnmetered(tuples[i])
+		if err != nil {
+			return nil, fmt.Errorf("node %d: promote into %q: %w", n.id, r.Dst, err)
+		}
+		res.Rows = append(res.Rows, newRow)
+	}
+	return res, nil
 }
 
 // addValues adds two numeric values, preserving the left operand's kind

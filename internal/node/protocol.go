@@ -13,7 +13,8 @@ func IsMutating(req any) bool {
 	case Insert, DeleteRows, DeleteMatch, RestoreRows,
 		GIInsert, GIInsertBatch, GIDelete, GIDeleteBatch, AggApply,
 		LocalJoin, CreateFragment, CreateIndex,
-		CreateGlobalIndex, DropFragment, DropGlobalIndexFrag:
+		CreateGlobalIndex, DropFragment, DropGlobalIndexFrag,
+		PromoteSlots, GIPromoteSlots, GIScrubNode:
 		return true
 	}
 	return false
@@ -107,6 +108,7 @@ func AllRequests() []any {
 		GIInsert{}, GIInsertBatch{}, GIDelete{}, GIDeleteBatch{}, GILookup{}, GILen{}, GIScan{},
 		Scan{}, AllRows{}, ScanWithRows{},
 		AggApply{}, DropFragment{}, DropGlobalIndexFrag{}, LocalJoin{},
+		PromoteSlots{}, GIPromoteSlots{}, GIScrubNode{},
 		FragInfo{}, MeterSnapshot{}, ResetMeter{},
 		Prepare{}, Decide{}, ResolveAbort{}, InDoubtReq{},
 		CheckpointReq{}, CrashReq{}, RestartReq{},

@@ -33,6 +33,8 @@ func TestIsMutatingStable(t *testing.T) {
 		"node.CreateFragment": true, "node.CreateIndex": true,
 		"node.CreateGlobalIndex": true, "node.DropFragment": true,
 		"node.DropGlobalIndexFrag": true,
+		"node.PromoteSlots":        true, "node.GIPromoteSlots": true,
+		"node.GIScrubNode": true,
 	}
 	seen := map[string]bool{}
 	for _, req := range AllRequests() {

@@ -331,6 +331,50 @@ type LocalJoinResult struct {
 	Produced int
 }
 
+// PromoteSlots moves the rows of the given hash slots from one local
+// fragment into another — the failover step that turns a follower's shadow
+// copy into primary data when this node is promoted for slots a crashed
+// owner held. PartIdx locates the partitioning attribute within the
+// fragment's tuples; a row belongs to slot Hash(t[PartIdx]) % Mod.
+// Unmetered (availability repair, like DDL backfill).
+type PromoteSlots struct {
+	Src, Dst string
+	PartIdx  int
+	Mod      int
+	Slots    []int
+}
+
+// PromoteResult reports the promoted tuples and the row ids they occupy in
+// the destination fragment (parallel slices) — the coordinator rebuilds
+// global-index entries for base-table promotions from them.
+type PromoteResult struct {
+	Rows   []storage.RowID
+	Tuples []types.Tuple
+}
+
+// GIPromoteSlots moves global-index entries whose value hashes into the
+// given slots from one local global-index fragment into another (the
+// shadow→primary counterpart of PromoteSlots for index homes). Unmetered.
+type GIPromoteSlots struct {
+	Src, Dst string
+	Mod      int
+	Slots    []int
+}
+
+// GIScrubNode removes every entry of a local global-index fragment whose
+// global row id references the given node: after that node's slots are
+// promoted elsewhere, those row ids dangle and the coordinator re-inserts
+// fresh entries from the promotion results. Unmetered.
+type GIScrubNode struct {
+	GI   string
+	Node int
+}
+
+// GIScrubbed reports how many entries a scrub removed.
+type GIScrubbed struct {
+	Removed int
+}
+
 // FragInfo asks for fragment size information.
 type FragInfo struct {
 	Frag string

@@ -1,0 +1,124 @@
+// Replication counters: what the K-way fragment replication layer is
+// doing. The write path records mirrored deliveries; the failure path
+// records follower evictions, node failovers and the slots they promoted;
+// repair records re-replication rounds and the slots they restored.
+package stats
+
+import "sync"
+
+// ReplCounters accumulates replication metrics. Safe for concurrent use.
+type ReplCounters struct {
+	mu             sync.Mutex
+	mirrors        int64
+	mirroredTuples int64
+	evictions      int64
+	failovers      int64
+	promotedSlots  int64
+	failoverReads  int64
+	repairs        int64
+	repairedSlots  int64
+}
+
+// NewReplCounters returns zeroed counters.
+func NewReplCounters() *ReplCounters { return &ReplCounters{} }
+
+// RecordMirror counts one mirrored write delivery of n tuples/entries.
+func (r *ReplCounters) RecordMirror(n int) {
+	r.mu.Lock()
+	r.mirrors++
+	r.mirroredTuples += int64(n)
+	r.mu.Unlock()
+}
+
+// RecordEviction counts one follower evicted after a failed mirror.
+func (r *ReplCounters) RecordEviction() {
+	r.mu.Lock()
+	r.evictions++
+	r.mu.Unlock()
+}
+
+// RecordFailover counts one node failover that promoted n slots.
+func (r *ReplCounters) RecordFailover(n int) {
+	r.mu.Lock()
+	r.failovers++
+	r.promotedSlots += int64(n)
+	r.mu.Unlock()
+}
+
+// RecordFailoverRead counts one read served complete only because a
+// failover healed the routing first.
+func (r *ReplCounters) RecordFailoverRead() {
+	r.mu.Lock()
+	r.failoverReads++
+	r.mu.Unlock()
+}
+
+// RecordRepair counts one re-replication round that restored n
+// slot-replicas.
+func (r *ReplCounters) RecordRepair(n int) {
+	r.mu.Lock()
+	r.repairs++
+	r.repairedSlots += int64(n)
+	r.mu.Unlock()
+}
+
+// Reset zeroes all counters.
+func (r *ReplCounters) Reset() {
+	r.mu.Lock()
+	r.mirrors, r.mirroredTuples, r.evictions = 0, 0, 0
+	r.failovers, r.promotedSlots, r.failoverReads = 0, 0, 0
+	r.repairs, r.repairedSlots = 0, 0
+	r.mu.Unlock()
+}
+
+// Snapshot returns a copy of the counters.
+func (r *ReplCounters) Snapshot() ReplSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return ReplSnapshot{
+		Mirrors:        r.mirrors,
+		MirroredTuples: r.mirroredTuples,
+		Evictions:      r.evictions,
+		Failovers:      r.failovers,
+		PromotedSlots:  r.promotedSlots,
+		FailoverReads:  r.failoverReads,
+		Repairs:        r.repairs,
+		RepairedSlots:  r.repairedSlots,
+	}
+}
+
+// ReplSnapshot is a point-in-time copy of the replication counters.
+type ReplSnapshot struct {
+	// Mirrors counts mirrored write deliveries to follower shadows;
+	// MirroredTuples the tuples/entries they carried.
+	Mirrors        int64
+	MirroredTuples int64
+	// Evictions counts followers dropped from a slot's replica set after a
+	// mirror delivery failed (the replica is stale until repaired).
+	Evictions int64
+	// Failovers counts node failovers; PromotedSlots the slots whose
+	// ownership moved to a surviving follower.
+	Failovers     int64
+	PromotedSlots int64
+	// FailoverReads counts reads that triggered a failover to stay
+	// complete.
+	FailoverReads int64
+	// Repairs counts ReplicateRepair rounds; RepairedSlots the
+	// slot-replicas they restored.
+	Repairs       int64
+	RepairedSlots int64
+}
+
+// Sub returns the delta s - o.
+func (s ReplSnapshot) Sub(o ReplSnapshot) ReplSnapshot {
+	return ReplSnapshot{
+		Mirrors:        s.Mirrors - o.Mirrors,
+		MirroredTuples: s.MirroredTuples - o.MirroredTuples,
+		Evictions:      s.Evictions - o.Evictions,
+		Failovers:      s.Failovers - o.Failovers,
+		PromotedSlots:  s.PromotedSlots - o.PromotedSlots,
+		FailoverReads:  s.FailoverReads - o.FailoverReads,
+		Repairs:        s.Repairs - o.Repairs,
+		RepairedSlots:  s.RepairedSlots - o.RepairedSlots,
+	}
+}

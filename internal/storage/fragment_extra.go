@@ -24,6 +24,16 @@ func (f *Fragment) ScanUnmetered(fn func(RowID, types.Tuple) bool) {
 	f.scanRaw(fn)
 }
 
+// DeleteUnmetered removes a tuple by row id without charging I/O
+// (replication failover and repair, which account their cost separately).
+func (f *Fragment) DeleteUnmetered(row RowID) (types.Tuple, bool) {
+	t, ok := f.Delete(row)
+	if ok {
+		f.meter.Delete(-1)
+	}
+	return t, ok
+}
+
 // GetUnmetered fetches one tuple by row id without charging I/O. Callers
 // that batch-fetch (the global-index maintenance path) charge the meter
 // themselves with page-accurate costs; see node.FetchJoin.

@@ -63,6 +63,15 @@ const (
 	// EpochDone): every entry with Seq <= ThroughSeq is discharged and may
 	// be discarded from the queue.
 	KindEpochDone
+	// KindReplFailover is the coordinator's forced record of a completed
+	// node failover (Req holds a ReplFailover): the named node's slots were
+	// promoted to surviving followers and the new partition map installed.
+	// Audit/observability only — the map install itself is the commit point
+	// and the record is not replayed.
+	KindReplFailover
+	// KindReplRepair records a completed re-replication round (Req holds a
+	// ReplRepair). Audit/observability only.
+	KindReplRepair
 )
 
 func (k RecordKind) String() string {
@@ -81,6 +90,10 @@ func (k RecordKind) String() string {
 		return "epoch-plan"
 	case KindEpochDone:
 		return "epoch-done"
+	case KindReplFailover:
+		return "repl-failover"
+	case KindReplRepair:
+		return "repl-repair"
 	default:
 		return "unknown"
 	}
@@ -122,6 +135,23 @@ type EpochPlan struct {
 type EpochDone struct {
 	Epoch      uint64
 	ThroughSeq uint64
+}
+
+// ReplFailover is the payload of a KindReplFailover record: the node that
+// failed, the epoch of the map installed after promotion, and how many
+// slots moved to surviving followers.
+type ReplFailover struct {
+	Node          int
+	Epoch         uint64
+	PromotedSlots int
+}
+
+// ReplRepair is the payload of a KindReplRepair record: the epoch of the
+// map installed after re-replication and how many slot-replicas the round
+// restored.
+type ReplRepair struct {
+	Epoch         uint64
+	RepairedSlots int
 }
 
 // FlushCommit tags a coordinator KindCommit record (via Record.Req) as

@@ -225,6 +225,16 @@ type Options struct {
 	// OverloadBlock makes overloaded writers wait for the flusher to catch
 	// up instead of failing with ErrOverload.
 	OverloadBlock bool
+	// ReplicationFactor keeps K copies of every hash slot's data: each
+	// slot gets K-1 follower nodes holding synchronously mirrored shadow
+	// copies of its base, auxiliary-relation, global-index and view rows.
+	// When a node dies, reads and DML fail over to the followers with no
+	// partial results and no lost statements; ReplicateRepair restores
+	// full strength online. 0 or 1 (the default) disables replication and
+	// leaves every code path byte-identical to the unreplicated engine.
+	// Requires ReplicationFactor <= Nodes; elasticity (AddNode,
+	// RebalanceNode, DecommissionNode) is not yet supported at K > 1.
+	ReplicationFactor int
 }
 
 // Fault-injection surface, re-exported from the internal fault package.
@@ -262,6 +272,11 @@ var (
 	ErrOverload = cluster.ErrOverload
 )
 
+// PartialError is the concrete error wrapping ErrPartial: it names the
+// fragment read, the down nodes and how many hash slots were unreachable.
+// Extract it with errors.As.
+type PartialError = cluster.PartialError
+
 // Bounded-staleness read surface (AsyncMaintenance mode).
 type (
 	// ReadMode selects the staleness contract of a view read: ReadFresh
@@ -297,29 +312,30 @@ func Open(opts Options) (*DB, error) {
 		algo = node.AlgoSortMerge
 	}
 	c, err := cluster.New(cluster.Config{
-		Nodes:            opts.Nodes,
-		PageRows:         opts.PageRows,
-		MemPages:         opts.MemPages,
-		UseChannels:      opts.UseChannels,
-		Algo:             algo,
-		BufferPages:      opts.BufferPages,
-		NetLatency:       opts.NetLatency,
-		CallTimeout:      opts.CallTimeout,
-		RetryAttempts:    opts.RetryAttempts,
-		RetryBackoff:     opts.RetryBackoff,
-		RetryBackoffMax:  opts.RetryBackoffMax,
-		RetrySeed:        opts.RetrySeed,
-		Faults:           opts.Faults,
-		Durability:       opts.Durability,
-		CheckpointEvery:  opts.CheckpointEvery,
-		DisablePlanCache: opts.DisablePlanCache,
-		BreakerThreshold: opts.BreakerThreshold,
-		AsyncMaintenance: opts.AsyncMaintenance,
-		EpochSize:        opts.EpochSize,
-		FlushInterval:    opts.FlushInterval,
-		MaxQueueDepth:    opts.MaxQueueDepth,
-		MaxStaleness:     opts.MaxStaleness,
-		OverloadBlock:    opts.OverloadBlock,
+		Nodes:             opts.Nodes,
+		PageRows:          opts.PageRows,
+		MemPages:          opts.MemPages,
+		UseChannels:       opts.UseChannels,
+		Algo:              algo,
+		BufferPages:       opts.BufferPages,
+		NetLatency:        opts.NetLatency,
+		CallTimeout:       opts.CallTimeout,
+		RetryAttempts:     opts.RetryAttempts,
+		RetryBackoff:      opts.RetryBackoff,
+		RetryBackoffMax:   opts.RetryBackoffMax,
+		RetrySeed:         opts.RetrySeed,
+		Faults:            opts.Faults,
+		Durability:        opts.Durability,
+		CheckpointEvery:   opts.CheckpointEvery,
+		DisablePlanCache:  opts.DisablePlanCache,
+		BreakerThreshold:  opts.BreakerThreshold,
+		AsyncMaintenance:  opts.AsyncMaintenance,
+		EpochSize:         opts.EpochSize,
+		FlushInterval:     opts.FlushInterval,
+		MaxQueueDepth:     opts.MaxQueueDepth,
+		MaxStaleness:      opts.MaxStaleness,
+		OverloadBlock:     opts.OverloadBlock,
+		ReplicationFactor: opts.ReplicationFactor,
 	})
 	if err != nil {
 		return nil, err
@@ -508,7 +524,21 @@ func (db *DB) MarkNodeDown(n int) error { return db.c.MarkNodeDown(n) }
 // it replays compensations that could not reach the node, resolves
 // in-doubt deliveries, and rebuilds the node's derived fragments from the
 // base relations.
+// With ReplicationFactor > 1 it instead delegates to ReplicateRepair: the
+// node's slots were promoted to followers at failover, so bringing it back
+// is a re-replication round, not a replay.
 func (db *DB) Recover(n int) error { return db.c.Recover(n) }
+
+// ReplRepairStatus describes an in-flight re-replication round (see
+// Topology.Repair).
+type ReplRepairStatus = cluster.ReplRepairStatus
+
+// ReplicateRepair restores full replication strength after failures
+// (ReplicationFactor > 1 only): down nodes are restarted and wiped, slots
+// missing followers get new ones assigned, and every fragment's rows are
+// recopied to the new followers online — DML on other tables keeps
+// running during the copy. Safe to rerun after a mid-repair failure.
+func (db *DB) ReplicateRepair() error { return db.c.ReplicateRepair() }
 
 // RecoveryReport accounts what one recovery did and what it cost (mode,
 // pages read, records replayed, in-doubt transactions resolved).
