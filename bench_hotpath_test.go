@@ -1,0 +1,96 @@
+package joinview
+
+// Benchmarks for the read path and the allocation-lean hot path: snapshot
+// reads against locked reads, and the query-side projection that used to
+// defensively clone every output row. The CI smoke job runs these with
+// -benchtime=1x -benchmem; allocation regressions on the write path are
+// gated separately by TestAllocBudget.
+
+import (
+	"testing"
+
+	"joinview/internal/catalog"
+	"joinview/internal/cluster"
+	"joinview/internal/experiments"
+	"joinview/internal/node"
+	"joinview/internal/types"
+)
+
+// newReadBenchCluster builds one session schema (a0 ⋈ b0 = jv0) on the
+// channel transport without simulated latency, pre-loaded with rows
+// base-table rows, so read benchmarks measure the code path rather than
+// the interconnect model.
+func newReadBenchCluster(b *testing.B, lockedReads bool, rows int) *cluster.Cluster {
+	b.Helper()
+	c, err := cluster.New(cluster.Config{
+		Nodes: 8, Algo: node.AlgoIndex, UseChannels: true, LockedReads: lockedReads,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Close)
+	if err := experiments.LoadSessionSchemas(c, 1, catalog.StrategyAuxRel); err != nil {
+		b.Fatal(err)
+	}
+	for j := 0; j*8 < rows; j++ {
+		if err := c.Insert("a0", experiments.SessionInserts(0, j, 8)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return c
+}
+
+// BenchmarkSnapshotRead measures one full read of the base table and of
+// the view, MVCC snapshot reads against the shared-claim fallback, on an
+// otherwise idle cluster (the throughput gap under write contention is
+// jvbench -exp hotpath's job; this pins the per-read path cost).
+func BenchmarkSnapshotRead(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		locked bool
+	}{{"mvcc", false}, {"locked", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			c := newReadBenchCluster(b, mode.locked, 256)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.TableRows("a0"); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := c.ViewRows("jv0"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQueryJoinProjection runs an ad-hoc two-table join with an
+// explicit projection list. The projection path builds every output tuple
+// fresh (expr.Projection.Apply), so the per-row cost is exactly one tuple
+// allocation — watch allocs/op to catch a defensive-clone regression.
+func BenchmarkQueryJoinProjection(b *testing.B) {
+	c := newReadBenchCluster(b, false, 256)
+	spec := cluster.QuerySpec{
+		Tables: []string{"a0", "b0"},
+		Joins:  []catalog.JoinPred{{Left: "a0", LeftCol: "c", Right: "b0", RightCol: "d"}},
+		Out: []catalog.OutCol{
+			{Table: "a0", Col: "id"}, {Table: "a0", Col: "c"}, {Table: "b0", Col: "payload"},
+		},
+	}
+	var rows []types.Tuple
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, _, err = c.QueryJoin(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if len(rows) == 0 {
+		b.Fatal("query returned no rows")
+	}
+	b.ReportMetric(float64(len(rows)), "rows/op")
+}

@@ -40,6 +40,7 @@ func main() {
 	parallel := flag.Bool("parallel", false, "run the concurrent-sessions experiment (serial vs parallel dispatch)")
 	jsonOut := flag.String("json", "", "write the concurrent-sessions results as JSON to this file (implies -parallel)")
 	sessions := flag.Int("sessions", 4, "concurrent sessions for -parallel")
+	baseline := flag.String("baseline", "BENCH_parallel.json", "concurrent-sessions JSON whose L=8 allocs/stmt anchor -exp hotpath's reduction column")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -76,6 +77,11 @@ func main() {
 		}
 	} else if *exp == "replica" {
 		if err := runReplica(*maxL, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "jvbench:", err)
+			exitCode = 1
+		}
+	} else if *exp == "hotpath" {
+		if err := runHotpath(*maxL, *sessions, *jsonOut, *baseline); err != nil {
 			fmt.Fprintln(os.Stderr, "jvbench:", err)
 			exitCode = 1
 		}
@@ -186,6 +192,59 @@ func runElastic(sessions int, jsonPath string) error {
 		jsonPath = "BENCH_elastic.json"
 	}
 	return writeJSON(jsonPath, results)
+}
+
+// runHotpath runs the hot-path experiment at L=8 (capped by maxL):
+// snapshot-read throughput under a concurrent write load (locked vs MVCC
+// reads, channel vs TCP transport) plus per-statement allocations of the
+// parallel maintenance path, compared against the checked-in
+// concurrent-sessions baseline when available. Results go to
+// BENCH_hotpath.json or the -json path.
+func runHotpath(maxL, sessions int, jsonPath, baselinePath string) error {
+	l := 8
+	if maxL < l {
+		l = maxL
+	}
+	start := time.Now()
+	results, err := experiments.Hotpath(l, sessions, 40, 8, sessions, 120, 8)
+	if err != nil {
+		return err
+	}
+	if baselinePath != "" {
+		if err := fillHotpathBaselines(results.Allocs, baselinePath, l); err != nil {
+			fmt.Fprintf(os.Stderr, "jvbench: no allocation baseline (%v); reduction column omitted\n", err)
+		}
+	}
+	fmt.Println(experiments.HotpathReadGrid(results.Reads).Render())
+	fmt.Println(experiments.HotpathAllocGrid(results.Allocs).Render())
+	fmt.Printf("(measured in %v; %d write sessions, chan transport simulates %v/message)\n\n",
+		time.Since(start).Round(time.Millisecond), sessions, experiments.DefaultNetLatency)
+	if jsonPath == "" {
+		jsonPath = "BENCH_hotpath.json"
+	}
+	return writeJSON(jsonPath, results)
+}
+
+// fillHotpathBaselines joins the hotpath allocation rows with a prior
+// concurrent-sessions JSON (the "before" numbers) by (L, strategy).
+func fillHotpathBaselines(allocs []experiments.HotpathAllocResult, path string, l int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var prior []experiments.ConcurrentResult
+	if err := json.Unmarshal(data, &prior); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	for i := range allocs {
+		for _, p := range prior {
+			if p.L == l && p.Strategy == allocs[i].Strategy {
+				allocs[i].BaselineAllocsPerStmt = p.AllocsPerStmt
+				allocs[i].ReductionPct = 100 * (1 - allocs[i].AllocsPerStmt/p.AllocsPerStmt)
+			}
+		}
+	}
+	return nil
 }
 
 // runReplica measures write amplification vs crash transparency at

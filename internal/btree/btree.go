@@ -160,6 +160,22 @@ func (t *Tree) Get(key []byte) [][]byte {
 	return out
 }
 
+// GetFirst returns the first value stored under the key, or (nil, false).
+// Single-value callers (unique primary keys) use it to skip the slice
+// allocation of Get.
+func (t *Tree) GetFirst(key []byte) ([]byte, bool) {
+	var out []byte
+	found := false
+	t.Ascend(key, func(k, v []byte) bool {
+		if !bytes.Equal(k, key) {
+			return false
+		}
+		out, found = v, true
+		return false
+	})
+	return out, found
+}
+
 // Contains reports whether at least one entry with the key exists.
 func (t *Tree) Contains(key []byte) bool {
 	found := false

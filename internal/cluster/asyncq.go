@@ -748,6 +748,7 @@ func (c *Cluster) applyGroup(run *epochRun, gi, delStep, insStep int) error {
 	if err != nil {
 		return err
 	}
+	c.publishStmt(g.table)
 	c.aq.mu.Lock()
 	run.done[gi] = true
 	c.aq.mu.Unlock()

@@ -19,6 +19,7 @@ import (
 	"joinview/internal/maintain"
 	"joinview/internal/mplan"
 	"joinview/internal/netsim"
+	netsimtcp "joinview/internal/netsim/tcp"
 	"joinview/internal/node"
 	"joinview/internal/stats"
 	"joinview/internal/storage"
@@ -131,6 +132,19 @@ type Config struct {
 	// OverloadBlock makes overloaded writers wait for the flusher instead
 	// of failing with ErrOverload.
 	OverloadBlock bool
+	// LockedReads disables MVCC snapshot reads: queries and scans fall
+	// back to taking shared lockmgr claims on the relations they read,
+	// queueing behind concurrent writers (the pre-MVCC behavior). Kept as
+	// the measured baseline for the hotpath benchmark and as an escape
+	// hatch.
+	LockedReads bool
+	// UseTCP runs the interconnect over real loopback TCP sockets with
+	// gob-encoded envelopes (internal/netsim/tcp) instead of channels or
+	// direct calls — the same Transport contract, so every cluster code
+	// path is unchanged. Mutually exclusive with UseChannels, NetLatency,
+	// CallTimeout and fault injection (errors are flattened to strings on
+	// the wire, which the fault machinery cannot round-trip).
+	UseTCP bool
 	// ReplicationFactor keeps K synchronous copies of every hash slot's
 	// rows: the primary copy in the owner's fragments plus K-1 follower
 	// copies in same-node shadow fragments at the slot's replica nodes.
@@ -255,6 +269,21 @@ type Cluster struct {
 	staleRepl  map[int]bool
 	repairSess *replRepair
 	rstats     *stats.ReplCounters
+
+	// mvcc is the snapshot-read epoch tracker (mvcc.go), nil when MVCC is
+	// off (serial modes, LockedReads). readFence is the one writer-side
+	// barrier snapshot readers observe besides the global lock: the
+	// migration cutover holds it exclusively while it rewires live
+	// fragments outside any epoch's version log.
+	mvcc      *epochTracker
+	readFence sync.RWMutex
+
+	// lean enables the allocation-lean delivery fast path: no fault
+	// injection, durability, call timeout or circuit breaker means a call
+	// either succeeds on the first attempt or fails the statement, so the
+	// sequence-number envelope, retry loop and in-doubt machinery are
+	// skipped entirely (resilience.go).
+	lean bool
 }
 
 // New builds a cluster. It returns an error for a non-positive node count.
@@ -333,6 +362,21 @@ func New(cfg Config) (*Cluster, error) {
 		handlers[i] = n.Handler()
 	}
 	switch {
+	case cfg.UseTCP:
+		if cfg.UseChannels {
+			return nil, fmt.Errorf("cluster: UseTCP and UseChannels are mutually exclusive")
+		}
+		if cfg.NetLatency > 0 || cfg.CallTimeout > 0 {
+			return nil, fmt.Errorf("cluster: NetLatency/CallTimeout require the channel transport (UseChannels)")
+		}
+		if cfg.Faults != nil {
+			return nil, fmt.Errorf("cluster: fault injection requires the channel or direct transport (TCP flattens errors to strings)")
+		}
+		tt, err := netsimtcp.New(handlers)
+		if err != nil {
+			return nil, err
+		}
+		c.inner = tt
 	case cfg.UseChannels:
 		c.inner = netsim.NewChanTimeout(handlers, cfg.NetLatency, cfg.CallTimeout)
 	case cfg.NetLatency > 0:
@@ -347,12 +391,21 @@ func New(cfg Config) (*Cluster, error) {
 		c.inner = fault.Wrap(c.inner, cfg.Faults)
 	}
 	c.tr = &resilientTransport{c: c}
+	c.lean = cfg.Faults == nil && !cfg.Durability && cfg.CallTimeout == 0 &&
+		cfg.BreakerThreshold <= 0
+	if c.parallelDispatch() && !cfg.LockedReads {
+		c.mvcc = newEpochTracker()
+	}
 	c.env = maintain.Env{
 		T:        c.tr,
 		Part:     c.part,
 		Cat:      c.cat,
 		Parallel: c.parallelDispatch(),
 		Workers:  cfg.ScatterWorkers,
+	}
+	if c.mvccOn() {
+		c.env.WriteEpoch = c.writeEpoch
+		c.env.GCFloor = c.gcFloorFor
 	}
 	if cfg.AsyncMaintenance && (cfg.EpochSize > 0 || cfg.FlushInterval > 0) {
 		c.startFlusher()
@@ -653,6 +706,20 @@ func (c *Cluster) gatherPartial(frag string, req func() any) ([]types.Tuple, err
 // the broadcast layer answers for the dead nodes with empty results, since
 // their data now lives at the promoted followers.
 func (c *Cluster) readRows(frag string) ([]types.Tuple, error) {
+	// MVCC path: read the pinned committed snapshot — concurrent writers
+	// never block this read and never leak a partial statement into it.
+	if snap, sh, ok := c.beginSnapshotRead(frag); ok {
+		defer c.endSnapshotRead(snap, sh)
+		resps, err := c.tr.Broadcast(netsim.Coordinator, node.AllRows{Frag: frag, Epoch: snap.epoch(frag)})
+		if err != nil {
+			return nil, err
+		}
+		var out []types.Tuple
+		for _, r := range resps {
+			out = append(out, r.(node.RowsResult).Tuples...)
+		}
+		return out, nil
+	}
 	if len(c.Degraded()) > 0 {
 		if c.replOn() {
 			_ = c.heal()
@@ -662,6 +729,14 @@ func (c *Cluster) readRows(frag string) ([]types.Tuple, error) {
 			return c.gather(frag)
 		}
 		return c.gatherPartial(frag, func() any { return node.AllRows{Frag: frag} })
+	}
+	if !c.serialStmts() {
+		// LockedReads on a concurrent transport: the pre-MVCC consistent
+		// read, a shared claim queueing behind every in-flight writer of the
+		// fragment. (Serial modes are single-statement by construction and
+		// keep the seed's unlocked gather.)
+		h := c.lockRead(frag)
+		defer h.Release()
 	}
 	return c.gather(frag)
 }

@@ -61,6 +61,7 @@ func (c *Cluster) insertOnce(table string, tuples []types.Tuple) error {
 	}); err != nil {
 		return err
 	}
+	c.publishStmt(table)
 	c.bumpRows(table, int64(len(tuples)))
 	return nil
 }
@@ -121,6 +122,10 @@ func (c *Cluster) deleteLocked(table string, pred expr.Expr) ([]types.Tuple, err
 	if err != nil {
 		return nil, err
 	}
+	// Publish before the caller releases the statement's claims: the
+	// epoch bump makes this statement's version records part of the
+	// committed state for future snapshots.
+	c.publishStmt(table)
 	return victims, nil
 }
 
@@ -218,6 +223,7 @@ func (c *Cluster) updateOnce(table string, set map[string]types.Value, pred expr
 	if err != nil {
 		return 0, err
 	}
+	c.publishStmt(table)
 	return count, nil
 }
 

@@ -34,7 +34,7 @@ import (
 // injection, whose deterministic chaos schedules assume one delivery at a
 // time.
 func (c *Cluster) parallelDispatch() bool {
-	return c.cfg.UseChannels && !c.cfg.SerialDML &&
+	return (c.cfg.UseChannels || c.cfg.UseTCP) && !c.cfg.SerialDML &&
 		!c.cfg.Durability && c.cfg.Faults == nil
 }
 

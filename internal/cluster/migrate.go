@@ -1130,6 +1130,12 @@ func (c *Cluster) cutover(m *migration) error {
 			claims = append(claims, lockmgr.X(vn))
 		}
 		h.Lock(claims...)
+		// MVCC snapshot readers hold no table claims, so the exclusive
+		// claims above do not fence them; the read fence does. Taken after
+		// the claims (readers never acquire claims, so the order is
+		// acyclic) and released with them.
+		c.readFence.Lock()
+		defer c.readFence.Unlock()
 	}
 	defer h.Release()
 	stallStart := time.Now()

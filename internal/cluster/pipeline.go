@@ -120,13 +120,14 @@ func (c *Cluster) stageBaseInsert(tx *txn.Txn, t *catalog.Table, tuples []types.
 		bucketTuples[n] = append(bucketTuples[n], tup)
 		bucketIdx[n] = append(bucketIdx[n], i)
 	}
+	ep, fl := c.writeEpoch(t.Name), c.gcFloorFor(t.Name)
 	var calls []netsim.Call
 	var dests []int
 	for n, bucket := range bucketTuples {
 		if len(bucket) == 0 {
 			continue
 		}
-		calls = append(calls, netsim.Call{From: netsim.Coordinator, To: n, Req: node.Insert{Frag: t.Name, Tuples: bucket}})
+		calls = append(calls, netsim.Call{From: netsim.Coordinator, To: n, Req: node.Insert{Frag: t.Name, Tuples: bucket, Epoch: ep, GCFloor: fl}})
 		dests = append(dests, n)
 	}
 	resps, scErr := c.scatter(calls)
@@ -143,7 +144,10 @@ func (c *Cluster) stageBaseInsert(tx *txn.Txn, t *catalog.Table, tuples []types.
 		rowsCopy := append([]storage.RowID(nil), rows...)
 		tuplesCopy := append([]types.Tuple(nil), bucketTuples[n]...)
 		tx.OnRollback(func() error {
-			return c.undoCallRows(n, node.DeleteRows{Frag: t.Name, Rows: rowsCopy}, tuplesCopy)
+			// The undo shares the forward stamp: the statement failed, so
+			// the epoch is never published and forward + undo records
+			// cancel in every snapshot.
+			return c.undoCallRows(n, node.DeleteRows{Frag: t.Name, Rows: rowsCopy, Epoch: ep}, tuplesCopy)
 		})
 		for bi, row := range rows {
 			locs[bucketIdx[n][bi]] = located{node: n, row: row, tuple: bucketTuples[n][bi]}
@@ -164,13 +168,14 @@ func (c *Cluster) stageBaseDelete(tx *txn.Txn, t *catalog.Table, locs []located)
 	for _, loc := range locs {
 		byNode[loc.node] = append(byNode[loc.node], loc.row)
 	}
+	ep, fl := c.writeEpoch(t.Name), c.gcFloorFor(t.Name)
 	var calls []netsim.Call
 	var dests []int
 	for n, rows := range byNode {
 		if len(rows) == 0 {
 			continue
 		}
-		calls = append(calls, netsim.Call{From: netsim.Coordinator, To: n, Req: node.DeleteRows{Frag: t.Name, Rows: rows}})
+		calls = append(calls, netsim.Call{From: netsim.Coordinator, To: n, Req: node.DeleteRows{Frag: t.Name, Rows: rows, Epoch: ep, GCFloor: fl}})
 		dests = append(dests, n)
 	}
 	resps, scErr := c.scatter(calls)
@@ -184,7 +189,7 @@ func (c *Cluster) stageBaseDelete(tx *txn.Txn, t *catalog.Table, locs []located)
 		// (node, row) pairs, so a plain re-insert (which allocates fresh
 		// ids) would leave every GI entry for these tuples dangling.
 		tx.OnRollback(func() error {
-			return c.undoCall(n, node.RestoreRows{Frag: t.Name, Rows: dr.Rows, Tuples: dr.Tuples})
+			return c.undoCall(n, node.RestoreRows{Frag: t.Name, Rows: dr.Rows, Tuples: dr.Tuples, Epoch: ep})
 		})
 	}
 	return scErr
@@ -203,6 +208,7 @@ func (c *Cluster) stageAuxRel(tx *txn.Txn, t *catalog.Table, ar *catalog.AuxRel,
 	}
 	arName := ar.Name
 	partCol := ar.PartitionCol
+	ep, fl := c.writeEpoch(arName), c.gcFloorFor(arName)
 	var calls []netsim.Call
 	var dests []int
 	for n, bucket := range buckets {
@@ -211,9 +217,9 @@ func (c *Cluster) stageAuxRel(tx *txn.Txn, t *catalog.Table, ar *catalog.AuxRel,
 		}
 		var req any
 		if op == maintain.OpInsert {
-			req = node.Insert{Frag: arName, Tuples: bucket}
+			req = node.Insert{Frag: arName, Tuples: bucket, Epoch: ep, GCFloor: fl}
 		} else {
-			req = node.DeleteMatch{Frag: arName, HintCol: partCol, Tuples: bucket}
+			req = node.DeleteMatch{Frag: arName, HintCol: partCol, Tuples: bucket, Epoch: ep, GCFloor: fl}
 		}
 		calls = append(calls, netsim.Call{From: netsim.Coordinator, To: n, Req: req})
 		dests = append(dests, n)
@@ -228,12 +234,12 @@ func (c *Cluster) stageAuxRel(tx *txn.Txn, t *catalog.Table, ar *catalog.AuxRel,
 			rows := append([]storage.RowID(nil), resp.(node.InsertResult).Rows...)
 			projCopy := append([]types.Tuple(nil), buckets[n]...)
 			tx.OnRollback(func() error {
-				return c.undoCallRows(n, node.DeleteRows{Frag: arName, Rows: rows}, projCopy)
+				return c.undoCallRows(n, node.DeleteRows{Frag: arName, Rows: rows, Epoch: ep}, projCopy)
 			})
 		} else {
 			dr := resp.(node.DeleteResult)
 			tx.OnRollback(func() error {
-				return c.undoCall(n, node.RestoreRows{Frag: arName, Rows: dr.Rows, Tuples: dr.Tuples})
+				return c.undoCall(n, node.RestoreRows{Frag: arName, Rows: dr.Rows, Tuples: dr.Tuples, Epoch: ep})
 			})
 		}
 	}

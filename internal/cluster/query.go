@@ -41,8 +41,24 @@ func (c *Cluster) QueryJoin(spec QuerySpec) ([]types.Tuple, *types.Schema, error
 }
 
 func (c *Cluster) queryJoinOnce(spec QuerySpec) ([]types.Tuple, *types.Schema, error) {
-	h := c.lockRead(spec.Tables...)
-	defer h.Release()
+	// Snapshot read when MVCC is on: pin the committed epochs of the query's
+	// tables (plus their auxiliary relations, any of which may serve as a
+	// pre-partitioned copy below) and read without table claims — concurrent
+	// writers neither block this query nor leak partial statements into it.
+	// Otherwise the classic locked read.
+	snap, sh, snapOK := c.beginSnapshotRead(spec.Tables...)
+	if snapOK {
+		defer c.endSnapshotRead(snap, sh)
+	} else {
+		h := c.lockRead(spec.Tables...)
+		defer h.Release()
+	}
+	epochOf := func(frag string) uint64 {
+		if snap == nil {
+			return 0
+		}
+		return snap.epoch(frag)
+	}
 	// Distributed joins shuffle data across every node, so a partial
 	// answer cannot be assembled; fail fast (simple scans degrade to
 	// partial results instead — see ScanFragmentMetered).
@@ -130,7 +146,7 @@ func (c *Cluster) queryJoinOnce(spec QuerySpec) ([]types.Tuple, *types.Schema, e
 		}():
 			// full-width AR reused as the pre-partitioned copy
 		default:
-			tmp, err := c.shuffle(next, nextTable.Schema, nextCol, newTemp)
+			tmp, err := c.shuffle(next, nextTable.Schema, nextCol, epochOf(next), newTemp)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -139,7 +155,7 @@ func (c *Cluster) queryJoinOnce(spec QuerySpec) ([]types.Tuple, *types.Schema, e
 
 		// Left side: reshuffle unless already partitioned on the join key.
 		if curPartCol != curCol {
-			tmp, err := c.shuffle(curFrag, curSchema, curCol, newTemp)
+			tmp, err := c.shuffle(curFrag, curSchema, curCol, epochOf(curFrag), newTemp)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -167,7 +183,8 @@ func (c *Cluster) queryJoinOnce(spec QuerySpec) ([]types.Tuple, *types.Schema, e
 		if _, err := c.tr.Broadcast(netsim.Coordinator, node.LocalJoin{
 			Left: curFrag, Right: rightFrag,
 			LeftCol: leftColPhys, RightCol: rightCol,
-			Out: outFrag,
+			Out:       outFrag,
+			LeftEpoch: epochOf(curFrag), RightEpoch: epochOf(rightFrag),
 		}); err != nil {
 			return nil, nil, err
 		}
@@ -177,7 +194,7 @@ func (c *Cluster) queryJoinOnce(spec QuerySpec) ([]types.Tuple, *types.Schema, e
 
 	// Gather the final fragments (metered scan), apply residual cyclic
 	// predicates, project.
-	resps, err := c.tr.Broadcast(netsim.Coordinator, node.Scan{Frag: curFrag})
+	resps, err := c.tr.Broadcast(netsim.Coordinator, node.Scan{Frag: curFrag, Epoch: epochOf(curFrag)})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -203,21 +220,22 @@ func (c *Cluster) queryJoinOnce(spec QuerySpec) ([]types.Tuple, *types.Schema, e
 	}
 	out := make([]types.Tuple, 0, len(rows))
 	for _, t := range rows {
+		// Apply allocates the projected tuple; no defensive clone needed.
 		p, err := proj.Apply(curSchema, t)
 		if err != nil {
 			return nil, nil, err
 		}
-		out = append(out, p.Clone())
+		out = append(out, p)
 	}
 	return out, outSchema, nil
 }
 
 // shuffle redistributes a fragment by the named column into a fresh temp
 // fragment clustered on that column: each node's share is scanned
-// (metered), bucketed and shipped (metered inserts + messages).
-func (c *Cluster) shuffle(frag string, schema *types.Schema, col string, newTemp func(*types.Schema, string) (string, error)) (string, error) {
-	ci := schema.ColIndex(col)
-	if ci < 0 {
+// (metered, at the reader's pinned epoch when versioned), bucketed and
+// shipped (metered inserts + messages).
+func (c *Cluster) shuffle(frag string, schema *types.Schema, col string, epoch uint64, newTemp func(*types.Schema, string) (string, error)) (string, error) {
+	if schema.ColIndex(col) < 0 {
 		return "", fmt.Errorf("cluster: shuffle column %q not in schema %v", col, schema.Names())
 	}
 	tmp, err := newTemp(schema, col)
@@ -229,14 +247,13 @@ func (c *Cluster) shuffle(frag string, schema *types.Schema, col string, newTemp
 			// Failed-over node: its slots live elsewhere, it has no share.
 			continue
 		}
-		resp, err := c.call(src, node.Scan{Frag: frag})
+		resp, err := c.call(src, node.Scan{Frag: frag, Epoch: epoch})
 		if err != nil {
 			return "", err
 		}
-		buckets := make([][]types.Tuple, c.NumNodes())
-		for _, t := range resp.(node.RowsResult).Tuples {
-			dst := c.part.NodeFor(t[ci])
-			buckets[dst] = append(buckets[dst], t)
+		buckets, err := c.part.Spread(schema, col, resp.(node.RowsResult).Tuples)
+		if err != nil {
+			return "", err
 		}
 		for dst, bucket := range buckets {
 			if len(bucket) == 0 {
@@ -256,6 +273,19 @@ func (c *Cluster) shuffle(frag string, schema *types.Schema, col string, newTemp
 // against QueryJoin's recompute cost. When the cluster is degraded the
 // surviving nodes' rows are returned together with ErrPartial.
 func (c *Cluster) ScanFragmentMetered(name string) ([]types.Tuple, error) {
+	// MVCC path: scan a pinned committed snapshot, no table claims.
+	if snap, sh, ok := c.beginSnapshotRead(name); ok {
+		defer c.endSnapshotRead(snap, sh)
+		resps, err := c.tr.Broadcast(netsim.Coordinator, node.Scan{Frag: name, Epoch: snap.epoch(name)})
+		if err != nil {
+			return nil, err
+		}
+		var rows []types.Tuple
+		for _, r := range resps {
+			rows = append(rows, r.(node.RowsResult).Tuples...)
+		}
+		return rows, nil
+	}
 	if len(c.Degraded()) > 0 {
 		if c.replOn() {
 			_ = c.heal()
@@ -267,6 +297,11 @@ func (c *Cluster) ScanFragmentMetered(name string) ([]types.Tuple, error) {
 		} else {
 			return c.gatherPartial(name, func() any { return node.Scan{Frag: name} })
 		}
+	} else if !c.serialStmts() {
+		// LockedReads on a concurrent transport: shared claim, queueing
+		// behind in-flight writers (the pre-MVCC consistent read).
+		h := c.lockRead(name)
+		defer h.Release()
 	}
 	resps, err := c.tr.Broadcast(netsim.Coordinator, node.Scan{Frag: name})
 	if err != nil {

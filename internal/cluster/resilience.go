@@ -179,7 +179,7 @@ func (t *resilientTransport) Broadcast(from int, req any) ([]any, error) {
 		return nil, fault.NodeDownError{Node: n}
 	}
 	wreq, id, mut := req, uint64(0), isMutating(req)
-	if mut {
+	if mut && !c.lean {
 		id = c.seq.Add(1)
 		tid := c.curTID.Load()
 		wreq = node.Seq{ID: id, TID: tid, Req: req}
@@ -206,7 +206,17 @@ func (t *resilientTransport) Broadcast(from int, req any) ([]any, error) {
 		if out[to] != nil {
 			continue
 		}
-		resp, cerr := c.deliver(from, to, wreq, id, mut, false)
+		var resp any
+		var cerr error
+		if c.lean {
+			// Unwrapped single re-attempt; see resilientCall's fast path.
+			resp, cerr = c.inner.Call(from, to, wreq)
+			if cerr == nil && mut {
+				c.tapMutation(to, wreq, resp)
+			}
+		} else {
+			resp, cerr = c.deliver(from, to, wreq, id, mut, false)
+		}
 		if cerr != nil {
 			errs = append(errs, fmt.Errorf("netsim: broadcast to node %d: %w", to, cerr))
 			continue
@@ -235,6 +245,28 @@ func (t *resilientTransport) Close() { t.c.inner.Close() }
 // it can rather than abandon the surviving nodes.
 func (c *Cluster) resilientCall(from, to int, req any, undo bool) (any, error) {
 	mut := isMutating(req)
+	if c.lean {
+		// Fast path: without faults, timeouts, durability or a breaker a
+		// delivery cannot spuriously fail, so the sequence envelope (whose
+		// sole job is retry dedup) and the retry/in-doubt loop are pure
+		// overhead. Node-down bookkeeping stays: MarkNodeDown and broken
+		// real-socket connections still surface here.
+		if c.isDown(to) {
+			if undo && mut {
+				c.queueRepair(to, repair{kind: repairRedo, id: c.seq.Add(1), req: req})
+				return nil, nil
+			}
+			return nil, fault.NodeDownError{Node: to}
+		}
+		resp, err := c.inner.Call(from, to, req)
+		if err != nil {
+			return nil, err
+		}
+		if mut {
+			c.tapMutation(to, req, resp)
+		}
+		return resp, nil
+	}
 	if c.isDown(to) {
 		if undo && mut {
 			// In durable mode the compensation is simply absorbed: the

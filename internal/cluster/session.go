@@ -108,6 +108,7 @@ func (t *Txn) deleteLockedStmt(table string, pred expr.Expr) ([]types.Tuple, err
 		}); err != nil {
 			return err
 		}
+		t.c.publishStmt(tab.Name)
 		t.c.bumpRows(table, int64(len(victims)))
 		return nil
 	})
@@ -172,6 +173,7 @@ func (t *Txn) insertLockedStmt(tab *catalog.Table, tuples []types.Tuple) error {
 	}); err != nil {
 		return err
 	}
+	t.c.publishStmt(tab.Name)
 	t.c.bumpRows(tab.Name, int64(len(tuples)))
 	inserted := append([]types.Tuple(nil), tuples...)
 	t.u.OnRollback(func() error {
@@ -243,7 +245,11 @@ func (c *Cluster) deleteTuplesLocked(tab *catalog.Table, tuples []types.Tuple) e
 			locs = append(locs, located{node: n, row: rr.Rows[i], tuple: rr.Tuples[i]})
 		}
 	}
-	return c.runStmt(func(undo *txn.Txn) error {
+	if err := c.runStmt(func(undo *txn.Txn) error {
 		return c.execPlan(undo, mp, victims, locs)
-	})
+	}); err != nil {
+		return err
+	}
+	c.publishStmt(tab.Name)
+	return nil
 }

@@ -259,10 +259,16 @@ func (p *Partitioner) Spread(s *types.Schema, col string, tuples []types.Tuple) 
 	if i < 0 {
 		return nil, fmt.Errorf("hashpart: partition column %q not in schema %v", col, s.Names())
 	}
+	return p.SpreadIndex(i, tuples), nil
+}
+
+// SpreadIndex is Spread keyed by column position instead of name, for
+// callers that already resolved the column against their schema.
+func (p *Partitioner) SpreadIndex(i int, tuples []types.Tuple) [][]types.Tuple {
 	m := p.cur.Load()
 	buckets := make([][]types.Tuple, m.Nodes)
 	if len(tuples) == 0 {
-		return buckets, nil
+		return buckets
 	}
 	sc := p.scratch.Get().(*spreadScratch)
 	defer p.scratch.Put(sc)
@@ -293,5 +299,5 @@ func (p *Partitioner) Spread(s *types.Schema, col string, tuples []types.Tuple) 
 		n := homes[j]
 		buckets[n] = append(buckets[n], t)
 	}
-	return buckets, nil
+	return buckets
 }

@@ -94,6 +94,16 @@ func (m *Manager) AcquireShared() *Held {
 	return &Held{m: m, global: Shared}
 }
 
+// AcquireRead takes the global lock in shared mode with no resource claims
+// at all: the MVCC snapshot-read entry point. A snapshot reader needs the
+// global shared lock only to fence DDL and recovery (which mutate the
+// catalog under AcquireGlobal); it takes no named S locks, so it never
+// queues behind — and never blocks — any writer statement's table claims.
+func (m *Manager) AcquireRead() *Held {
+	m.global.RLock()
+	return &Held{m: m, global: Shared}
+}
+
 // Lock acquires the claims in deterministic sorted order (dedup: the
 // strongest requested mode per resource wins). It must be called at most
 // once per Held, before any conflicting work starts.

@@ -144,6 +144,7 @@ func applyAggToView(env Env, v *catalog.View, groups []AggGroup, op Op) error {
 		n := env.Part.NodeFor(g.Key[idx])
 		buckets[n] = append(buckets[n], g)
 	}
+	ep, fl := env.stamps(v.Name)
 	var calls []netsim.Call
 	for n, bucket := range buckets {
 		if len(bucket) == 0 {
@@ -154,6 +155,8 @@ func applyAggToView(env Env, v *catalog.View, groups []AggGroup, op Op) error {
 			HintCol:  partCol,
 			GroupLen: len(v.Out),
 			CountPos: v.CountIndex() - len(v.Out),
+			Epoch:    ep,
+			GCFloor:  fl,
 		}
 		for _, g := range bucket {
 			req.Keys = append(req.Keys, g.Key)

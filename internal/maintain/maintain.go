@@ -36,6 +36,25 @@ type Env struct {
 	Parallel bool
 	// Workers bounds in-flight calls per fan-out (0 = one per node).
 	Workers int
+	// WriteEpoch and GCFloor, when set, stamp view mutations for MVCC
+	// snapshot reads: WriteEpoch(frag) is the epoch the current statement
+	// writes at, GCFloor(frag) the version-log truncation floor piggybacked
+	// on the request. Nil means unversioned (epoch 0 on the wire).
+	WriteEpoch func(frag string) uint64
+	GCFloor    func(frag string) uint64
+}
+
+// stamps returns the (epoch, gc floor) pair for one fragment, zero when the
+// env is unversioned.
+func (env Env) stamps(frag string) (uint64, uint64) {
+	var ep, fl uint64
+	if env.WriteEpoch != nil {
+		ep = env.WriteEpoch(frag)
+	}
+	if env.GCFloor != nil {
+		fl = env.GCFloor(frag)
+	}
+	return ep, fl
 }
 
 // scatter runs the calls through the env's transport and dispatch policy.
@@ -85,16 +104,25 @@ func ComputeViewDelta(env Env, p *plan.Plan, delta []types.Tuple, algo node.Algo
 	if len(delta) == 0 {
 		return nil, &Result{}, nil
 	}
-	updated, err := env.Cat.Table(p.Table)
-	if err != nil {
-		return nil, nil, err
-	}
 	cur := delta
-	curSchema := updated.Schema.Prefixed(p.Table)
+	// The plan carries every intermediate schema and join-key position,
+	// resolved once at build time; execution only walks them.
+	curSchema := p.DeltaSchema
+	var err error
+	if curSchema == nil {
+		updated, terr := env.Cat.Table(p.Table)
+		if terr != nil {
+			return nil, nil, terr
+		}
+		curSchema = updated.Schema.Prefixed(p.Table)
+	}
 	res := &Result{}
 
 	for _, step := range p.Steps {
-		keyIdx := curSchema.ColIndex(step.DeltaCol)
+		keyIdx := step.DeltaKey
+		if step.OutSchema == nil {
+			keyIdx = curSchema.ColIndex(step.DeltaCol)
+		}
 		if keyIdx < 0 {
 			return nil, nil, fmt.Errorf("maintain: intermediate schema %v lacks %s", curSchema.Names(), step.DeltaCol)
 		}
@@ -113,7 +141,11 @@ func ComputeViewDelta(env Env, p *plan.Plan, delta []types.Tuple, algo node.Algo
 		if err != nil {
 			return nil, nil, fmt.Errorf("maintain: step %s (%v): %w", step.Table, step.Via, err)
 		}
-		curSchema = curSchema.Concat(step.FragSchema.Prefixed(step.Table))
+		if step.OutSchema != nil {
+			curSchema = step.OutSchema
+		} else {
+			curSchema = curSchema.Concat(step.FragSchema.Prefixed(step.Table))
+		}
 		cur = next
 		res.Steps = append(res.Steps, StepTrace{
 			Table:        step.Table,
@@ -133,7 +165,9 @@ func ComputeViewDelta(env Env, p *plan.Plan, delta []types.Tuple, algo node.Algo
 	}
 
 	// Project the final intermediate onto the maintenance columns (output
-	// columns; plus sum measures for aggregate views).
+	// columns; plus sum measures for aggregate views). Apply builds each
+	// projected tuple fresh (values are immutable), so the output needs no
+	// defensive clone.
 	proj := expr.NewProjection(p.View.MaintenanceProjection())
 	out := make([]types.Tuple, 0, len(cur))
 	for _, t := range cur {
@@ -141,7 +175,7 @@ func ComputeViewDelta(env Env, p *plan.Plan, delta []types.Tuple, algo node.Algo
 		if err != nil {
 			return nil, nil, fmt.Errorf("maintain: projecting to view %q: %w", p.View.Name, err)
 		}
-		out = append(out, pt.Clone())
+		out = append(out, pt)
 	}
 	res.ViewTuples = len(out)
 	return out, res, nil
@@ -194,22 +228,28 @@ func broadcastStep(env Env, step plan.Step, cur []types.Tuple, keyIdx int, algo 
 	if err != nil {
 		return nil, 0, err
 	}
-	var out []types.Tuple
+	return gatherProbed(resps), len(resps), nil
+}
+
+// gatherProbed concatenates the Probed responses into one exactly-sized
+// slice.
+func gatherProbed(resps []any) []types.Tuple {
+	total := 0
+	for _, r := range resps {
+		total += len(r.(node.Probed).Tuples)
+	}
+	out := make([]types.Tuple, 0, total)
 	for _, r := range resps {
 		out = append(out, r.(node.Probed).Tuples...)
 	}
-	return out, len(resps), nil
+	return out
 }
 
 // routeStep hash-routes each intermediate tuple to the node owning its
 // join-attribute value (auxiliary-relation method, Figure 4, or a base
 // relation partitioned on the join attribute, Figure 1) and probes there.
 func routeStep(env Env, step plan.Step, cur []types.Tuple, keyIdx int, algo node.Algo) ([]types.Tuple, int, error) {
-	buckets := make([][]types.Tuple, env.Part.Nodes())
-	for _, t := range cur {
-		n := env.Part.NodeFor(t[keyIdx])
-		buckets[n] = append(buckets[n], t)
-	}
+	buckets := env.Part.SpreadIndex(keyIdx, cur)
 	var calls []netsim.Call
 	for n, bucket := range buckets {
 		if len(bucket) == 0 {
@@ -228,11 +268,7 @@ func routeStep(env Env, step plan.Step, cur []types.Tuple, keyIdx int, algo node
 	if err != nil {
 		return nil, 0, err
 	}
-	var out []types.Tuple
-	for _, r := range resps {
-		out = append(out, r.(node.Probed).Tuples...)
-	}
-	return out, len(calls), nil
+	return gatherProbed(resps), len(calls), nil
 }
 
 // globalIndexStep implements Figure 6: per intermediate tuple, route to the
@@ -305,11 +341,8 @@ func ApplyToView(env Env, v *catalog.View, tuples []types.Tuple, op Op) error {
 	if idx < 0 {
 		return fmt.Errorf("maintain: view %q schema lacks partition column %s", v.Name, partCol)
 	}
-	buckets := make([][]types.Tuple, env.Part.Nodes())
-	for _, t := range tuples {
-		n := env.Part.NodeFor(t[idx])
-		buckets[n] = append(buckets[n], t)
-	}
+	buckets := env.Part.SpreadIndex(idx, tuples)
+	ep, fl := env.stamps(v.Name)
 	var calls []netsim.Call
 	for n, bucket := range buckets {
 		if len(bucket) == 0 {
@@ -317,9 +350,9 @@ func ApplyToView(env Env, v *catalog.View, tuples []types.Tuple, op Op) error {
 		}
 		var req any
 		if op == OpInsert {
-			req = node.Insert{Frag: v.Name, Tuples: bucket}
+			req = node.Insert{Frag: v.Name, Tuples: bucket, Epoch: ep, GCFloor: fl}
 		} else {
-			req = node.DeleteMatch{Frag: v.Name, HintCol: partCol, Tuples: bucket}
+			req = node.DeleteMatch{Frag: v.Name, HintCol: partCol, Tuples: bucket, Epoch: ep, GCFloor: fl}
 		}
 		calls = append(calls, netsim.Call{From: netsim.Coordinator, To: n, Req: req})
 	}

@@ -220,6 +220,30 @@ type Chan struct {
 	// send on a closed channel.
 	mu     sync.RWMutex
 	closed bool
+
+	// replyPool recycles reply channels, but only when no timeout is
+	// configured: an unbounded recv always drains the single buffered
+	// reply before the channel is pooled, whereas a timed-out recv could
+	// leave a late handler write behind for the next checkout to read.
+	replyPool sync.Pool
+}
+
+// getReply checks a drained reply channel out of the pool (unbounded mode)
+// or allocates a fresh one.
+func (c *Chan) getReply() chan result {
+	if c.timeout == 0 {
+		if v := c.replyPool.Get(); v != nil {
+			return v.(chan result)
+		}
+	}
+	return make(chan result, 1)
+}
+
+// putReply returns a drained (or never-written) reply channel to the pool.
+func (c *Chan) putReply(ch chan result) {
+	if c.timeout == 0 {
+		c.replyPool.Put(ch)
+	}
 }
 
 type envelope struct {
@@ -327,11 +351,16 @@ func (c *Chan) Call(from, to int, req any) (any, error) {
 	if c.latency > 0 && from != to {
 		time.Sleep(c.latency)
 	}
-	reply := make(chan result, 1)
+	reply := c.getReply()
 	if err := c.send(from, to, envelope{req: req, reply: reply}); err != nil {
+		c.putReply(reply) // never entered an inbox, so never written
 		return nil, err
 	}
-	return c.recv(to, reply)
+	resp, err := c.recv(to, reply)
+	if c.timeout == 0 {
+		c.putReply(reply) // recv drained the single buffered result
+	}
+	return resp, err
 }
 
 // Broadcast implements Transport. Deliveries run concurrently; the
@@ -347,8 +376,9 @@ func (c *Chan) Broadcast(from int, req any) ([]any, error) {
 	replies := make([]chan result, n)
 	var errs []error
 	for to := 0; to < n; to++ {
-		reply := make(chan result, 1)
+		reply := c.getReply()
 		if err := c.send(from, to, envelope{req: req, reply: reply}); err != nil {
+			c.putReply(reply)
 			errs = append(errs, fmt.Errorf("netsim: broadcast to node %d: %w", to, err))
 			continue
 		}
@@ -360,6 +390,9 @@ func (c *Chan) Broadcast(from int, req any) ([]any, error) {
 			continue
 		}
 		resp, err := c.recv(to, replies[to])
+		if c.timeout == 0 {
+			c.putReply(replies[to])
+		}
 		if err != nil {
 			errs = append(errs, fmt.Errorf("netsim: broadcast to node %d: %w", to, err))
 			continue

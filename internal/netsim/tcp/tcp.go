@@ -1,0 +1,328 @@
+// Package tcp is a real-socket implementation of the netsim.Transport
+// contract: every node listens on a loopback TCP port, requests and
+// responses travel as gob-encoded envelopes, and the coordinator keeps a
+// small per-destination connection pool. It exists to prove the engine's
+// envelope encoding works off in-process channels — the cluster code is
+// byte-for-byte the same over Direct, Chan and TCP.
+//
+// Contract deviations, both documented at the Config surface:
+//
+//   - Errors are flattened to strings on the wire, so errors.Is matching
+//     of node-side sentinel errors does not survive the hop. Fault
+//     injection (whose machinery classifies wrapped error values) is
+//     therefore rejected with this transport.
+//   - There is no latency or timeout knob; calls block until the peer
+//     answers or the connection breaks.
+package tcp
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"joinview/internal/expr"
+	"joinview/internal/netsim"
+	"joinview/internal/node"
+)
+
+func init() {
+	for _, r := range node.AllRequests() {
+		gob.Register(r)
+	}
+	for _, r := range node.AllResponses() {
+		gob.Register(r)
+	}
+	// Predicate trees ride inside FindMatching as expr.Expr values.
+	gob.Register(expr.Col{})
+	gob.Register(expr.Const{})
+	gob.Register(expr.Cmp{})
+	gob.Register(expr.And{})
+	gob.Register(expr.Or{})
+	gob.Register(expr.Not{})
+}
+
+// wireReq frames one request.
+type wireReq struct {
+	Req any
+}
+
+// wireResp frames one response; Err is the flattened handler error ("" =
+// success).
+type wireResp struct {
+	Resp any
+	Err  string
+}
+
+// server is one node's listening side. The handler mutex serializes
+// request execution per node — the same discipline the Chan transport's
+// per-node goroutine provides — while different nodes execute
+// concurrently.
+type server struct {
+	ln net.Listener
+	h  netsim.Handler
+	mu sync.Mutex // serializes handler execution
+	wg sync.WaitGroup
+}
+
+func (s *server) serve() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			dec := gob.NewDecoder(conn)
+			enc := gob.NewEncoder(conn)
+			for {
+				var req wireReq
+				if err := dec.Decode(&req); err != nil {
+					return // peer closed or stream broken
+				}
+				resp, err := s.handle(req.Req)
+				w := wireResp{Resp: resp}
+				if err != nil {
+					w = wireResp{Err: err.Error()}
+				}
+				if err := enc.Encode(w); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+func (s *server) handle(req any) (resp any, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			resp, err = nil, fmt.Errorf("tcp: handler panic: %v", r)
+		}
+	}()
+	return s.h(req)
+}
+
+// conn is one pooled client connection with its sticky codec pair (gob
+// streams carry type dictionaries, so encoder and decoder must live as
+// long as the connection).
+type conn struct {
+	c   net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+// pool is a per-destination free list. Checkout is exclusive: one in-flight
+// request per connection, strict request/response lockstep.
+type pool struct {
+	mu   sync.Mutex
+	idle []*conn
+	addr string
+}
+
+func (p *pool) get() (*conn, error) {
+	p.mu.Lock()
+	if n := len(p.idle); n > 0 {
+		c := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return c, nil
+	}
+	addr := p.addr
+	p.mu.Unlock()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcp: dial %s: %w", addr, err)
+	}
+	return &conn{c: nc, enc: gob.NewEncoder(nc), dec: gob.NewDecoder(nc)}, nil
+}
+
+func (p *pool) put(c *conn) {
+	p.mu.Lock()
+	p.idle = append(p.idle, c)
+	p.mu.Unlock()
+}
+
+func (p *pool) close() {
+	p.mu.Lock()
+	for _, c := range p.idle {
+		c.c.Close()
+	}
+	p.idle = nil
+	p.mu.Unlock()
+}
+
+// counters mirrors the in-package netsim accounting (that type is
+// unexported): one envelope per physical delivery, logical SEND counts for
+// batched requests implementing netsim.Envelope, self-deliveries free.
+type counters struct {
+	messages  atomic.Int64
+	local     atomic.Int64
+	envelopes atomic.Int64
+}
+
+func (c *counters) record(from, to int, req any) {
+	c.envelopes.Add(1)
+	if env, ok := req.(netsim.Envelope); ok {
+		msgs, local := env.LogicalCounts(from, to)
+		c.messages.Add(msgs)
+		c.local.Add(local)
+		return
+	}
+	if from == to {
+		c.local.Add(1)
+	} else {
+		c.messages.Add(1)
+	}
+}
+
+// Transport is the TCP implementation of netsim.Transport (plus
+// netsim.NodeAdder).
+type Transport struct {
+	mu      sync.RWMutex // guards servers/pools growth and closed
+	servers []*server
+	pools   []*pool
+	closed  bool
+	ctr     counters
+}
+
+// New starts one loopback listener per handler and returns the connected
+// transport.
+func New(handlers []netsim.Handler) (*Transport, error) {
+	t := &Transport{}
+	for _, h := range handlers {
+		if _, err := t.AddNode(h); err != nil {
+			t.Close()
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// AddNode implements netsim.NodeAdder: it starts a listener for one more
+// node and returns its id.
+func (t *Transport) AddNode(h netsim.Handler) (int, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, fmt.Errorf("tcp: listen: %w", err)
+	}
+	s := &server{ln: ln, h: h}
+	go s.serve()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		ln.Close()
+		return 0, netsim.ErrClosed
+	}
+	t.servers = append(t.servers, s)
+	t.pools = append(t.pools, &pool{addr: ln.Addr().String()})
+	return len(t.servers) - 1, nil
+}
+
+// Call implements netsim.Transport.
+func (t *Transport) Call(from, to int, req any) (any, error) {
+	t.mu.RLock()
+	n := len(t.pools)
+	if t.closed {
+		t.mu.RUnlock()
+		return nil, netsim.ErrClosed
+	}
+	if to < 0 || to >= n {
+		t.mu.RUnlock()
+		return nil, fmt.Errorf("netsim: destination %d out of range [0,%d)", to, n)
+	}
+	p := t.pools[to]
+	t.mu.RUnlock()
+
+	c, err := p.get()
+	if err != nil {
+		return nil, err
+	}
+	t.ctr.record(from, to, req)
+	if err := c.enc.Encode(wireReq{Req: req}); err != nil {
+		c.c.Close()
+		return nil, fmt.Errorf("tcp: send to node %d: %w", to, err)
+	}
+	var w wireResp
+	if err := c.dec.Decode(&w); err != nil {
+		c.c.Close()
+		return nil, fmt.Errorf("tcp: receive from node %d: %w", to, err)
+	}
+	p.put(c)
+	if w.Err != "" {
+		return nil, errors.New(w.Err)
+	}
+	return w.Resp, nil
+}
+
+// Broadcast implements netsim.Transport: concurrent fan-out, every node
+// attempted, failures joined with their node ids (the Direct/Chan error
+// shape).
+func (t *Transport) Broadcast(from int, req any) ([]any, error) {
+	n := t.NumNodes()
+	out := make([]any, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for to := 0; to < n; to++ {
+		wg.Add(1)
+		go func(to int) {
+			defer wg.Done()
+			resp, err := t.Call(from, to, req)
+			if err != nil {
+				errs[to] = fmt.Errorf("netsim: broadcast to node %d: %w", to, err)
+				return
+			}
+			out[to] = resp
+		}(to)
+	}
+	wg.Wait()
+	return out, errors.Join(errs...)
+}
+
+// NumNodes implements netsim.Transport.
+func (t *Transport) NumNodes() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.servers)
+}
+
+// Stats implements netsim.Transport.
+func (t *Transport) Stats() netsim.Stats {
+	return netsim.Stats{
+		Messages:   t.ctr.messages.Load(),
+		LocalCalls: t.ctr.local.Load(),
+		Envelopes:  t.ctr.envelopes.Load(),
+	}
+}
+
+// ResetStats implements netsim.Transport.
+func (t *Transport) ResetStats() {
+	t.ctr.messages.Store(0)
+	t.ctr.local.Store(0)
+	t.ctr.envelopes.Store(0)
+}
+
+// Close implements netsim.Transport: closes listeners, in-flight server
+// goroutines and pooled client connections.
+func (t *Transport) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	servers, pools := t.servers, t.pools
+	t.mu.Unlock()
+	for _, p := range pools {
+		p.close()
+	}
+	for _, s := range servers {
+		s.ln.Close()
+		s.wg.Wait()
+	}
+}

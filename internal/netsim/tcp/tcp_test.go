@@ -1,0 +1,171 @@
+package tcp
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"joinview/internal/netsim"
+	"joinview/internal/node"
+	"joinview/internal/types"
+)
+
+// echoHandlers builds n handlers that answer node.Ping with Ack and
+// node.Insert by echoing synthetic row ids, erroring on a designated node.
+func echoHandlers(n, failAt int) []netsim.Handler {
+	hs := make([]netsim.Handler, n)
+	for i := 0; i < n; i++ {
+		i := i
+		hs[i] = func(req any) (any, error) {
+			if i == failAt {
+				return nil, fmt.Errorf("node %d refuses", i)
+			}
+			switch r := req.(type) {
+			case node.Ping:
+				return node.Ack{}, nil
+			case node.Insert:
+				res := node.InsertResult{}
+				for range r.Tuples {
+					res.Rows = append(res.Rows, 7)
+				}
+				return res, nil
+			}
+			return nil, fmt.Errorf("unhandled %T", req)
+		}
+	}
+	return hs
+}
+
+func newT(t *testing.T, n, failAt int) *Transport {
+	t.Helper()
+	tr, err := New(echoHandlers(n, failAt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tr.Close)
+	return tr
+}
+
+func TestCallRoundTripsTypedPayloads(t *testing.T) {
+	tr := newT(t, 3, -1)
+	resp, err := tr.Call(netsim.Coordinator, 1, node.Ping{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := resp.(node.Ack); !ok {
+		t.Fatalf("got %T, want node.Ack", resp)
+	}
+	ins := node.Insert{Frag: "f", Tuples: []types.Tuple{{types.Int(1), types.String("x")}}, Epoch: 5}
+	resp, err = tr.Call(0, 2, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ir, ok := resp.(node.InsertResult)
+	if !ok || len(ir.Rows) != 1 {
+		t.Fatalf("got %#v, want one echoed row", resp)
+	}
+}
+
+func TestHandlerErrorsFlattenToStrings(t *testing.T) {
+	tr := newT(t, 2, 1)
+	_, err := tr.Call(netsim.Coordinator, 1, node.Ping{})
+	if err == nil || !strings.Contains(err.Error(), "node 1 refuses") {
+		t.Fatalf("got %v, want flattened handler error", err)
+	}
+}
+
+func TestBroadcastJoinsPerNodeFailures(t *testing.T) {
+	tr := newT(t, 3, 1)
+	out, err := tr.Broadcast(netsim.Coordinator, node.Ping{})
+	if err == nil || !strings.Contains(err.Error(), "netsim: broadcast to node 1") {
+		t.Fatalf("got %v, want Direct/Chan broadcast error shape", err)
+	}
+	if out[0] == nil || out[1] != nil || out[2] == nil {
+		t.Fatalf("out = %#v: surviving slots must answer, failed slot must be nil", out)
+	}
+}
+
+func TestStatsMatchNetsimAccounting(t *testing.T) {
+	tr := newT(t, 3, -1)
+	if _, err := tr.Call(netsim.Coordinator, 0, node.Ping{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Call(1, 1, node.Ping{}); err != nil { // self-delivery
+		t.Fatal(err)
+	}
+	s := tr.Stats()
+	if s.Envelopes != 2 || s.Messages != 1 || s.LocalCalls != 1 {
+		t.Fatalf("stats = %+v, want 2 envelopes, 1 message, 1 local", s)
+	}
+	tr.ResetStats()
+	if s := tr.Stats(); s != (netsim.Stats{}) {
+		t.Fatalf("reset left %+v", s)
+	}
+}
+
+func TestAddNodeGrowsCluster(t *testing.T) {
+	tr := newT(t, 1, -1)
+	id, err := tr.AddNode(echoHandlers(1, -1)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 || tr.NumNodes() != 2 {
+		t.Fatalf("AddNode gave id %d over %d nodes, want 1 over 2", id, tr.NumNodes())
+	}
+	if _, err := tr.Call(0, 1, node.Ping{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentCallsSerializePerNode(t *testing.T) {
+	const n, calls = 4, 64
+	var mu sync.Mutex
+	depth := make([]int, n)
+	hs := make([]netsim.Handler, n)
+	for i := 0; i < n; i++ {
+		i := i
+		hs[i] = func(req any) (any, error) {
+			mu.Lock()
+			depth[i]++
+			if depth[i] > 1 {
+				mu.Unlock()
+				return nil, errors.New("handler reentered")
+			}
+			mu.Unlock()
+			mu.Lock()
+			depth[i]--
+			mu.Unlock()
+			return node.Ack{}, nil
+		}
+	}
+	tr, err := New(hs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, calls)
+	for i := 0; i < calls; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = tr.Call(netsim.Coordinator, i%n, node.Ping{})
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCallAfterCloseFails(t *testing.T) {
+	tr := newT(t, 2, -1)
+	tr.Close()
+	if _, err := tr.Call(0, 1, node.Ping{}); !errors.Is(err, netsim.ErrClosed) {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+}

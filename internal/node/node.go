@@ -204,13 +204,14 @@ func (n *DataNode) Handle(req any) (any, error) {
 		if err != nil {
 			return nil, err
 		}
+		f.TruncateVersions(r.GCFloor)
 		res := InsertResult{Rows: make([]storage.RowID, 0, len(r.Tuples))}
 		for _, t := range r.Tuples {
 			var row storage.RowID
 			if r.Unmetered {
 				row, err = f.InsertUnmetered(t)
 			} else {
-				row, err = f.Insert(t)
+				row, err = f.InsertEpoch(t, r.Epoch)
 			}
 			if err != nil {
 				return nil, fmt.Errorf("node %d: insert into %q: %w", n.id, r.Frag, err)
@@ -224,9 +225,10 @@ func (n *DataNode) Handle(req any) (any, error) {
 		if err != nil {
 			return nil, err
 		}
+		f.TruncateVersions(r.GCFloor)
 		res := DeleteResult{}
 		for _, row := range r.Rows {
-			if t, ok := f.Delete(row); ok {
+			if t, ok := f.DeleteEpoch(row, r.Epoch); ok {
 				res.Tuples = append(res.Tuples, t)
 				res.Rows = append(res.Rows, row)
 			}
@@ -241,8 +243,9 @@ func (n *DataNode) Handle(req any) (any, error) {
 		if len(r.Rows) != len(r.Tuples) {
 			return nil, fmt.Errorf("node %d: RestoreRows: %d rows vs %d tuples", n.id, len(r.Rows), len(r.Tuples))
 		}
+		f.TruncateVersions(r.GCFloor)
 		for i, row := range r.Rows {
-			if err := f.InsertAt(row, r.Tuples[i]); err != nil {
+			if err := f.InsertAtEpoch(row, r.Tuples[i], r.Epoch); err != nil {
 				return nil, fmt.Errorf("node %d: restore into %q: %w", n.id, r.Frag, err)
 			}
 		}
@@ -253,6 +256,7 @@ func (n *DataNode) Handle(req any) (any, error) {
 		if err != nil {
 			return nil, err
 		}
+		f.TruncateVersions(r.GCFloor)
 		res := DeleteResult{}
 		for _, t := range r.Tuples {
 			rows, err := f.FindRows(r.HintCol, t)
@@ -262,7 +266,7 @@ func (n *DataNode) Handle(req any) (any, error) {
 			if len(rows) == 0 {
 				continue
 			}
-			if del, ok := f.Delete(rows[0]); ok {
+			if del, ok := f.DeleteEpoch(rows[0], r.Epoch); ok {
 				res.Tuples = append(res.Tuples, del)
 				res.Rows = append(res.Rows, rows[0])
 			}
@@ -402,7 +406,7 @@ func (n *DataNode) Handle(req any) (any, error) {
 			return nil, err
 		}
 		res := RowsResult{Tuples: make([]types.Tuple, 0, f.Len())}
-		f.Scan(func(_ storage.RowID, t types.Tuple) bool {
+		f.SnapshotScan(r.Epoch, func(_ storage.RowID, t types.Tuple) bool {
 			res.Tuples = append(res.Tuples, t)
 			return true
 		})
@@ -413,7 +417,7 @@ func (n *DataNode) Handle(req any) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		return RowsResult{Tuples: f.All()}, nil
+		return RowsResult{Tuples: f.SnapshotAll(r.Epoch)}, nil
 
 	case ScanWithRows:
 		f, err := n.frag(r.Frag)
@@ -613,6 +617,7 @@ func (n *DataNode) aggApply(r AggApply) (any, error) {
 	if hintIdx < 0 || hintIdx >= r.GroupLen {
 		return nil, fmt.Errorf("node %d: AggApply: hint column %q is not a group column", n.id, r.HintCol)
 	}
+	f.TruncateVersions(r.GCFloor)
 	for gi, key := range r.Keys {
 		delta := r.Deltas[gi]
 		ms, _, err := f.LookupEqual(r.HintCol, key[hintIdx])
@@ -631,7 +636,7 @@ func (n *DataNode) aggApply(r AggApply) (any, error) {
 			if countDelta <= 0 {
 				return nil, fmt.Errorf("node %d: aggregate view %q: delta for absent group %v (structures out of sync)", n.id, r.Frag, key)
 			}
-			if _, err := f.Insert(key.Concat(delta)); err != nil {
+			if _, err := f.InsertEpoch(key.Concat(delta), r.Epoch); err != nil {
 				return nil, err
 			}
 			continue
@@ -640,7 +645,7 @@ func (n *DataNode) aggApply(r AggApply) (any, error) {
 		if newCount < 0 {
 			return nil, fmt.Errorf("node %d: aggregate view %q: group %v count would go negative", n.id, r.Frag, key)
 		}
-		if _, ok := f.Delete(existing.Row); !ok {
+		if _, ok := f.DeleteEpoch(existing.Row, r.Epoch); !ok {
 			return nil, fmt.Errorf("node %d: aggregate view %q: group row vanished", n.id, r.Frag)
 		}
 		if newCount == 0 {
@@ -655,7 +660,7 @@ func (n *DataNode) aggApply(r AggApply) (any, error) {
 			}
 			updated = append(updated, nv)
 		}
-		if _, err := f.Insert(updated); err != nil {
+		if _, err := f.InsertEpoch(updated, r.Epoch); err != nil {
 			return nil, err
 		}
 	}
@@ -753,14 +758,14 @@ func (n *DataNode) localJoin(r LocalJoin) (any, error) {
 	// Build from the right side, probe with the left; both sides charged
 	// as one scan each.
 	build := map[uint64][]types.Tuple{}
-	fr.Scan(func(_ storage.RowID, t types.Tuple) bool {
+	fr.SnapshotScan(r.RightEpoch, func(_ storage.RowID, t types.Tuple) bool {
 		h := t[ri].Hash()
 		build[h] = append(build[h], t)
 		return true
 	})
 	produced := 0
 	var joinErr error
-	fl.Scan(func(_ storage.RowID, t types.Tuple) bool {
+	fl.SnapshotScan(r.LeftEpoch, func(_ storage.RowID, t types.Tuple) bool {
 		for _, rt := range build[t[li].Hash()] {
 			if !types.Equal(t[li], rt[ri]) {
 				continue

@@ -1,6 +1,9 @@
 package node
 
-import "joinview/internal/types"
+import (
+	"joinview/internal/storage"
+	"joinview/internal/types"
+)
 
 // IsMutating reports whether a request changes node state, and therefore
 // needs sequence-number dedup for safe retry and a redo record for
@@ -112,5 +115,18 @@ func AllRequests() []any {
 		FragInfo{}, MeterSnapshot{}, ResetMeter{},
 		Prepare{}, Decide{}, ResolveAbort{}, InDoubtReq{},
 		CheckpointReq{}, CrashReq{}, RestartReq{},
+	}
+}
+
+// AllResponses enumerates one zero value of every response type a node can
+// return. Wire transports (internal/netsim/tcp) register them alongside
+// AllRequests for interface-typed decoding.
+func AllResponses() []any {
+	return []any{
+		InsertResult{}, DeleteResult{}, RowsResult{}, Probed{},
+		GIDeleted{}, GIDeletedBatch{}, GILenResult{}, GIScanResult{},
+		GIRows{}, LocalJoinResult{}, PromoteResult{}, GIScrubbed{},
+		FragInfoResult{}, SeqQueryResult{}, InDoubtResult{},
+		CheckpointResult{}, RestartResult{}, storage.Counts{}, Ack{},
 	}
 }

@@ -60,6 +60,12 @@ type Insert struct {
 	Frag      string
 	Tuples    []types.Tuple
 	Unmetered bool
+	// Epoch stamps the mutation in the fragment's version log for MVCC
+	// snapshot reads; 0 (every legacy path) records nothing. GCFloor
+	// piggybacks the coordinator's snapshot-GC floor: version records at
+	// or below it are unpinned and may be dropped.
+	Epoch   uint64
+	GCFloor uint64
 }
 
 // InsertResult reports the assigned row ids, in input order.
@@ -71,6 +77,9 @@ type InsertResult struct {
 type DeleteRows struct {
 	Frag string
 	Rows []storage.RowID
+	// Epoch / GCFloor: see Insert.
+	Epoch   uint64
+	GCFloor uint64
 }
 
 // DeleteMatch removes one stored instance per given tuple (bag semantics),
@@ -79,6 +88,9 @@ type DeleteMatch struct {
 	Frag    string
 	HintCol string
 	Tuples  []types.Tuple
+	// Epoch / GCFloor: see Insert.
+	Epoch   uint64
+	GCFloor uint64
 }
 
 // DeleteResult returns the tuples actually removed and the row ids they
@@ -98,6 +110,9 @@ type RestoreRows struct {
 	Frag   string
 	Rows   []storage.RowID
 	Tuples []types.Tuple
+	// Epoch / GCFloor: see Insert.
+	Epoch   uint64
+	GCFloor uint64
 }
 
 // LocateMatch finds one stored instance per given tuple (bag semantics)
@@ -268,12 +283,18 @@ type GIRows struct {
 // Scan reads a whole fragment, charging scan I/O.
 type Scan struct {
 	Frag string
+	// Epoch selects the MVCC snapshot to read: the state after all
+	// mutations stamped <= Epoch. 0 reads the live state (identical
+	// behaviour and metering to the pre-MVCC engine).
+	Epoch uint64
 }
 
 // AllRows reads a whole fragment without charging I/O (DDL backfill,
 // verification).
 type AllRows struct {
 	Frag string
+	// Epoch: see Scan.
+	Epoch uint64
 }
 
 // ScanWithRows reads a whole fragment without charging I/O, returning row
@@ -303,6 +324,9 @@ type AggApply struct {
 	CountPos int
 	Keys     []types.Tuple
 	Deltas   []types.Tuple
+	// Epoch / GCFloor: see Insert.
+	Epoch   uint64
+	GCFloor uint64
 }
 
 // DropFragment removes a fragment from the node (temporary query spills,
@@ -324,6 +348,10 @@ type LocalJoin struct {
 	Left, Right       string
 	LeftCol, RightCol string
 	Out               string
+	// LeftEpoch / RightEpoch select the MVCC snapshot each input is read
+	// at (0 = live state); the output fragment is a query temporary and is
+	// never versioned.
+	LeftEpoch, RightEpoch uint64
 }
 
 // LocalJoinResult reports how many tuples the node produced.

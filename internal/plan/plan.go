@@ -78,6 +78,11 @@ type Step struct {
 	FragClusteredOnCol bool
 	// Fanout is the statistics estimate of matches per delta tuple.
 	Fanout float64
+	// DeltaKey is DeltaCol's position in the step's input schema, and
+	// OutSchema the intermediate schema after the step — both resolved at
+	// build time so execution never re-derives them per statement.
+	DeltaKey  int
+	OutSchema *types.Schema
 }
 
 // Plan is the full maintenance recipe for one (view, updated table) pair.
@@ -88,6 +93,9 @@ type Plan struct {
 	// delta (updated table's tuples, schema prefixed with the table name)
 	// and grows one table per step.
 	Steps []Step
+	// DeltaSchema is the initial intermediate schema: the updated table's
+	// schema prefixed with the table name.
+	DeltaSchema *types.Schema
 	// Schema is the final intermediate schema after all steps.
 	Schema *types.Schema
 	// Residual holds join predicates not consumed by the step chain —
@@ -225,6 +233,7 @@ func Build(cat *catalog.Catalog, st *stats.Stats, v *catalog.View, table string,
 		Schema:    updated.Schema.Prefixed(table),
 		EstFanout: 1,
 	}
+	p.DeltaSchema = p.Schema
 	covered := map[string]bool{table: true}
 	remaining := append([]catalog.JoinPred(nil), v.Joins...)
 
@@ -268,9 +277,11 @@ func Build(cat *catalog.Catalog, st *stats.Stats, v *catalog.View, table string,
 			return nil, err
 		}
 		step.Fanout = best.fanout
+		step.DeltaKey = p.Schema.ColIndex(step.DeltaCol)
 		p.EstFanout *= best.fanout
-		p.Steps = append(p.Steps, step)
 		p.Schema = p.Schema.Concat(step.FragSchema.Prefixed(best.next))
+		step.OutSchema = p.Schema
+		p.Steps = append(p.Steps, step)
 		covered[best.next] = true
 		remaining = append(remaining[:best.idx], remaining[best.idx+1:]...)
 	}

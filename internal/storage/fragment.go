@@ -46,7 +46,27 @@ type Fragment struct {
 	nextRow RowID
 
 	secondary map[string]*secondaryIndex
+
+	// vlog is the version log backing snapshot reads (mvcc.go): records
+	// appended in nondecreasing epoch order, truncated by GC.
+	vlog []verRecord
+	// enc is a reusable encoding scratch buffer: tuples and keys are built
+	// here, then copied once at exact size for the b-tree (which retains
+	// the slices it is given).
+	enc []byte
+	// arena backs the owned copies handed to the b-tree: encoded keys and
+	// tuples are carved out of chunked page-style slabs instead of being
+	// allocated one make() each. Bytes of deleted rows stay in their slab
+	// until every slice carved from it is unreachable — the same trade a
+	// page-oriented heap file makes, and the simulator never shrinks
+	// relations far below their high-water mark.
+	arena []byte
 }
+
+// arenaChunk is the slab size owned encodings are carved from; large
+// enough to amortize allocation across dozens of rows, small enough that
+// a retained slab wastes little on tiny fragments.
+const arenaChunk = 4096
 
 type secondaryIndex struct {
 	col  int
@@ -132,10 +152,52 @@ func (f *Fragment) Clustered() (col string, ok bool) {
 
 func (f *Fragment) primaryKey(row RowID, t types.Tuple) []byte {
 	if f.clusterCol < 0 {
-		return encodeRowID(row)
+		return f.ownedRowID(row)
 	}
-	key := types.EncodeKey(t[f.clusterCol])
-	return append(key, encodeRowID(row)...)
+	f.enc = types.AppendValue(f.enc[:0], t[f.clusterCol])
+	f.enc = appendRowID(f.enc, row)
+	return f.ownedScratch()
+}
+
+// encodeTupleOwned encodes t via the scratch buffer and returns an owned
+// exact-size copy: one allocation instead of the append-growth chain of
+// types.EncodeTuple.
+func (f *Fragment) encodeTupleOwned(t types.Tuple) []byte {
+	f.enc = types.AppendTuple(f.enc[:0], t)
+	return f.ownedScratch()
+}
+
+// encodeKeyOwned encodes v via the scratch buffer at exact size.
+func (f *Fragment) encodeKeyOwned(v types.Value) []byte {
+	f.enc = types.AppendValue(f.enc[:0], v)
+	return f.ownedScratch()
+}
+
+func (f *Fragment) ownedScratch() []byte {
+	return f.ownedCopy(f.enc)
+}
+
+// ownedCopy returns a stable copy of b carved from the fragment's arena.
+func (f *Fragment) ownedCopy(b []byte) []byte {
+	n := len(b)
+	if n > len(f.arena) {
+		size := arenaChunk
+		if n > size {
+			size = n
+		}
+		f.arena = make([]byte, size)
+	}
+	out := f.arena[:n:n]
+	f.arena = f.arena[n:]
+	copy(out, b)
+	return out
+}
+
+// ownedRowID encodes a row id into arena-backed storage (secondary-index
+// payloads are retained by their tree just like primary entries).
+func (f *Fragment) ownedRowID(r RowID) []byte {
+	f.enc = appendRowID(f.enc[:0], r)
+	return f.ownedScratch()
 }
 
 // Insert validates and stores a tuple, maintains all secondary indexes, and
@@ -147,10 +209,10 @@ func (f *Fragment) Insert(t types.Tuple) (RowID, error) {
 	row := f.nextRow
 	f.nextRow++
 	key := f.primaryKey(row, t)
-	f.rows.Insert(key, types.EncodeTuple(t))
+	f.rows.Insert(key, f.encodeTupleOwned(t))
 	f.loc[row] = key
 	for _, idx := range f.secondary {
-		idx.tree.Insert(types.EncodeKey(t[idx.col]), encodeRowID(row))
+		idx.tree.Insert(f.encodeKeyOwned(t[idx.col]), f.ownedRowID(row))
 	}
 	f.meter.Insert(1)
 	f.touchStored(row, t)
@@ -173,10 +235,10 @@ func (f *Fragment) InsertAt(row RowID, t types.Tuple) error {
 		f.nextRow = row + 1
 	}
 	key := f.primaryKey(row, t)
-	f.rows.Insert(key, types.EncodeTuple(t))
+	f.rows.Insert(key, f.encodeTupleOwned(t))
 	f.loc[row] = key
 	for _, idx := range f.secondary {
-		idx.tree.Insert(types.EncodeKey(t[idx.col]), encodeRowID(row))
+		idx.tree.Insert(f.encodeKeyOwned(t[idx.col]), f.ownedRowID(row))
 	}
 	f.meter.Insert(1)
 	f.touchStored(row, t)
@@ -190,11 +252,11 @@ func (f *Fragment) Delete(row RowID) (types.Tuple, bool) {
 	if !ok {
 		return nil, false
 	}
-	vals := f.rows.Get(key)
-	if len(vals) == 0 {
+	val, ok := f.rows.GetFirst(key)
+	if !ok {
 		panic(fmt.Sprintf("storage: loc points at missing primary key for row %d", row))
 	}
-	t := mustDecode(vals[0])
+	t := mustDecode(val)
 	f.rows.Delete(key, nil)
 	delete(f.loc, row)
 	for _, idx := range f.secondary {
@@ -211,12 +273,12 @@ func (f *Fragment) Get(row RowID) (types.Tuple, bool) {
 	if !ok {
 		return nil, false
 	}
-	vals := f.rows.Get(key)
-	if len(vals) == 0 {
+	val, ok := f.rows.GetFirst(key)
+	if !ok {
 		return nil, false
 	}
 	f.meter.Fetch(1)
-	t := mustDecode(vals[0])
+	t := mustDecode(val)
 	f.touchStored(row, t)
 	return t, true
 }
@@ -303,15 +365,16 @@ func (f *Fragment) LookupEqual(col string, v types.Value) ([]Match, AccessPath, 
 			continue
 		}
 		f.meter.Search(1)
+		f.enc = types.AppendValue(f.enc[:0], v)
 		var ms []Match
-		for _, rv := range idx.tree.Get(types.EncodeKey(v)) {
+		for _, rv := range idx.tree.Get(f.enc) {
 			row := decodeRowID(rv)
 			key := f.loc[row]
-			vals := f.rows.Get(key)
-			if len(vals) == 0 {
+			val, ok := f.rows.GetFirst(key)
+			if !ok {
 				continue
 			}
-			ms = append(ms, Match{Row: row, Tuple: mustDecode(vals[0])})
+			ms = append(ms, Match{Row: row, Tuple: mustDecode(val)})
 		}
 		f.meter.Fetch(int64(len(ms)))
 		for _, m := range ms {
@@ -334,7 +397,10 @@ func (f *Fragment) LookupEqual(col string, v types.Value) ([]Match, AccessPath, 
 
 // clusteredMatches walks the primary tree for all rows with cluster value v.
 func (f *Fragment) clusteredMatches(v types.Value) []Match {
-	prefix := types.EncodeKey(v)
+	// The prefix is only compared against during the walk, never retained,
+	// so the scratch buffer avoids a per-probe key allocation.
+	f.enc = types.AppendValue(f.enc[:0], v)
+	prefix := f.enc
 	var ms []Match
 	f.rows.Ascend(prefix, func(k, val []byte) bool {
 		if len(k) < len(prefix)+8 || !bytesEqual(k[:len(prefix)], prefix) {

@@ -42,9 +42,9 @@ func (f *Fragment) GetUnmetered(row RowID) (types.Tuple, bool) {
 	if !ok {
 		return nil, false
 	}
-	vals := f.rows.Get(key)
-	if len(vals) == 0 {
+	val, ok := f.rows.GetFirst(key)
+	if !ok {
 		return nil, false
 	}
-	return mustDecode(vals[0]), true
+	return mustDecode(val), true
 }

@@ -42,3 +42,7 @@ func encodeRowID(r RowID) []byte {
 func decodeRowID(b []byte) RowID {
 	return RowID(binary.BigEndian.Uint64(b))
 }
+
+func appendRowID(dst []byte, r RowID) []byte {
+	return binary.BigEndian.AppendUint64(dst, uint64(r))
+}

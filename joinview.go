@@ -151,6 +151,17 @@ type Options struct {
 	// message passing; the default is the deterministic in-process
 	// transport.
 	UseChannels bool
+	// UseTCP runs each node behind a real loopback TCP listener with
+	// gob-encoded messages (mutually exclusive with UseChannels;
+	// incompatible with NetLatency, CallTimeout and Faults — errors are
+	// flattened to strings on the wire).
+	UseTCP bool
+	// LockedReads disables MVCC snapshot reads, forcing queries and view
+	// reads back onto shared lock claims even on a concurrent transport.
+	// Snapshot reads are on by default whenever statements run
+	// concurrently (UseChannels or UseTCP, without SerialDML, durability
+	// or fault injection).
+	LockedReads bool
 	// ForceIndexJoin / ForceSortMerge pin the maintenance join algorithm;
 	// by default each node applies the paper's §3.2 cost crossover.
 	ForceIndexJoin bool
@@ -316,6 +327,8 @@ func Open(opts Options) (*DB, error) {
 		PageRows:          opts.PageRows,
 		MemPages:          opts.MemPages,
 		UseChannels:       opts.UseChannels,
+		UseTCP:            opts.UseTCP,
+		LockedReads:       opts.LockedReads,
 		Algo:              algo,
 		BufferPages:       opts.BufferPages,
 		NetLatency:        opts.NetLatency,
