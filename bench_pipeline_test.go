@@ -16,6 +16,7 @@ import (
 	"joinview/internal/maintain"
 	"joinview/internal/mplan"
 	"joinview/internal/node"
+	"joinview/internal/types"
 )
 
 // BenchmarkPlanCompile measures one cold compilation of the insert
@@ -40,6 +41,67 @@ func BenchmarkPlanCompile(b *testing.B) {
 		if len(mp.Stages) == 0 {
 			b.Fatal("empty plan")
 		}
+	}
+}
+
+// BenchmarkSharedCompile measures one cold compilation of the insert
+// pipeline for a base table feeding a 50-view shared group — the compile
+// cost the shared maintenance DAG adds (chain fingerprinting, shared-
+// potential detection) at a population the flat pipeline never saw.
+func BenchmarkSharedCompile(b *testing.B) {
+	c, err := cluster.New(cluster.Config{Nodes: 8, Algo: node.AlgoIndex})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if err := experiments.LoadManyViewsSchema(c, 50); err != nil {
+		b.Fatal(err)
+	}
+	cat, st := c.Catalog(), c.Stats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mp, err := mplan.Compile(cat, st, "customer", maintain.OpInsert)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !mp.SharedPotential {
+			b.Fatal("50-view group compiled without shared potential")
+		}
+	}
+}
+
+// BenchmarkSharedPipelineExecute measures one single-tuple insert through a
+// 50-view shared group, with the shared DAG executor against the per-view
+// baseline on identical clusters. The gap is the hoisted delta joins.
+func BenchmarkSharedPipelineExecute(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"shared", false}, {"perview", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			c, err := cluster.New(cluster.Config{
+				Nodes: 8, Algo: node.AlgoIndex, DisablePlanSharing: mode.disable,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			if err := experiments.LoadManyViewsSchema(c, 50); err != nil {
+				b.Fatal(err)
+			}
+			c.ResetMetrics()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Insert("customer", []types.Tuple{
+					{types.Int(int64(i % 160)), types.Int(int64(i % 25)), types.Int(int64(1000 + i))},
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			m := c.Metrics()
+			b.ReportMetric(float64(m.TotalIOs())/float64(b.N), "tw-ios/stmt")
+		})
 	}
 }
 

@@ -30,7 +30,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1, fig7..fig14, storage, buffering, skew, network, faults, durability, parallel, adaptive, elastic, async, replica")
+	exp := flag.String("exp", "all", "experiment to run: all, table1, fig7..fig14, storage, buffering, skew, network, faults, durability, parallel, adaptive, elastic, async, replica, manyviews")
 	measured := flag.Bool("measured", false, "also run the measured (simulator) variants of figs 7-11")
 	maxL := flag.Int("maxl", 128, "largest node count to sweep")
 	scale := flag.Int("scale", 100, "Table 1 scale divisor for fig14 (100 = 1,500 customers)")
@@ -40,6 +40,7 @@ func main() {
 	parallel := flag.Bool("parallel", false, "run the concurrent-sessions experiment (serial vs parallel dispatch)")
 	jsonOut := flag.String("json", "", "write the concurrent-sessions results as JSON to this file (implies -parallel)")
 	sessions := flag.Int("sessions", 4, "concurrent sessions for -parallel")
+	views := flag.Int("views", 0, "cap the view-count axis for -exp manyviews (0: full sweep to 100 views)")
 	baseline := flag.String("baseline", "BENCH_parallel.json", "concurrent-sessions JSON whose L=8 allocs/stmt anchor -exp hotpath's reduction column")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -77,6 +78,11 @@ func main() {
 		}
 	} else if *exp == "replica" {
 		if err := runReplica(*maxL, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "jvbench:", err)
+			exitCode = 1
+		}
+	} else if *exp == "manyviews" {
+		if err := runManyViews(*maxL, *views, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, "jvbench:", err)
 			exitCode = 1
 		}
@@ -245,6 +251,42 @@ func fillHotpathBaselines(allocs []experiments.HotpathAllocResult, path string, 
 		}
 	}
 	return nil
+}
+
+// runManyViews runs the shared-maintenance-DAG experiment at L=8 (capped
+// by maxL): per-view baseline vs shared execution over a growing view
+// population, writing BENCH_manyviews.json or the -json path. maxViews,
+// when non-zero, caps the view-count axis (the CI smoke uses a small cap).
+func runManyViews(maxL, maxViews int, jsonPath string) error {
+	l := 8
+	if maxL < l {
+		l = maxL
+	}
+	counts := experiments.ManyViewsCounts
+	if maxViews > 0 {
+		var capped []int
+		for _, c := range counts {
+			if c <= maxViews {
+				capped = append(capped, c)
+			}
+		}
+		if len(capped) == 0 {
+			capped = []int{maxViews}
+		}
+		counts = capped
+	}
+	start := time.Now()
+	results, err := experiments.ManyViews(l, 16, counts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.ManyViewsGrid(results).Render())
+	fmt.Printf("(measured in %v; identical streams, only plan sharing differs)\n\n",
+		time.Since(start).Round(time.Millisecond))
+	if jsonPath == "" {
+		jsonPath = "BENCH_manyviews.json"
+	}
+	return writeJSON(jsonPath, results)
 }
 
 // runReplica measures write amplification vs crash transparency at

@@ -10,6 +10,13 @@
 //	\check <view>      verify view v against a recomputed join
 //	\explain <view> <table> [n]   show the maintenance plan for an
 //	                   n-tuple update of the table (default 1)
+//	\pipeline <table> [op]   show the compiled maintenance pipeline for
+//	                   insert (default) or delete statements on the table,
+//	                   including the shared maintenance DAG when several
+//	                   views share delta-join prefixes
+//	\advise            run the materialization advisor: which auxiliary
+//	                   relations / global indexes are worth materializing
+//	                   for the current view population
 //	\tables            list tables, auxiliary structures and views
 //	\storage           show the space footprint of every stored object
 //	\topology          show the partition-map epoch, per-node hash slots,
@@ -149,6 +156,28 @@ func handleMeta(db *joinview.DB, cmd string) bool {
 			break
 		}
 		fmt.Print(out)
+	case "\\pipeline":
+		if len(fields) < 2 {
+			fmt.Println("usage: \\pipeline <table> [insert|delete]")
+			break
+		}
+		op := "insert"
+		if len(fields) > 2 {
+			op = fields[2]
+		}
+		out, err := db.ExplainPipeline(fields[1], op)
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Print(out)
+	case "\\advise":
+		adv, err := db.AdviseMaterialization()
+		if err != nil {
+			fmt.Println("error:", err)
+			break
+		}
+		fmt.Print(adv.Describe())
 	case "\\tables":
 		cat := db.Cluster().Catalog()
 		for _, name := range cat.Tables() {
@@ -236,7 +265,7 @@ func handleMeta(db *joinview.DB, cmd string) bool {
 		}
 		fmt.Printf("auxiliary-structure overhead: %d rows (%d values)\n", rep.Overhead(), rep.OverheadValues())
 	default:
-		fmt.Println("commands: \\metrics \\watermark \\flush \\reset \\check <view> \\explain <view> <table> [n] \\tables \\storage \\topology \\quit")
+		fmt.Println("commands: \\metrics \\watermark \\flush \\reset \\check <view> \\explain <view> <table> [n] \\pipeline <table> [op] \\advise \\tables \\storage \\topology \\quit")
 	}
 	return false
 }

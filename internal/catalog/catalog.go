@@ -77,6 +77,11 @@ type AuxRel struct {
 	Where expr.Expr
 	// Schema is the derived AR schema.
 	Schema *types.Schema
+	// AutoCreated marks an AR materialized implicitly for a view
+	// (EnsureStructures) rather than by an explicit CREATE. Only
+	// auto-created ARs are dropped when the last view referencing them
+	// goes away; user-created ones always outlive their views.
+	AutoCreated bool
 }
 
 // Covers reports whether the AR retains all of the named base columns.
@@ -350,7 +355,12 @@ type Catalog struct {
 	views    map[string]*View
 	auxrels  map[string]*AuxRel
 	gindexes map[string]*GlobalIndex
-	version  atomic.Uint64
+	// arRefs tracks which views' maintenance each auxiliary relation was
+	// materialized (or reused) for: AR name → set of view names. Identical
+	// ARs are deduplicated at view creation, so the sets are the reference
+	// counts that decide when an auto-created AR may be garbage-collected.
+	arRefs  map[string]map[string]bool
+	version atomic.Uint64
 	// pmap is the cluster's versioned partition map: the epoch-stamped
 	// slot→node assignment the elasticity machinery installs at every
 	// migration cutover. Readers (the plan cache's validity check, the
@@ -402,6 +412,7 @@ func New() *Catalog {
 		views:    map[string]*View{},
 		auxrels:  map[string]*AuxRel{},
 		gindexes: map[string]*GlobalIndex{},
+		arRefs:   map[string]map[string]bool{},
 	}
 }
 
@@ -769,14 +780,65 @@ func (c *Catalog) DropTable(name string) error {
 	return nil
 }
 
-// DropAuxRel removes an auxiliary relation from the catalog.
+// DropAuxRel removes an auxiliary relation from the catalog, along with
+// any view references recorded against it.
 func (c *Catalog) DropAuxRel(name string) error {
 	if _, ok := c.auxrels[name]; !ok {
 		return fmt.Errorf("catalog: no auxiliary relation %q", name)
 	}
 	delete(c.auxrels, name)
+	delete(c.arRefs, name)
 	c.bump()
 	return nil
+}
+
+// RefAuxRel records that the named view's maintenance uses the AR — either
+// because the AR was just materialized for it or because view creation
+// deduplicated onto an existing covering AR.
+func (c *Catalog) RefAuxRel(ar, view string) {
+	refs, ok := c.arRefs[ar]
+	if !ok {
+		refs = map[string]bool{}
+		c.arRefs[ar] = refs
+	}
+	refs[view] = true
+}
+
+// AuxRelRefs returns the names of the views referencing the AR, sorted.
+func (c *Catalog) AuxRelRefs(ar string) []string {
+	refs := c.arRefs[ar]
+	if len(refs) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(refs))
+	for v := range refs {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// UnrefViewAuxRels removes the dropped view from every AR's reference set
+// and returns the auto-created ARs left with no referencing view, sorted —
+// the garbage a DROP VIEW may now collect. User-created ARs are never
+// returned, however many views came and went.
+func (c *Catalog) UnrefViewAuxRels(view string) []string {
+	var orphaned []string
+	for name, refs := range c.arRefs {
+		if !refs[view] {
+			continue
+		}
+		delete(refs, view)
+		if len(refs) > 0 {
+			continue
+		}
+		delete(c.arRefs, name)
+		if a, ok := c.auxrels[name]; ok && a.AutoCreated {
+			orphaned = append(orphaned, name)
+		}
+	}
+	sort.Strings(orphaned)
+	return orphaned
 }
 
 // DropGlobalIndex removes a global index from the catalog.

@@ -109,6 +109,12 @@ type Config struct {
 	// as an escape hatch and for cache-effect measurements. Every lookup
 	// then counts as a miss.
 	DisablePlanCache bool
+	// DisablePlanSharing makes every view stage execute its full delta-join
+	// chain independently even when the compiled plan found common chain
+	// prefixes across views — the per-view execution model the shared
+	// maintenance DAG replaced, kept as an escape hatch and as the baseline
+	// for sharing measurements. Identical view contents, more I/O.
+	DisablePlanSharing bool
 	// AsyncMaintenance defers DML maintenance into the group-commit queue
 	// (asyncq.go): a statement validates, resolves its victims against the
 	// effective state and enqueues its logical delta; a flush epoch later

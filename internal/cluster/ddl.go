@@ -232,7 +232,10 @@ func (c *Cluster) ensureStructuresLocked(v *catalog.View) error {
 		for i := range specs {
 			spec := specs[i]
 			need := spec.Cols
-			if _, ok := c.cat.AuxRelOn(spec.Table, spec.PartitionCol, need); ok {
+			if have, ok := c.cat.AuxRelOn(spec.Table, spec.PartitionCol, need); ok {
+				// Deduplicated: the existing AR covers this view's needs.
+				// Record the reference so it outlives the other views.
+				c.cat.RefAuxRel(have.Name, v.Name)
 				continue
 			}
 			// Another view may hold the derived name with a narrower
@@ -245,9 +248,11 @@ func (c *Cluster) ensureStructuresLocked(v *catalog.View) error {
 				}
 				spec.Name = fmt.Sprintf("%s_%d", base, n)
 			}
+			spec.AutoCreated = true
 			if err := c.createAuxRelLocked(&spec); err != nil {
 				return fmt.Errorf("cluster: ensuring AR for view %q: %w", v.Name, err)
 			}
+			c.cat.RefAuxRel(spec.Name, v.Name)
 		}
 	}
 	if wantGI {
@@ -302,9 +307,11 @@ func (c *Cluster) CreateView(v *catalog.View) error {
 	return c.spreadInsert(v.Name, v.Schema, v.PartitionQualified(), content, true)
 }
 
-// DropView removes a view and its fragments. Auxiliary structures created
-// for it stay (other views may share them; drop them explicitly with
-// DropAuxRel/DropGlobalIndex).
+// DropView removes a view and its fragments. Auxiliary relations that were
+// auto-created for view maintenance are reference-counted: when the dropped
+// view was the last one using an auto-created AR, the AR and its fragments
+// go with it. User-created ARs and global indexes stay (drop them
+// explicitly with DropAuxRel/DropGlobalIndex).
 func (c *Cluster) DropView(name string) error {
 	h, err := c.lockGlobalDrained()
 	if err != nil {
@@ -317,7 +324,18 @@ func (c *Cluster) DropView(name string) error {
 	if err := c.cat.DropView(name); err != nil {
 		return err
 	}
-	return c.broadcast(node.DropFragment{Name: name})
+	if err := c.broadcast(node.DropFragment{Name: name}); err != nil {
+		return err
+	}
+	for _, ar := range c.cat.UnrefViewAuxRels(name) {
+		if err := c.cat.DropAuxRel(ar); err != nil {
+			return err
+		}
+		if err := c.broadcast(node.DropFragment{Name: ar}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // DropAuxRel removes an auxiliary relation and its fragments. It refuses

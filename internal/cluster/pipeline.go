@@ -47,14 +47,48 @@ func (c *Cluster) planFor(table string, op maintain.Op) (*mplan.Plan, error) {
 // a delete plan, locs are the victims' storage locations from the caller's
 // scan. Every stage registers its compensations on tx, so a failing stage
 // leaves runStmt to undo the applied prefix.
+//
+// When the plan marks shared potential (two or more dependent views whose
+// delta-join chains start with a common structural prefix), a shared
+// pre-pass runs once before the first view stage: it resolves every view's
+// strategy for this statement's delta size and executes each distinct
+// chain prefix exactly once, memoized by structural key. The view stages
+// then consume the memoized intermediates and only perform their per-view
+// tail (residual filter, projection, apply). Plans without shared
+// potential — and all plans when the configuration disables sharing —
+// take the per-view path unchanged.
 func (c *Cluster) execPlan(tx *txn.Txn, mp *mplan.Plan, delta []types.Tuple, locs []located) error {
 	// Per-stage page/message attribution needs exclusive ownership of the
 	// global meters; only serial execution modes guarantee it. Under
 	// parallel dispatch only stage executions are counted.
 	attribute := c.serialStmts()
 	var before Metrics
+	var sx *sharedExec
+	sharedDone := false
 	for i := range mp.Stages {
 		s := &mp.Stages[i]
+		if s.Kind == mplan.StageView && !sharedDone {
+			sharedDone = true
+			if !c.cfg.DisablePlanSharing && mp.SharedPotential {
+				// The pre-pass gets its own metrics window so its probes are
+				// attributed to "sharedjoin", not folded into the first view
+				// stage — keeping per-stage attribution exact in serial mode.
+				if attribute {
+					before = c.Metrics()
+				}
+				var err error
+				sx, err = c.execSharedJoins(mp, delta)
+				if attribute {
+					d := c.Metrics().Sub(before)
+					c.pstats.RecordStage(sharedStageName, d.Total().IOs(), d.Net.Messages)
+				} else {
+					c.pstats.RecordStage(sharedStageName, 0, 0)
+				}
+				if err != nil {
+					return err
+				}
+			}
+		}
 		if attribute {
 			before = c.Metrics()
 		}
@@ -71,7 +105,7 @@ func (c *Cluster) execPlan(tx *txn.Txn, mp *mplan.Plan, delta []types.Tuple, loc
 		case mplan.StageGlobalIndex:
 			err = c.stageGlobalIndex(tx, mp.Table, s.GI, locs, mp.Op)
 		case mplan.StageView:
-			err = c.stageView(tx, s.View, mp, delta)
+			err = c.stageView(tx, s.View, mp, delta, sx)
 		default:
 			err = fmt.Errorf("cluster: unknown pipeline stage %v", s.Kind)
 		}
@@ -86,6 +120,73 @@ func (c *Cluster) execPlan(tx *txn.Txn, mp *mplan.Plan, delta []types.Tuple, loc
 		}
 	}
 	return nil
+}
+
+// sharedStageName is the per-stage metrics label of the shared delta-join
+// pre-pass.
+const sharedStageName = "sharedjoin"
+
+// sharedResult is one memoized chain-prefix intermediate: the joined
+// tuples and their schema.
+type sharedResult struct {
+	tuples []types.Tuple
+	schema *types.Schema
+}
+
+// sharedExec carries one statement's resolved shared maintenance DAG: the
+// strategy chosen for every view stage and the memoized intermediate of
+// every distinct chain prefix, keyed by structural chain key.
+type sharedExec struct {
+	choice map[*mplan.ViewStage]*mplan.StrategyOption
+	memo   map[string]sharedResult
+}
+
+// execSharedJoins is the shared delta-join pre-pass: it walks every view
+// stage's chosen plan and executes each distinct chain prefix once. Chain
+// keys are structural (plan.Step.ChainKey), so two plans whose prefixes
+// share a key produce identical intermediates and the second ride is free.
+// The probes are pure reads — nothing here registers compensations; all
+// mutation (and rollback registration) stays in the per-view apply.
+//
+// An empty intermediate short-circuits like the per-view path: the
+// remaining prefixes are memoized as empty without probing, so the shared
+// path performs exactly the probes the unshared path would.
+func (c *Cluster) execSharedJoins(mp *mplan.Plan, tuples []types.Tuple) (*sharedExec, error) {
+	sx := &sharedExec{
+		choice: make(map[*mplan.ViewStage]*mplan.StrategyOption),
+		memo:   make(map[string]sharedResult),
+	}
+	l := c.NumNodes()
+	for i := range mp.Stages {
+		s := &mp.Stages[i]
+		if s.Kind != mplan.StageView {
+			continue
+		}
+		vs := s.View
+		opt := vs.Choose(l, len(tuples), mp.ARCount, mp.GICount)
+		sx.choice[vs] = opt
+		p := opt.Plan
+		cur, curSchema := tuples, p.DeltaSchema
+		for _, step := range p.Steps {
+			if r, ok := sx.memo[step.ChainKey]; ok {
+				cur, curSchema = r.tuples, r.schema
+				continue
+			}
+			if len(cur) == 0 {
+				curSchema = maintain.StepOutSchema(step, curSchema)
+				sx.memo[step.ChainKey] = sharedResult{schema: curSchema}
+				continue
+			}
+			next, _, err := maintain.ExecStep(c.env, step, cur, curSchema, c.cfg.Algo)
+			if err != nil {
+				return nil, err
+			}
+			curSchema = maintain.StepOutSchema(step, curSchema)
+			cur = next
+			sx.memo[step.ChainKey] = sharedResult{tuples: cur, schema: curSchema}
+		}
+	}
+	return sx, nil
 }
 
 // stageBaseInsert routes tuples by the partition attribute and stores
@@ -343,10 +444,24 @@ func coordinatorSources(n int) []int32 {
 
 // stageView computes and applies one view's delta. The strategy comes from
 // the compiled stage: the pinned option, or the cost advisor's cheapest
-// option for this statement's actual delta size.
-func (c *Cluster) stageView(tx *txn.Txn, vs *mplan.ViewStage, mp *mplan.Plan, tuples []types.Tuple) error {
-	opt := vs.Choose(c.NumNodes(), len(tuples), mp.ARCount, mp.GICount)
-	delta, _, err := maintain.ComputeViewDelta(c.env, opt.Plan, tuples, c.cfg.Algo)
+// option for this statement's actual delta size. With a shared pre-pass
+// (sx non-nil) the delta-join chain has already run — the stage reads the
+// memoized final intermediate and performs only the per-view tail.
+func (c *Cluster) stageView(tx *txn.Txn, vs *mplan.ViewStage, mp *mplan.Plan, tuples []types.Tuple, sx *sharedExec) error {
+	var delta []types.Tuple
+	var err error
+	if sx != nil {
+		p := sx.choice[vs].Plan
+		cur, curSchema := tuples, p.DeltaSchema
+		if n := len(p.Steps); n > 0 {
+			r := sx.memo[p.Steps[n-1].ChainKey]
+			cur, curSchema = r.tuples, r.schema
+		}
+		delta, err = maintain.FinishDelta(p, cur, curSchema)
+	} else {
+		opt := vs.Choose(c.NumNodes(), len(tuples), mp.ARCount, mp.GICount)
+		delta, _, err = maintain.ComputeViewDelta(c.env, opt.Plan, tuples, c.cfg.Algo)
+	}
 	if err != nil {
 		return err
 	}
@@ -394,8 +509,24 @@ func (c *Cluster) ExplainPipeline(table, op string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return mp.Describe(), nil
+	out := mp.Describe()
+	if mp.SharedPotential && !c.cfg.DisablePlanSharing {
+		// Render the concrete DAG for a representative single-tuple delta —
+		// the same resolution the executor performs per statement.
+		out += mp.DescribeDAG(c.NumNodes(), 1)
+	}
+	return out, nil
 }
 
 // PlanCacheLen reports how many compiled plans the cache currently holds.
 func (c *Cluster) PlanCacheLen() int { return c.mcache.Len() }
+
+// AdviseMaterialization runs the materialization advisor over the current
+// catalog and statistics: which auxiliary relations / global indexes would
+// reduce the modeled maintenance workload of the present view set under
+// the shared-DAG executor. Pure analysis — nothing is created.
+func (c *Cluster) AdviseMaterialization() (*mplan.Advice, error) {
+	h := c.lockGlobal()
+	defer h.Release()
+	return mplan.Advise(c.cat, c.st, c.NumNodes())
+}

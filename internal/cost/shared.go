@@ -1,0 +1,129 @@
+package cost
+
+// Shared-workload extension of the analytical model: pricing the total
+// workload of maintaining *many* views of one updated base table when the
+// executor hoists common delta-join prefixes into shared DAG nodes that
+// run once (multi-query optimization across maintenance plans, after
+// Mistry/Roy/Ramamritham/Sudarshan). Each chain step carries a structural
+// key; steps with equal keys are the same DAG node and are charged once,
+// while per-view residual work (projection, view apply) remains per view.
+//
+// Unlike the per-strategy Total* formulas in multiway.go, pricing here is
+// per *step*, by the step's actual shipping mode — a chain may mix modes
+// (e.g. a route to a base table partitioned on the join attribute inside
+// an otherwise-broadcast naive plan), and a shared node's mode is fixed by
+// its structure, not by which view requested it.
+
+// TWMode is the shipping mode of one priced chain step, mirroring
+// plan.Via without importing it.
+type TWMode uint8
+
+// Step pricing modes.
+const (
+	// TWBroadcast ships the intermediate to every node (L searches per
+	// tuple) and fetches per match when the probe is non-clustered.
+	TWBroadcast TWMode = iota
+	// TWRoute hash-routes each tuple to one node (1 search per tuple);
+	// clustered probes (ARs, co-partitioned bases) fetch free.
+	TWRoute
+	// TWGlobalIndex routes to the GI home (1 search per tuple) and
+	// fetch-joins at the owners: per page when distributed clustered
+	// (K = min(fanout, L) pages), per matching tuple otherwise.
+	TWGlobalIndex
+)
+
+// TWStep is one delta-join step of a shared pricing request.
+type TWStep struct {
+	// Key is the step's structural chain identity (plan.Step.ChainKey):
+	// equal keys across the priced chains are one shared node, charged once.
+	Key       string
+	Mode      TWMode
+	Fanout    float64
+	Clustered bool
+}
+
+// StepTW returns the total workload of one chain step for `in` incoming
+// intermediate tuples on an l-node cluster, in the paper's I/O units.
+func StepTW(l int, in float64, s TWStep) float64 {
+	matches := in * s.Fanout
+	switch s.Mode {
+	case TWBroadcast:
+		tw := in * float64(l) * IOSearch
+		if !s.Clustered {
+			tw += matches * IOFetch
+		}
+		return tw
+	case TWRoute:
+		tw := in * IOSearch
+		if !s.Clustered {
+			tw += matches * IOFetch
+		}
+		return tw
+	case TWGlobalIndex:
+		tw := in * IOSearch
+		if s.Clustered {
+			k := s.Fanout
+			if k > float64(l) {
+				k = float64(l)
+			}
+			tw += in * k * IOFetch
+		} else {
+			tw += matches * IOFetch
+		}
+		return tw
+	default:
+		return 0
+	}
+}
+
+// ChainTW prices one chain for a delta of a tuples with no sharing: the
+// sum of its steps' TW, threading the intermediate size through the
+// fan-outs.
+func ChainTW(l, a int, steps []TWStep) float64 {
+	in := float64(a)
+	total := 0.0
+	for _, s := range steps {
+		total += StepTW(l, in, s)
+		in *= s.Fanout
+	}
+	return total
+}
+
+// TotalShared prices a set of maintenance chains — one per dependent view
+// of the updated table — for a delta of a tuples, charging each distinct
+// chain node (by Key) exactly once: the modeled workload of the shared
+// maintenance DAG. upkeep is the updated table's own auxiliary-structure
+// maintenance (IOInsert per structure per delta tuple), which the pipeline
+// likewise performs once regardless of how many views depend on it.
+func TotalShared(l, a int, chains [][]TWStep, upkeep float64) float64 {
+	priced := map[string]bool{}
+	total := upkeep * float64(a) * IOInsert
+	for _, steps := range chains {
+		in := float64(a)
+		for _, s := range steps {
+			if s.Key == "" || !priced[s.Key] {
+				total += StepTW(l, in, s)
+				if s.Key != "" {
+					priced[s.Key] = true
+				}
+			}
+			in *= s.Fanout
+		}
+	}
+	return total
+}
+
+// SharedSavings returns the modeled fraction of chain workload the shared
+// DAG removes versus executing every chain independently (0 when there is
+// nothing to share).
+func SharedSavings(l, a int, chains [][]TWStep) float64 {
+	var independent float64
+	for _, steps := range chains {
+		independent += ChainTW(l, a, steps)
+	}
+	if independent == 0 {
+		return 0
+	}
+	shared := TotalShared(l, a, chains, 0)
+	return 1 - shared/independent
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import "testing"
+
+// TestManyViewsSharedWins runs a small slice of the many-views experiment
+// and pins its core claims: with a single view both execution modes are
+// identical (no shared potential, classic path), and with a shared group
+// the DAG executor does strictly less work over the very same stream.
+func TestManyViewsSharedWins(t *testing.T) {
+	rs, err := ManyViews(4, 4, []int{1, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[[2]interface{}]ManyViewsResult{}
+	for _, r := range rs {
+		byKey[[2]interface{}{r.Views, r.Shared}] = r
+	}
+	b1 := byKey[[2]interface{}{1, false}]
+	s1 := byKey[[2]interface{}{1, true}]
+	if b1.TWIOs != s1.TWIOs || b1.Messages != s1.Messages {
+		t.Errorf("one view: shared run diverged from baseline (%d/%d vs %d/%d I/Os/messages)",
+			s1.TWIOs, s1.Messages, b1.TWIOs, b1.Messages)
+	}
+	if s1.SharedJoinPages != 0 {
+		t.Errorf("one view ran the shared pre-pass (%d pages): no shared potential expected", s1.SharedJoinPages)
+	}
+	b10 := byKey[[2]interface{}{10, false}]
+	s10 := byKey[[2]interface{}{10, true}]
+	if s10.TWIOs >= b10.TWIOs {
+		t.Errorf("10 views: shared %d I/Os not below per-view %d", s10.TWIOs, b10.TWIOs)
+	}
+	if s10.Messages >= b10.Messages {
+		t.Errorf("10 views: shared %d messages not below per-view %d", s10.Messages, b10.Messages)
+	}
+	if s10.SharedJoinPages == 0 {
+		t.Error("10 views: shared pre-pass attributed no pages")
+	}
+
+	g := ManyViewsGrid(rs)
+	if len(g.Rows) != 2 {
+		t.Fatalf("grid has %d rows, want 2:\n%s", len(g.Rows), g.Render())
+	}
+}

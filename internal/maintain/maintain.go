@@ -119,49 +119,83 @@ func ComputeViewDelta(env Env, p *plan.Plan, delta []types.Tuple, algo node.Algo
 	res := &Result{}
 
 	for _, step := range p.Steps {
-		keyIdx := step.DeltaKey
-		if step.OutSchema == nil {
-			keyIdx = curSchema.ColIndex(step.DeltaCol)
-		}
-		if keyIdx < 0 {
-			return nil, nil, fmt.Errorf("maintain: intermediate schema %v lacks %s", curSchema.Names(), step.DeltaCol)
-		}
 		var next []types.Tuple
-		var probed int
-		switch step.Via {
-		case plan.ViaBroadcast:
-			next, probed, err = broadcastStep(env, step, cur, keyIdx, algo)
-		case plan.ViaRoute:
-			next, probed, err = routeStep(env, step, cur, keyIdx, algo)
-		case plan.ViaGlobalIndex:
-			next, probed, err = globalIndexStep(env, step, cur, keyIdx)
-		default:
-			err = fmt.Errorf("maintain: unknown step mode %v", step.Via)
-		}
+		var trace StepTrace
+		next, trace, err = ExecStep(env, step, cur, curSchema, algo)
 		if err != nil {
-			return nil, nil, fmt.Errorf("maintain: step %s (%v): %w", step.Table, step.Via, err)
+			return nil, nil, err
 		}
-		if step.OutSchema != nil {
-			curSchema = step.OutSchema
-		} else {
-			curSchema = curSchema.Concat(step.FragSchema.Prefixed(step.Table))
-		}
+		curSchema = StepOutSchema(step, curSchema)
 		cur = next
-		res.Steps = append(res.Steps, StepTrace{
-			Table:        step.Table,
-			Via:          step.Via,
-			NodesProbed:  probed,
-			TuplesJoined: len(cur),
-		})
+		res.Steps = append(res.Steps, trace)
 		if len(cur) == 0 {
 			break // no matches anywhere: the view delta is empty
 		}
 	}
 
-	// Apply residual join predicates (extra edges of a cyclic join graph).
-	cur, err = FilterResidual(cur, curSchema, p.Residual)
+	out, err := FinishDelta(p, cur, curSchema)
 	if err != nil {
 		return nil, nil, err
+	}
+	res.ViewTuples = len(out)
+	return out, res, nil
+}
+
+// ExecStep runs one delta-join step over the current intermediate (cur,
+// described by curSchema) and returns the joined result plus its trace.
+// It is the unit the shared-DAG executor memoizes: a step's output depends
+// only on its input and the step's structural identity (plan.Step.ChainKey),
+// never on which view's plan it came from.
+func ExecStep(env Env, step plan.Step, cur []types.Tuple, curSchema *types.Schema, algo node.Algo) ([]types.Tuple, StepTrace, error) {
+	keyIdx := step.DeltaKey
+	if step.OutSchema == nil {
+		keyIdx = curSchema.ColIndex(step.DeltaCol)
+	}
+	if keyIdx < 0 {
+		return nil, StepTrace{}, fmt.Errorf("maintain: intermediate schema %v lacks %s", curSchema.Names(), step.DeltaCol)
+	}
+	var next []types.Tuple
+	var probed int
+	var err error
+	switch step.Via {
+	case plan.ViaBroadcast:
+		next, probed, err = broadcastStep(env, step, cur, keyIdx, algo)
+	case plan.ViaRoute:
+		next, probed, err = routeStep(env, step, cur, keyIdx, algo)
+	case plan.ViaGlobalIndex:
+		next, probed, err = globalIndexStep(env, step, cur, keyIdx)
+	default:
+		err = fmt.Errorf("maintain: unknown step mode %v", step.Via)
+	}
+	if err != nil {
+		return nil, StepTrace{}, fmt.Errorf("maintain: step %s (%v): %w", step.Table, step.Via, err)
+	}
+	return next, StepTrace{
+		Table:        step.Table,
+		Via:          step.Via,
+		NodesProbed:  probed,
+		TuplesJoined: len(next),
+	}, nil
+}
+
+// StepOutSchema returns the intermediate schema after the step, using the
+// plan-time precompute when present.
+func StepOutSchema(step plan.Step, curSchema *types.Schema) *types.Schema {
+	if step.OutSchema != nil {
+		return step.OutSchema
+	}
+	return curSchema.Concat(step.FragSchema.Prefixed(step.Table))
+}
+
+// FinishDelta turns a fully joined intermediate into view-schema tuples:
+// residual join predicates (the extra edges of a cyclic join graph) filter
+// the rows, then the view's maintenance projection shapes them. This is
+// the per-view tail of a maintenance plan — the part a shared chain result
+// cannot cover.
+func FinishDelta(p *plan.Plan, cur []types.Tuple, curSchema *types.Schema) ([]types.Tuple, error) {
+	cur, err := FilterResidual(cur, curSchema, p.Residual)
+	if err != nil {
+		return nil, err
 	}
 
 	// Project the final intermediate onto the maintenance columns (output
@@ -173,12 +207,11 @@ func ComputeViewDelta(env Env, p *plan.Plan, delta []types.Tuple, algo node.Algo
 	for _, t := range cur {
 		pt, err := proj.Apply(curSchema, t)
 		if err != nil {
-			return nil, nil, fmt.Errorf("maintain: projecting to view %q: %w", p.View.Name, err)
+			return nil, fmt.Errorf("maintain: projecting to view %q: %w", p.View.Name, err)
 		}
 		out = append(out, pt)
 	}
-	res.ViewTuples = len(out)
-	return out, res, nil
+	return out, nil
 }
 
 // FilterResidual keeps the tuples satisfying every residual equijoin

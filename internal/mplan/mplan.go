@@ -137,6 +137,18 @@ type Plan struct {
 	// ARCount/GICount are the updated table's auxiliary-structure counts,
 	// inputs to the advisor's TW model.
 	ARCount, GICount int
+	// Views is the full dependent-view set the plan was compiled for, in
+	// name (= stage) order. Together with (Table, Op) it is the logical
+	// cache key of the shared world: any view joining or leaving the table
+	// changes the set — and bumps the catalog version, which is how Valid
+	// detects it without re-listing views on the hot path.
+	Views []string
+	// SharedPotential reports that at least two dependent views have
+	// maintenance options whose delta-join chains start with the same
+	// structural prefix, so the shared-DAG executor can hoist work. False
+	// means per-view execution is already optimal and the executor takes
+	// the unshared path unchanged.
+	SharedPotential bool
 	// Version is the catalog version the plan was compiled against.
 	Version uint64
 	// PartEpoch is the partition-map epoch the plan was compiled against:
@@ -175,10 +187,44 @@ func Compile(cat *catalog.Catalog, st *stats.Stats, table string, op maintain.Op
 			return nil, err
 		}
 		mp.Stages = append(mp.Stages, Stage{Kind: StageView, View: vs})
+		mp.Views = append(mp.Views, v.Name)
 		deps.recordView(st, v, table)
 	}
 	mp.Deps = deps.list()
+	mp.SharedPotential = sharedPotential(mp)
 	return mp, nil
+}
+
+// sharedPotential reports whether any two view stages have options whose
+// chains begin with the same structural step. A shared prefix of any depth
+// necessarily shares its first step, so checking the chain roots is both
+// sufficient and cheap; single-view plans can never share.
+func sharedPotential(mp *Plan) bool {
+	// first ChainKey -> index of the first view stage that has it.
+	roots := map[string]int{}
+	viewIdx := -1
+	for i := range mp.Stages {
+		s := &mp.Stages[i]
+		if s.Kind != StageView {
+			continue
+		}
+		viewIdx++
+		for oi := range s.View.Options {
+			steps := s.View.Options[oi].Plan.Steps
+			if len(steps) == 0 {
+				continue
+			}
+			key := steps[0].ChainKey
+			if first, ok := roots[key]; ok {
+				if first != viewIdx {
+					return true
+				}
+			} else {
+				roots[key] = viewIdx
+			}
+		}
+	}
+	return false
 }
 
 // CompileView compiles the propagation stage for one view: the pinned
@@ -258,6 +304,9 @@ func (p *Plan) Describe() string {
 			}
 			fmt.Fprintf(&sb, "  stage %d: %-11s %s (%s: %s)\n", i+1, s.Kind, s.View.View.Name, mode, optionNames(s.View.Options))
 		}
+	}
+	if p.SharedPotential {
+		fmt.Fprintf(&sb, "  shared: %d views have common delta-join prefixes; executor hoists them into shared DAG nodes\n", len(p.Views))
 	}
 	return sb.String()
 }

@@ -83,6 +83,25 @@ type Step struct {
 	// build time so execution never re-derives them per statement.
 	DeltaKey  int
 	OutSchema *types.Schema
+	// ChainKey is the structural identity of the delta-join chain prefix
+	// ending at this step: the updated table plus every (shipping mode,
+	// probed fragment, join columns) pair up to and including this one.
+	// Two steps with equal ChainKeys — in any plans for the same statement —
+	// produce identical intermediate results, so a shared executor can run
+	// the prefix once and fan its result out to every dependent view.
+	ChainKey string
+}
+
+// Fingerprint is the structural identity of this single step, independent
+// of the chain prefix: everything that determines the step's output given
+// its input. Fan-out estimates and clustering are deliberately excluded —
+// they shape cost, not results.
+func (s *Step) Fingerprint() string {
+	fp := s.Via.String() + ":" + s.Frag + ":" + s.FragCol + "=" + s.DeltaCol
+	if s.GI != "" {
+		fp += ":" + s.GI
+	}
+	return fp
 }
 
 // Plan is the full maintenance recipe for one (view, updated table) pair.
@@ -234,6 +253,9 @@ func Build(cat *catalog.Catalog, st *stats.Stats, v *catalog.View, table string,
 		EstFanout: 1,
 	}
 	p.DeltaSchema = p.Schema
+	// ChainKeys are rooted at the updated table's delta so keys never
+	// collide across plans for different updated tables.
+	chainPrefix := "Δ" + table
 	covered := map[string]bool{table: true}
 	remaining := append([]catalog.JoinPred(nil), v.Joins...)
 
@@ -278,6 +300,8 @@ func Build(cat *catalog.Catalog, st *stats.Stats, v *catalog.View, table string,
 		}
 		step.Fanout = best.fanout
 		step.DeltaKey = p.Schema.ColIndex(step.DeltaCol)
+		step.ChainKey = chainPrefix + ">" + step.Fingerprint()
+		chainPrefix = step.ChainKey
 		p.EstFanout *= best.fanout
 		p.Schema = p.Schema.Concat(step.FragSchema.Prefixed(best.next))
 		step.OutSchema = p.Schema

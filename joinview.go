@@ -30,6 +30,7 @@ import (
 	"joinview/internal/cluster"
 	"joinview/internal/expr"
 	"joinview/internal/fault"
+	"joinview/internal/mplan"
 	"joinview/internal/node"
 	"joinview/internal/sql"
 	"joinview/internal/types"
@@ -68,6 +69,12 @@ type (
 	GlobalIndex = catalog.GlobalIndex
 	// Strategy selects a view-maintenance method.
 	Strategy = catalog.Strategy
+
+	// Advice is the materialization advisor's report (see
+	// DB.AdviseMaterialization).
+	Advice = mplan.Advice
+	// AdviceItem is one recommended auxiliary structure.
+	AdviceItem = mplan.AdviceItem
 
 	// Metrics is a snapshot of per-node I/O counters and message counts.
 	Metrics = cluster.Metrics
@@ -206,6 +213,11 @@ type Options struct {
 	// cache. Identical results, only slower — a debugging aid for
 	// isolating caching effects (Metrics.Pipeline reports only misses).
 	DisablePlanCache bool
+	// DisablePlanSharing turns off the shared maintenance DAG: each view's
+	// delta-join chain executes independently even when several views over
+	// the same table share common prefixes. Identical view contents, more
+	// I/O — the baseline for sharing measurements (jvbench -exp manyviews).
+	DisablePlanSharing bool
 	// BreakerThreshold enables the per-node circuit breaker: after that
 	// many consecutive exhausted delivery attempts to one node, further
 	// calls to it fail fast with ErrSuspect instead of burning the retry
@@ -323,32 +335,33 @@ func Open(opts Options) (*DB, error) {
 		algo = node.AlgoSortMerge
 	}
 	c, err := cluster.New(cluster.Config{
-		Nodes:             opts.Nodes,
-		PageRows:          opts.PageRows,
-		MemPages:          opts.MemPages,
-		UseChannels:       opts.UseChannels,
-		UseTCP:            opts.UseTCP,
-		LockedReads:       opts.LockedReads,
-		Algo:              algo,
-		BufferPages:       opts.BufferPages,
-		NetLatency:        opts.NetLatency,
-		CallTimeout:       opts.CallTimeout,
-		RetryAttempts:     opts.RetryAttempts,
-		RetryBackoff:      opts.RetryBackoff,
-		RetryBackoffMax:   opts.RetryBackoffMax,
-		RetrySeed:         opts.RetrySeed,
-		Faults:            opts.Faults,
-		Durability:        opts.Durability,
-		CheckpointEvery:   opts.CheckpointEvery,
-		DisablePlanCache:  opts.DisablePlanCache,
-		BreakerThreshold:  opts.BreakerThreshold,
-		AsyncMaintenance:  opts.AsyncMaintenance,
-		EpochSize:         opts.EpochSize,
-		FlushInterval:     opts.FlushInterval,
-		MaxQueueDepth:     opts.MaxQueueDepth,
-		MaxStaleness:      opts.MaxStaleness,
-		OverloadBlock:     opts.OverloadBlock,
-		ReplicationFactor: opts.ReplicationFactor,
+		Nodes:              opts.Nodes,
+		PageRows:           opts.PageRows,
+		MemPages:           opts.MemPages,
+		UseChannels:        opts.UseChannels,
+		UseTCP:             opts.UseTCP,
+		LockedReads:        opts.LockedReads,
+		Algo:               algo,
+		BufferPages:        opts.BufferPages,
+		NetLatency:         opts.NetLatency,
+		CallTimeout:        opts.CallTimeout,
+		RetryAttempts:      opts.RetryAttempts,
+		RetryBackoff:       opts.RetryBackoff,
+		RetryBackoffMax:    opts.RetryBackoffMax,
+		RetrySeed:          opts.RetrySeed,
+		Faults:             opts.Faults,
+		Durability:         opts.Durability,
+		CheckpointEvery:    opts.CheckpointEvery,
+		DisablePlanCache:   opts.DisablePlanCache,
+		DisablePlanSharing: opts.DisablePlanSharing,
+		BreakerThreshold:   opts.BreakerThreshold,
+		AsyncMaintenance:   opts.AsyncMaintenance,
+		EpochSize:          opts.EpochSize,
+		FlushInterval:      opts.FlushInterval,
+		MaxQueueDepth:      opts.MaxQueueDepth,
+		MaxStaleness:       opts.MaxStaleness,
+		OverloadBlock:      opts.OverloadBlock,
+		ReplicationFactor:  opts.ReplicationFactor,
 	})
 	if err != nil {
 		return nil, err
@@ -473,6 +486,16 @@ func (db *DB) ResolveStrategy(viewName, table string, deltaSize int) (Strategy, 
 // execution order and, for auto-strategy views, the advisor's options.
 func (db *DB) ExplainPipeline(table, op string) (string, error) {
 	return db.c.ExplainPipeline(table, op)
+}
+
+// AdviseMaterialization runs the materialization advisor: it prices every
+// auxiliary relation and global index the current views could use but the
+// catalog lacks, on the shared maintenance DAG's cost model, and returns
+// the greedily chosen set that most reduces modeled maintenance workload.
+// Nothing is created; materialize recommendations with CreateAuxRel /
+// CreateGlobalIndex (or re-create views) as desired.
+func (db *DB) AdviseMaterialization() (*Advice, error) {
+	return db.c.AdviseMaterialization()
 }
 
 // Tx is an open multi-statement transaction (Begin/Insert/Delete/Update/
